@@ -1,0 +1,66 @@
+// Ablation A1: channel-model sensitivity.
+//
+// Two axes the paper leaves unspecified (DESIGN.md §3):
+//  * inter-cell interference — we sweep the activity factor of the
+//    derived interference PSD;
+//  * the reading of "noise = −170 dBm" — total-per-RRB (paper-literal,
+//    our default) vs. a −170 dBm/Hz PSD (physically conventional).
+// Output: DMRA vs NonCo profit and served count under each channel, which
+// shows how the paper's conclusion depends on the radio regime.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  dmra::Cli cli;
+  cli.add_flag("ues", "800", "number of UEs");
+  cli.add_flag("seeds", "5", "seeds per configuration");
+  cli.add_flag("activity", "0,0.001,0.005,0.02", "interference activity factors to sweep");
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+  const auto num_ues = static_cast<std::size_t>(cli.get_int("ues"));
+  const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+
+  std::cout << "== A1: channel-model ablation (" << num_ues << " UEs, iota=2) ==\n\n";
+
+  dmra::Table table({"noise model", "activity", "DMRA profit", "NonCo profit",
+                     "DMRA served", "NonCo served"});
+  for (const bool psd : {false, true}) {
+    for (const double activity : cli.get_double_list("activity")) {
+      dmra::RunningStats profit_dmra, profit_nonco, served_dmra, served_nonco;
+      for (std::uint64_t seed : seeds) {
+        dmra::ScenarioConfig cfg = dmra_bench::paper_config();
+        cfg.num_ues = num_ues;
+        cfg.interference_activity_factor = activity;
+        cfg.channel.noise_model =
+            psd ? dmra::NoiseModel::kPsd : dmra::NoiseModel::kTotalPerRrb;
+        const dmra::Scenario scenario = dmra::generate_scenario(cfg, seed);
+
+        const dmra::DmraAllocator dmra_algo;
+        const dmra::NonCoAllocator nonco;
+        const dmra::RunMetrics md = dmra::evaluate(scenario, dmra_algo.allocate(scenario));
+        const dmra::RunMetrics mn = dmra::evaluate(scenario, nonco.allocate(scenario));
+        profit_dmra.add(md.total_profit);
+        profit_nonco.add(mn.total_profit);
+        served_dmra.add(static_cast<double>(md.served));
+        served_nonco.add(static_cast<double>(mn.served));
+      }
+      table.add_row({psd ? "PSD -170dBm/Hz" : "per-RRB -170dBm", dmra::fmt(activity, 2),
+                     dmra::fmt(profit_dmra.mean()), dmra::fmt(profit_nonco.mean()),
+                     dmra::fmt(served_dmra.mean(), 0), dmra::fmt(served_nonco.mean(), 0)});
+    }
+  }
+  std::cout << table.to_aligned()
+            << "\nreading: in the per-RRB regime (paper) DMRA leads on profit; in the PSD\n"
+               "regime radio collapses with distance and max-SINR (NonCo) dominates —\n"
+               "evidence for the channel reading documented in DESIGN.md.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Ablation A7: association churn under mobility. Sweeps UE speed under
+// random-waypoint movement and reports handover rate and profit stability
+// for DMRA — quantifying the paper's "the best association changes over
+// time" premise and what periodic re-allocation costs.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  dmra::Cli cli;
+  cli.add_flag("speeds", "0,1,5,15,30", "mean UE speeds (m/s) to sweep; 0 = static");
+  cli.add_flag("ues", "600", "number of UEs");
+  cli.add_flag("steps", "12", "re-allocation steps");
+  cli.add_flag("dt", "2", "seconds per step");
+  cli.add_flag("seeds", "5", "seeds per configuration");
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+  const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+  const dmra::DmraAllocator algo;
+
+  std::cout << "== A7: handover churn vs UE speed (random waypoint, DMRA re-run every "
+            << cli.get_double("dt") << " s) ==\n\n";
+  dmra::Table table({"speed (m/s)", "handover rate", "edge->cloud/step", "mean profit",
+                     "profit stddev"});
+  for (const double speed : cli.get_double_list("speeds")) {
+    dmra::RunningStats rate, churn, profit_mean, profit_sd;
+    for (std::uint64_t seed : seeds) {
+      dmra::HandoverConfig cfg;
+      cfg.scenario.num_ues = static_cast<std::size_t>(cli.get_int("ues"));
+      cfg.steps = static_cast<std::size_t>(cli.get_int("steps"));
+      cfg.step_duration_s = cli.get_double("dt");
+      cfg.seed = seed;
+      if (speed <= 0.0) {
+        cfg.mobility = dmra::MobilityKind::kStatic;
+      } else {
+        cfg.mobility = dmra::MobilityKind::kRandomWaypoint;
+        cfg.waypoint.speed_min_mps = speed * 0.5;
+        cfg.waypoint.speed_max_mps = speed * 1.5;
+      }
+      const dmra::HandoverResult r = dmra::run_handover_study(cfg, algo);
+      rate.add(r.handover_rate);
+      dmra::RunningStats per_step_profit;
+      double cloud_churn = 0.0;
+      for (const dmra::HandoverStepStats& s : r.steps) {
+        per_step_profit.add(s.profit);
+        cloud_churn += static_cast<double>(s.edge_to_cloud);
+      }
+      churn.add(cloud_churn / static_cast<double>(r.steps.size()));
+      profit_mean.add(per_step_profit.mean());
+      profit_sd.add(per_step_profit.stddev());
+    }
+    table.add_row({dmra::fmt(speed, 0), dmra::fmt(rate.mean(), 3),
+                   dmra::fmt(churn.mean(), 1), dmra::fmt(profit_mean.mean()),
+                   dmra::fmt(profit_sd.mean())});
+  }
+  std::cout << table.to_aligned()
+            << "\nreading: handover rate grows with speed while mean profit stays flat —\n"
+               "re-running DMRA keeps the allocation near-optimal as UEs move, at the\n"
+               "price of churn that incremental re-allocation damps (below).\n\n";
+
+  // Part 2: full re-run vs incremental DMRA at one representative speed.
+  std::cout << "-- re-allocation policy at 15 m/s --\n\n";
+  dmra::Table policy_table(
+      {"policy", "hysteresis", "handover rate", "mean profit"});
+  struct PolicyRow {
+    const char* label;
+    dmra::ReallocationPolicy policy;
+    double margin;
+  };
+  const std::vector<PolicyRow> rows = {
+      {"full re-run", dmra::ReallocationPolicy::kFullRerun, 0.0},
+      {"incremental (sticky)", dmra::ReallocationPolicy::kIncremental, 1e18},
+      {"incremental", dmra::ReallocationPolicy::kIncremental, 0.5},
+      {"incremental (eager)", dmra::ReallocationPolicy::kIncremental, 0.1},
+  };
+  for (const PolicyRow& row : rows) {
+    dmra::RunningStats rate, profit;
+    for (std::uint64_t seed : seeds) {
+      dmra::HandoverConfig cfg;
+      cfg.scenario.num_ues = static_cast<std::size_t>(cli.get_int("ues"));
+      cfg.steps = static_cast<std::size_t>(cli.get_int("steps"));
+      cfg.step_duration_s = cli.get_double("dt");
+      cfg.seed = seed;
+      cfg.mobility = dmra::MobilityKind::kRandomWaypoint;
+      cfg.waypoint.speed_min_mps = 7.5;
+      cfg.waypoint.speed_max_mps = 22.5;
+      cfg.policy = row.policy;
+      cfg.incremental.hysteresis_margin = row.margin;
+      const dmra::HandoverResult r = dmra::run_handover_study(cfg, algo);
+      rate.add(r.handover_rate);
+      profit.add(r.mean_profit);
+    }
+    policy_table.add_row({row.label,
+                          row.margin > 1e17 ? "inf" : dmra::fmt(row.margin, 1),
+                          dmra::fmt(rate.mean(), 3), dmra::fmt(profit.mean())});
+  }
+  std::cout << policy_table.to_aligned()
+            << "\nreading: incremental DMRA keeps most of the full-rerun profit at a\n"
+               "fraction of the handovers; the hysteresis margin trades the two off.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation A4: how much of DMRA's advantage depends on NonCo being
+// one-shot? Compares DMRA against both NonCo readings (one-shot, as the
+// paper describes it; iterative, the strongest SP-blind max-SINR scheme)
+// across load and both ι values.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  dmra::Cli cli;
+  cli.add_flag("ues", "400,700,1000", "UE counts to sweep");
+  cli.add_flag("seeds", "10", "seeds per configuration");
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+  const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+
+  std::cout << "== A4: NonCo semantics ablation (regular placement) ==\n\n";
+  dmra::Table table({"iota", "UEs", "DMRA", "NonCo (one-shot)", "NonCo (iterative)",
+                     "DMRA lead vs iter"});
+  for (const double iota : {2.0, 1.1}) {
+    for (const double ues : cli.get_double_list("ues")) {
+      dmra::RunningStats dmra_p, oneshot_p, iter_p;
+      for (std::uint64_t seed : seeds) {
+        dmra::ScenarioConfig cfg = dmra_bench::paper_config();
+        cfg.num_ues = static_cast<std::size_t>(ues);
+        cfg.pricing.iota = iota;
+        const dmra::Scenario s = dmra::generate_scenario(cfg, seed);
+        dmra_p.add(dmra::total_profit(s, dmra::DmraAllocator().allocate(s)));
+        oneshot_p.add(dmra::total_profit(s, dmra::NonCoAllocator().allocate(s)));
+        iter_p.add(dmra::total_profit(
+            s, dmra::NonCoAllocator(dmra::NonCoAllocator::Mode::kIterative).allocate(s)));
+      }
+      table.add_row({dmra::fmt(iota, 1), dmra::fmt(ues, 0), dmra::fmt(dmra_p.mean()),
+                     dmra::fmt(oneshot_p.mean()), dmra::fmt(iter_p.mean()),
+                     dmra::fmt(100.0 * (dmra_p.mean() / iter_p.mean() - 1.0), 1) + "%"});
+    }
+  }
+  std::cout << table.to_aligned()
+            << "\nreading: at iota=2 and moderate load DMRA leads even the strongest\n"
+               "SP-blind max-SINR scheme (the same-SP margin at work). At saturation\n"
+               "or iota~1 the iterative variant catches up or edges ahead: max-SINR\n"
+               "serving is the most radio-efficient packing, and with no cross-SP\n"
+               "markup to exploit DMRA has nothing left to monetize. The large and\n"
+               "uniform Figs. 2-5 gap therefore also reflects NonCo's one-shot\n"
+               "stranding, not the same-SP preference alone.\n";
+  return 0;
+}

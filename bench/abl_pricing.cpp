@@ -1,0 +1,49 @@
+// Ablation A10: adaptive per-BS pricing on top of DMRA. Does letting BSs
+// price congestion (src/market) balance load and change the SPs' take?
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "market/adaptive_pricing.hpp"
+
+int main(int argc, char** argv) {
+  dmra::Cli cli;
+  cli.add_flag("ues", "1100", "number of UEs (overloaded on purpose)");
+  cli.add_flag("rounds", "12", "pricing adaptation rounds");
+  cli.add_flag("target", "0.75", "target RRB utilization");
+  cli.add_flag("seed", "3", "scenario seed");
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+
+  dmra::AdaptivePricingConfig cfg;
+  cfg.scenario.num_ues = static_cast<std::size_t>(cli.get_int("ues"));
+  cfg.scenario.ue_distribution = dmra::UeDistribution::kHotspots;  // imbalance to fix
+  cfg.rounds = static_cast<std::size_t>(cli.get_int("rounds"));
+  cfg.target_utilization = cli.get_double("target");
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const dmra::DmraAllocator algo;
+  const dmra::AdaptivePricingResult r = dmra::run_adaptive_pricing(cfg, algo);
+
+  std::cout << "== A10: adaptive per-BS pricing under a hotspot load (" << cfg.scenario.num_ues
+            << " UEs, target util " << cfg.target_utilization << ") ==\n\n"
+            << r.to_table().to_aligned() << '\n';
+
+  const auto& first = r.rounds.front();
+  const auto& last = r.rounds.back();
+  std::cout << "load imbalance (util stddev): " << dmra::fmt(first.util_stddev, 3) << " -> "
+            << dmra::fmt(last.util_stddev, 3) << '\n'
+            << "profit: " << dmra::fmt(first.total_profit) << " -> "
+            << dmra::fmt(last.total_profit) << '\n'
+            << "\nreading: hotspot BSs price up, idle BSs price down; the controller\n"
+               "converges (max step shrinks) and shifts price-sensitive UEs outward,\n"
+               "narrowing the utilization spread without any change to DMRA itself.\n";
+  return 0;
+}

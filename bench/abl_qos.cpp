@@ -1,0 +1,56 @@
+// Ablation A8: the QoS view the paper motivates but never plots — latency
+// proxy and fairness for DMRA vs the baselines, under and over capacity.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  dmra::Cli cli;
+  cli.add_flag("ues", "600,1200", "UE counts to sweep");
+  cli.add_flag("seeds", "5", "seeds per configuration");
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+  const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+  const dmra::LatencyModel latency;
+
+  std::cout << "== A8: QoS view — latency proxy & fairness (iota=2, regular placement) ==\n"
+            << "latency model: edge " << latency.edge_base_ms << " ms + "
+            << latency.per_km_ms << " ms/km; cloud +" << latency.cloud_rtt_ms << " ms\n\n";
+
+  dmra::Table table({"UEs", "algorithm", "mean latency (ms)", "p95 (ms)",
+                     "edge latency (ms)", "Jain SP profit", "Jain UE latency"});
+  for (const double ues : cli.get_double_list("ues")) {
+    std::vector<dmra::AllocatorPtr> algos = dmra_bench::paper_allocators({});
+    for (const auto& algo : algos) {
+      dmra::RunningStats mean_lat, p95, edge_lat, jain_sp, jain_ue;
+      for (std::uint64_t seed : seeds) {
+        dmra::ScenarioConfig cfg = dmra_bench::paper_config();
+        cfg.num_ues = static_cast<std::size_t>(ues);
+        const dmra::Scenario s = dmra::generate_scenario(cfg, seed);
+        const dmra::QosMetrics q = dmra::evaluate_qos(s, algo->allocate(s), latency);
+        mean_lat.add(q.mean_latency_ms);
+        p95.add(q.p95_latency_ms);
+        edge_lat.add(q.mean_edge_latency_ms);
+        jain_sp.add(q.jain_sp_profit);
+        jain_ue.add(q.jain_ue_latency);
+      }
+      table.add_row({dmra::fmt(ues, 0), algo->name(), dmra::fmt(mean_lat.mean(), 1),
+                     dmra::fmt(p95.mean(), 1), dmra::fmt(edge_lat.mean(), 1),
+                     dmra::fmt(jain_sp.mean(), 3), dmra::fmt(jain_ue.mean(), 3)});
+    }
+  }
+  std::cout << table.to_aligned()
+            << "\nreading: under capacity every scheme keeps latency near the edge floor;\n"
+               "in overload the schemes that strand fewer UEs (DMRA's rematch, NonCo's\n"
+               "radio efficiency) hold the mean and the tail down, and DMRA pays a small\n"
+               "edge-latency premium for its same-SP detours.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation A2: which parts of DMRA's BS-side preference actually earn the
+// profit? Disables each design choice of Alg. 1 in turn:
+//   full        — same-SP first, then min f_u, then min footprint (paper)
+//   no-same-sp  — drop the same-SP pool preference
+//   no-f_u      — drop the fewest-covering-BSs tie-break
+//   no-footprint— drop the resource-footprint tie-break
+//   price-only  — rho = 0 (UE side ignores remaining resources)
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  dmra::Cli cli;
+  cli.add_flag("ues", "800,1000", "UE counts to sweep");
+  cli.add_flag("seeds", "10", "seeds per configuration");
+  cli.add_flag("rho", "100", "baseline rho");
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+  const double rho = cli.get_double("rho");
+
+  struct Variant {
+    const char* label;
+    dmra::DmraConfig config;
+  };
+  const std::vector<Variant> variants = {
+      {"full", dmra::DmraConfig{.rho = rho}},
+      {"no-same-sp", dmra::DmraConfig{.rho = rho, .prefer_same_sp = false}},
+      {"no-f_u", dmra::DmraConfig{.rho = rho, .use_coverage_count = false}},
+      {"no-footprint", dmra::DmraConfig{.rho = rho, .use_footprint = false}},
+      {"price-only (rho=0)", dmra::DmraConfig{.rho = 0.0}},
+  };
+
+  const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+  std::cout << "== A2: DMRA tie-break ablation (iota=2, regular placement) ==\n\n";
+
+  dmra::Table table({"UEs", "variant", "total profit", "served", "same-SP ratio"});
+  for (const double ues : cli.get_double_list("ues")) {
+    for (const Variant& v : variants) {
+      dmra::RunningStats profit, served, same_sp;
+      for (std::uint64_t seed : seeds) {
+        dmra::ScenarioConfig cfg = dmra_bench::paper_config();
+        cfg.num_ues = static_cast<std::size_t>(ues);
+        const dmra::Scenario scenario = dmra::generate_scenario(cfg, seed);
+        const dmra::DmraAllocator algo(v.config);
+        const dmra::RunMetrics m = dmra::evaluate(scenario, algo.allocate(scenario));
+        profit.add(m.total_profit);
+        served.add(static_cast<double>(m.served));
+        same_sp.add(m.same_sp_ratio);
+      }
+      table.add_row({dmra::fmt(ues, 0), v.label, dmra::fmt_pm(profit.mean(),
+                     dmra::ci95_halfwidth(profit)), dmra::fmt(served.mean(), 0),
+                     dmra::fmt(same_sp.mean())});
+    }
+  }
+  std::cout << table.to_aligned() << '\n';
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared plumbing for the figure benches: paper-default configuration,
+// the paper's algorithm roster, and result printing.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dmra/dmra.hpp"
+
+namespace dmra_bench {
+
+/// ScenarioConfig with the paper's §VI-A values; callers override ι,
+/// placement, and UE count per figure.
+inline dmra::ScenarioConfig paper_config() { return dmra::ScenarioConfig{}; }
+
+/// The roster of Figs. 2–5: DMRA vs DCSP vs NonCo.
+inline std::vector<dmra::AllocatorPtr> paper_allocators(const dmra::DmraConfig& cfg) {
+  std::vector<dmra::AllocatorPtr> algos;
+  algos.push_back(std::make_unique<dmra::DmraAllocator>(cfg));
+  algos.push_back(std::make_unique<dmra::DcspAllocator>());
+  algos.push_back(std::make_unique<dmra::NonCoAllocator>());
+  return algos;
+}
+
+/// Print the experiment table plus a per-column CSV block when asked;
+/// optionally also write the CSV to `csv_path` (empty = don't).
+inline void print_result(const dmra::ExperimentResult& result, bool csv,
+                         const std::string& csv_path = "") {
+  std::cout << "== " << result.title << " ==\n";
+  std::cout << "metric: " << result.metric_label << " (mean ± 95% CI over "
+            << (result.cells.empty() ? 0 : result.cells[0][0].count) << " seeds)\n\n";
+  const dmra::Table table = result.to_table();
+  std::cout << table.to_aligned() << '\n';
+  if (csv) std::cout << table.to_csv() << '\n';
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::cerr << "cannot write " << csv_path << '\n';
+    } else {
+      out << table.to_csv();
+      std::cout << "(series written to " << csv_path << ")\n";
+    }
+  }
+}
+
+/// How often the first algorithm (DMRA) strictly leads every other column —
+/// the headline comparison of Figs. 2–5 — plus Welch t-tests of each gap.
+inline void print_dominance(const dmra::ExperimentResult& result) {
+  if (result.algo_names.size() < 2) return;
+  std::size_t wins = 0;
+  for (const auto& row : result.cells) {
+    bool best = true;
+    for (std::size_t ai = 1; ai < row.size(); ++ai)
+      if (row[0].mean <= row[ai].mean) best = false;
+    if (best) ++wins;
+  }
+  std::cout << "shape check: " << result.algo_names[0] << " leads at " << wins << "/"
+            << result.cells.size() << " sweep points\n";
+  if (!result.cells.empty() && result.cells[0][0].count >= 2) {
+    std::cout << "\nsignificance (Welch, two-sided 95%):\n"
+              << result.to_significance_table().to_aligned();
+  }
+}
+
+}  // namespace dmra_bench

@@ -1,0 +1,120 @@
+// M2: kernel microbenchmarks — the radio math, preference evaluation,
+// BS selection, and the generic matching mechanisms.
+
+#include <benchmark/benchmark.h>
+
+#include "dmra/dmra.hpp"
+#include "mec/resources.hpp"
+
+namespace {
+
+void BM_Pathloss(benchmark::State& state) {
+  double d = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dmra::pathloss_db(d));
+    d = d < 2000.0 ? d + 1.0 : 1.0;
+  }
+}
+BENCHMARK(BM_Pathloss);
+
+void BM_SinrAndRrbs(benchmark::State& state) {
+  const dmra::ChannelConfig ch;
+  const dmra::OfdmaConfig of;
+  double d = 10.0;
+  for (auto _ : state) {
+    const double s = dmra::sinr(ch, d, of.rrb_bandwidth_hz);
+    const double e = dmra::rrb_rate_bps(of.rrb_bandwidth_hz, s);
+    benchmark::DoNotOptimize(dmra::rrbs_needed(4e6, e));
+    d = d < 1500.0 ? d + 3.0 : 10.0;
+  }
+}
+BENCHMARK(BM_SinrAndRrbs);
+
+void BM_PreferenceEval(benchmark::State& state) {
+  dmra::ScenarioConfig cfg;
+  cfg.num_ues = 500;
+  const dmra::Scenario scenario = dmra::generate_scenario(cfg, 3);
+  const dmra::ResourceState rs(scenario);
+  struct View final : dmra::ResourceView {
+    const dmra::ResourceState* rs;
+    std::uint32_t remaining_crus(dmra::BsId i, dmra::ServiceId j) const override {
+      return rs->remaining_crus(i, j);
+    }
+    std::uint32_t remaining_rrbs(dmra::BsId i) const override {
+      return rs->remaining_rrbs(i);
+    }
+  } view;
+  view.rs = &rs;
+  std::size_t ui = 0;
+  for (auto _ : state) {
+    const dmra::UeId u{static_cast<std::uint32_t>(ui % scenario.num_ues())};
+    double acc = 0.0;
+    for (dmra::BsId i : scenario.candidates(u))
+      acc += dmra::ue_preference_value(scenario, view, u, i, 100.0);
+    benchmark::DoNotOptimize(acc);
+    ++ui;
+  }
+}
+BENCHMARK(BM_PreferenceEval);
+
+void BM_BsSelect(benchmark::State& state) {
+  dmra::ScenarioConfig cfg;
+  cfg.num_ues = 500;
+  const dmra::Scenario scenario = dmra::generate_scenario(cfg, 3);
+  // Center BS with all covered UEs as proposers — the worst-case inbox.
+  const dmra::BsId bs{12};
+  std::vector<dmra::ProposalInfo> proposals;
+  for (std::size_t ui = 0; ui < scenario.num_ues(); ++ui) {
+    const dmra::UeId u{static_cast<std::uint32_t>(ui)};
+    const auto cands = scenario.candidates(u);
+    if (std::find(cands.begin(), cands.end(), bs) != cands.end())
+      proposals.push_back({u, static_cast<std::uint32_t>(cands.size())});
+  }
+  dmra::BsLocalResources local;
+  local.crus = scenario.bs(bs).cru_capacity;
+  local.rrbs = scenario.bs(bs).num_rrbs;
+  for (auto _ : state) {
+    const auto accepted = dmra::bs_select(scenario, bs, proposals, local);
+    benchmark::DoNotOptimize(accepted.size());
+  }
+  state.counters["proposals"] = static_cast<double>(proposals.size());
+}
+BENCHMARK(BM_BsSelect);
+
+dmra::PreferenceLists random_prefs(std::size_t n, std::size_t m, dmra::Rng& rng) {
+  dmra::PreferenceLists prefs(n);
+  for (auto& list : prefs) {
+    list.resize(m);
+    for (std::size_t i = 0; i < m; ++i) list[i] = i;
+    rng.shuffle(list);
+  }
+  return prefs;
+}
+
+void BM_StableMarriage(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dmra::Rng rng("bench-sm", 11);
+  const auto pp = random_prefs(n, n, rng);
+  const auto ap = random_prefs(n, n, rng);
+  for (auto _ : state) {
+    const dmra::Matching m = dmra::stable_marriage(pp, ap);
+    benchmark::DoNotOptimize(m.proposer_to_acceptor.size());
+  }
+}
+BENCHMARK(BM_StableMarriage)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CollegeAdmissions(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t colleges = n / 16 + 1;
+  dmra::Rng rng("bench-ca", 13);
+  const auto pp = random_prefs(n, colleges, rng);
+  const auto ap = random_prefs(colleges, n, rng);
+  const std::vector<std::size_t> caps(colleges, 16);
+  for (auto _ : state) {
+    const dmra::ManyToOneMatching m = dmra::college_admissions(pp, ap, caps);
+    benchmark::DoNotOptimize(m.proposer_to_acceptor.size());
+  }
+}
+BENCHMARK(BM_CollegeAdmissions)->Arg(256)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,86 @@
+// M1: algorithm scaling microbenchmarks (google-benchmark).
+//
+// How solve time grows with |U| and |B| for DMRA, the baselines, and the
+// message-passing runtime (whose counters report protocol cost).
+
+#include <benchmark/benchmark.h>
+
+#include "dmra/dmra.hpp"
+
+namespace {
+
+dmra::Scenario make_scenario(std::size_t num_ues, std::size_t bss_per_sp = 5) {
+  dmra::ScenarioConfig cfg;
+  cfg.num_ues = num_ues;
+  cfg.bss_per_sp = bss_per_sp;
+  return dmra::generate_scenario(cfg, /*seed=*/7);
+}
+
+void BM_DmraSolve_Ues(benchmark::State& state) {
+  const dmra::Scenario scenario = make_scenario(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const dmra::DmraResult r = dmra::solve_dmra(scenario);
+    benchmark::DoNotOptimize(r.allocation.num_served());
+  }
+  state.counters["ues"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DmraSolve_Ues)->Arg(100)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_DmraSolve_Bss(benchmark::State& state) {
+  const dmra::Scenario scenario =
+      make_scenario(800, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const dmra::DmraResult r = dmra::solve_dmra(scenario);
+    benchmark::DoNotOptimize(r.allocation.num_served());
+  }
+  state.counters["bss"] = static_cast<double>(state.range(0) * 5);
+}
+BENCHMARK(BM_DmraSolve_Bss)->Arg(3)->Arg(5)->Arg(8)->Arg(12);
+
+void BM_Dcsp(benchmark::State& state) {
+  const dmra::Scenario scenario = make_scenario(static_cast<std::size_t>(state.range(0)));
+  const dmra::DcspAllocator algo;
+  for (auto _ : state) {
+    const dmra::Allocation a = algo.allocate(scenario);
+    benchmark::DoNotOptimize(a.num_served());
+  }
+}
+BENCHMARK(BM_Dcsp)->Arg(500)->Arg(1000);
+
+void BM_NonCo(benchmark::State& state) {
+  const dmra::Scenario scenario = make_scenario(static_cast<std::size_t>(state.range(0)));
+  const dmra::NonCoAllocator algo;
+  for (auto _ : state) {
+    const dmra::Allocation a = algo.allocate(scenario);
+    benchmark::DoNotOptimize(a.num_served());
+  }
+}
+BENCHMARK(BM_NonCo)->Arg(500)->Arg(1000);
+
+void BM_DecentralizedDmra(benchmark::State& state) {
+  const dmra::Scenario scenario = make_scenario(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t messages = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    const dmra::DecentralizedResult r = dmra::run_decentralized_dmra(scenario);
+    benchmark::DoNotOptimize(r.dmra.allocation.num_served());
+    messages = r.bus.messages_sent;
+    rounds = r.dmra.rounds;
+  }
+  state.counters["messages"] = static_cast<double>(messages);
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_DecentralizedDmra)->Arg(250)->Arg(500)->Arg(1000);
+
+void BM_ScenarioGeneration(benchmark::State& state) {
+  dmra::ScenarioConfig cfg;
+  cfg.num_ues = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const dmra::Scenario s = dmra::generate_scenario(cfg, seed++);
+    benchmark::DoNotOptimize(s.num_ues());
+  }
+}
+BENCHMARK(BM_ScenarioGeneration)->Arg(500)->Arg(2000);
+
+}  // namespace

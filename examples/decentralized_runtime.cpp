@@ -1,0 +1,79 @@
+// The message-passing runtime in action: run DMRA as UE/SP/BS agents on
+// the in-process bus, confirm the allocation equals the direct solver's,
+// and report what the protocol costs in rounds and messages.
+//
+//   ./build/examples/decentralized_runtime [--seed 3]
+
+#include <iostream>
+
+#include "dmra/dmra.hpp"
+
+int main(int argc, char** argv) {
+  dmra::Cli cli;
+  cli.add_flag("seed", "3", "scenario seed");
+  cli.add_flag("rho", "100", "DMRA preference weight");
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const dmra::DmraConfig dmra_cfg{.rho = cli.get_double("rho")};
+
+  std::cout << "Decentralized DMRA protocol cost vs deployment size\n\n";
+  dmra::Table table({"UEs", "DMRA rounds", "bus rounds", "messages", "msgs/UE",
+                     "identical to direct?"});
+  for (std::size_t ues : {100u, 250u, 500u, 1000u}) {
+    dmra::ScenarioConfig cfg;
+    cfg.num_ues = ues;
+    const dmra::Scenario scenario = dmra::generate_scenario(cfg, seed);
+
+    // The same algorithm, two execution models.
+    const dmra::DmraResult direct = dmra::solve_dmra(scenario, dmra_cfg);
+    const dmra::DecentralizedResult dec = dmra::run_decentralized_dmra(scenario, dmra_cfg);
+
+    const bool identical = dec.dmra.allocation == direct.allocation;
+    table.add_row({std::to_string(ues), std::to_string(dec.dmra.rounds),
+                   std::to_string(dec.bus.rounds), std::to_string(dec.bus.messages_sent),
+                   dmra::fmt(static_cast<double>(dec.bus.messages_sent) /
+                             static_cast<double>(ues), 1),
+                   identical ? "yes" : "NO (bug!)"});
+    if (!identical) return 1;
+  }
+  std::cout << table.to_aligned()
+            << "\nEvery row's allocation is bit-identical to the in-memory solver: the\n"
+               "protocol (UE→SP→BS proposals, BS decisions, resource broadcasts) carries\n"
+               "exactly the information Alg. 1 needs, and nothing more.\n\n";
+
+  // Part 2: the same protocol on a lossy network. Safety (feasibility, no
+  // double-commit) is preserved by idempotent re-acks; quality degrades
+  // gracefully with the drop rate.
+  dmra::ScenarioConfig cfg;
+  cfg.num_ues = 500;
+  const dmra::Scenario scenario = dmra::generate_scenario(cfg, seed);
+  const double clean_profit =
+      dmra::total_profit(scenario, dmra::solve_dmra(scenario, dmra_cfg).allocation);
+
+  std::cout << "-- the same protocol under message loss (500 UEs) --\n\n";
+  dmra::Table lossy({"drop rate", "profit vs reliable", "served", "rounds", "messages",
+                     "dropped"});
+  for (double drop : {0.0, 0.1, 0.25, 0.4}) {
+    const dmra::DecentralizedResult r = dmra::run_decentralized_dmra(
+        scenario, dmra_cfg, dmra::NetworkConditions{drop, seed});
+    lossy.add_row({dmra::fmt(drop, 2),
+                   dmra::fmt(100.0 * dmra::total_profit(scenario, r.dmra.allocation) /
+                             clean_profit, 1) + "%",
+                   std::to_string(r.dmra.allocation.num_served()),
+                   std::to_string(r.dmra.rounds), std::to_string(r.bus.messages_sent),
+                   std::to_string(r.bus.messages_dropped)});
+  }
+  std::cout << lossy.to_aligned()
+            << "\nreading: losses cost retry rounds and rebroadcast traffic, not\n"
+               "correctness — the BS-side ledger never double-commits, so every run\n"
+               "stays feasible.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Visualize a deployment and what DMRA does with it — uniform vs hotspot
+// populations, side by side.
+//
+//   ./build/examples/deployment_map [--ues 900] [--seed 4]
+
+#include <iostream>
+
+#include "dmra/dmra.hpp"
+
+namespace {
+
+void show(const char* title, const dmra::ScenarioConfig& cfg, std::uint64_t seed) {
+  const dmra::Scenario scenario = dmra::generate_scenario(cfg, seed);
+  const dmra::Allocation alloc = dmra::DmraAllocator().allocate(scenario);
+  const dmra::RunMetrics m = dmra::evaluate(scenario, alloc);
+
+  std::cout << "=== " << title << " ===\n\n"
+            << "deployment (who is where):\n"
+            << dmra::render_deployment(scenario) << '\n'
+            << "after DMRA (where the load went):\n"
+            << dmra::render_utilization(scenario, alloc) << '\n'
+            << "served " << m.served << "/" << scenario.num_ues() << ", profit "
+            << dmra::fmt(m.total_profit) << ", forwarded " << dmra::fmt(m.forwarded_traffic_mbps)
+            << " Mbps\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dmra::Cli cli;
+  cli.add_flag("ues", "900", "number of UEs");
+  cli.add_flag("seed", "4", "scenario seed");
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  dmra::ScenarioConfig uniform;
+  uniform.num_ues = static_cast<std::size_t>(cli.get_int("ues"));
+  show("uniform population (paper setup)", uniform, seed);
+
+  dmra::ScenarioConfig hotspots = uniform;
+  hotspots.ue_distribution = dmra::UeDistribution::kHotspots;
+  hotspots.num_hotspots = 3;
+  show("hotspot population (popular areas)", hotspots, seed);
+
+  std::cout << "reading: under hotspots the BS digits near the clusters saturate (9)\n"
+               "while far cells idle, and the shaded cloud-forwarded UEs pile up exactly\n"
+               "where the local capacity ran out.\n";
+  return 0;
+}

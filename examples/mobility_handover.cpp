@@ -1,0 +1,49 @@
+// Mobile UEs: watch the association churn as the population moves, and
+// compare mobility models side by side.
+//
+//   ./build/examples/mobility_handover [--ues 400] [--steps 10]
+
+#include <iostream>
+
+#include "dmra/dmra.hpp"
+
+int main(int argc, char** argv) {
+  dmra::Cli cli;
+  cli.add_flag("ues", "400", "number of UEs");
+  cli.add_flag("steps", "10", "re-allocation steps");
+  cli.add_flag("dt", "2", "seconds per step");
+  cli.add_flag("seed", "5", "simulation seed");
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+
+  const dmra::DmraAllocator algo;
+  for (const auto kind : {dmra::MobilityKind::kStatic, dmra::MobilityKind::kRandomWaypoint,
+                          dmra::MobilityKind::kGaussMarkov}) {
+    dmra::HandoverConfig cfg;
+    cfg.scenario.num_ues = static_cast<std::size_t>(cli.get_int("ues"));
+    cfg.mobility = kind;
+    cfg.steps = static_cast<std::size_t>(cli.get_int("steps"));
+    cfg.step_duration_s = cli.get_double("dt");
+    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    cfg.waypoint.speed_min_mps = 5.0;
+    cfg.waypoint.speed_max_mps = 15.0;
+    cfg.gauss_markov.mean_speed_mps = 10.0;
+
+    const dmra::HandoverResult r = dmra::run_handover_study(cfg, algo);
+    std::cout << "--- mobility: " << dmra::mobility_kind_name(kind) << " ---\n"
+              << r.to_table().to_aligned() << "mean profit " << dmra::fmt(r.mean_profit)
+              << ", handover rate " << dmra::fmt(r.handover_rate, 3)
+              << " per served UE per step\n\n";
+  }
+  std::cout << "reading: a static population locks in one association; moving UEs force\n"
+               "re-allocation — DMRA keeps profit steady, and churn scales with how far\n"
+               "UEs travel between re-runs.\n";
+  return 0;
+}

@@ -1,0 +1,9 @@
+set title "Fig. 3: total profit of SPs vs. number of UEs (iota=2.0, random BS placement)"
+set xlabel "UEs"
+set ylabel "total profit"
+set key left top
+set grid
+set style data linespoints
+plot "fig3.dat" using 1:2:3 with yerrorlines title "DMRA", \
+     "fig3.dat" using 1:4:5 with yerrorlines title "DCSP", \
+     "fig3.dat" using 1:6:7 with yerrorlines title "NonCo"

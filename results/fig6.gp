@@ -1,0 +1,7 @@
+set title "Fig. 6: total profit of SPs vs. rho (iota=2, 1000 UEs)"
+set xlabel "rho"
+set ylabel "total profit"
+set key left top
+set grid
+set style data linespoints
+plot "fig6.dat" using 1:2:3 with yerrorlines title "DMRA"

@@ -1,0 +1,7 @@
+set title "Fig. 7: total forwarded traffic load vs. rho (iota=1.1, 1000 UEs)"
+set xlabel "rho"
+set ylabel "forwarded traffic (Mbps)"
+set key left top
+set grid
+set style data linespoints
+plot "fig7.dat" using 1:2:3 with yerrorlines title "DMRA"

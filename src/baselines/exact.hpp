@@ -1,0 +1,24 @@
+// Exact TPM solver by branch and bound — tractable only for small
+// instances (≲ 15 UEs), used by tests to measure the optimality gap of
+// DMRA and the baselines against the true optimum of Eq. 11.
+#pragma once
+
+#include <cstddef>
+
+#include "mec/allocator.hpp"
+
+namespace dmra {
+
+class ExactAllocator final : public Allocator {
+ public:
+  /// Refuses instances with more than `max_ues` UEs (search is
+  /// exponential in |U|).
+  explicit ExactAllocator(std::size_t max_ues = 15) : max_ues_(max_ues) {}
+  std::string name() const override { return "Exact"; }
+  Allocation allocate(const Scenario& scenario) const override;
+
+ private:
+  std::size_t max_ues_;
+};
+
+}  // namespace dmra

@@ -1,0 +1,18 @@
+// Centralized greedy profit-margin allocator — not from the paper; an
+// extra comparator that a global controller with full knowledge would
+// run. Sorts every feasible (UE, BS) pair by the SP profit it would
+// realize and commits pairs greedily. Useful as a near-upper bound for
+// what the decentralized schemes leave on the table.
+#pragma once
+
+#include "mec/allocator.hpp"
+
+namespace dmra {
+
+class GreedyProfitAllocator final : public Allocator {
+ public:
+  std::string name() const override { return "Greedy"; }
+  Allocation allocate(const Scenario& scenario) const override;
+};
+
+}  // namespace dmra

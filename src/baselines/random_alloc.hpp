@@ -1,0 +1,22 @@
+// Random feasible allocator — the sanity floor every serious scheme must
+// beat. UEs are visited in a seeded random order; each takes a uniformly
+// random candidate BS that can still serve it.
+#pragma once
+
+#include <cstdint>
+
+#include "mec/allocator.hpp"
+
+namespace dmra {
+
+class RandomAllocator final : public Allocator {
+ public:
+  explicit RandomAllocator(std::uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "Random"; }
+  Allocation allocate(const Scenario& scenario) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace dmra

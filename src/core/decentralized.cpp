@@ -1,0 +1,273 @@
+#include "core/decentralized.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <variant>
+
+#include "net/bus.hpp"
+#include "util/require.hpp"
+
+namespace dmra {
+
+namespace {
+
+// ---- Message types -------------------------------------------------------
+
+/// UE → its SP: "propose on my behalf to BS `target`".
+struct MsgOffloadRequest {
+  UeId ue;
+  BsId target;
+  std::uint32_t f_u;
+};
+
+/// SP → BS: relayed proposal.
+struct MsgPropose {
+  UeId ue;
+  std::uint32_t f_u;
+};
+
+/// BS → SP → UE: outcome of a proposal.
+struct MsgDecision {
+  UeId ue;
+  BsId bs;
+  bool accept;
+};
+
+/// BS → covered UEs: remaining resources after this round.
+struct MsgResourceUpdate {
+  BsId bs;
+  BsLocalResources resources;
+};
+
+using Payload = std::variant<MsgOffloadRequest, MsgPropose, MsgDecision, MsgResourceUpdate>;
+using Bus = MessageBus<Payload>;
+
+// ---- Agents ---------------------------------------------------------------
+
+/// ResourceView over whatever the BSs last broadcast to this UE. For a
+/// candidate never heard from (possible only on a lossy network — the
+/// reliable bootstrap covers everyone), the UE falls back to the BS's
+/// static capacity: an optimistic prior it is allowed to hold, and the
+/// safe one — a pessimistic prior would make choose_proposal erase a
+/// live candidate permanently.
+class BroadcastView final : public ResourceView {
+ public:
+  void attach(const Scenario& scenario) { scenario_ = &scenario; }
+
+  std::uint32_t remaining_crus(BsId i, ServiceId j) const override {
+    DMRA_REQUIRE(scenario_ != nullptr);
+    const auto it = known_.find(i.value);
+    if (it == known_.end()) return scenario_->bs(i).cru_capacity[j.idx()];
+    return it->second.crus[j.idx()];
+  }
+  std::uint32_t remaining_rrbs(BsId i) const override {
+    DMRA_REQUIRE(scenario_ != nullptr);
+    const auto it = known_.find(i.value);
+    if (it == known_.end()) return scenario_->bs(i).num_rrbs;
+    return it->second.rrbs;
+  }
+  void update(BsId i, BsLocalResources resources) {
+    known_[i.value] = std::move(resources);
+  }
+
+ private:
+  const Scenario* scenario_ = nullptr;
+  std::unordered_map<std::uint32_t, BsLocalResources> known_;
+};
+
+struct UeAgent {
+  UeId ue;
+  AgentId address;
+  AgentId sp_address;
+  std::vector<BsId> b_u;
+  BroadcastView view;
+  bool matched = false;
+  bool at_cloud = false;
+};
+
+struct SpAgent {
+  SpId sp;
+  AgentId address;
+};
+
+struct BsAgent {
+  BsId bs;
+  AgentId address;
+  BsLocalResources resources;
+  std::vector<AgentId> covered_ues;  // broadcast audience
+  /// UEs this BS has already admitted — on a lossy network an accept can
+  /// be lost and the UE re-proposes; re-ack without committing twice.
+  std::vector<bool> admitted;
+};
+
+}  // namespace
+
+DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
+                                           const DmraConfig& config,
+                                           const NetworkConditions& net) {
+  DMRA_REQUIRE(config.rho >= 0.0);
+  const bool lossy = net.drop_probability > 0.0;
+
+  Bus bus;
+  if (lossy) bus.set_loss(net.drop_probability, net.seed);
+  const std::size_t nu = scenario.num_ues();
+  const std::size_t nb = scenario.num_bss();
+  const std::size_t nk = scenario.num_sps();
+
+  std::vector<UeAgent> ue_agents(nu);
+  std::vector<SpAgent> sp_agents(nk);
+  std::vector<BsAgent> bs_agents(nb);
+
+  for (std::size_t k = 0; k < nk; ++k) {
+    sp_agents[k].sp = SpId{static_cast<std::uint32_t>(k)};
+    sp_agents[k].address = bus.register_agent();
+  }
+  for (std::size_t ui = 0; ui < nu; ++ui) {
+    UeAgent& a = ue_agents[ui];
+    a.ue = UeId{static_cast<std::uint32_t>(ui)};
+    a.address = bus.register_agent();
+    a.sp_address = sp_agents[scenario.ue(a.ue).sp.idx()].address;
+    a.view.attach(scenario);
+    const auto cands = scenario.candidates(a.ue);
+    a.b_u.assign(cands.begin(), cands.end());
+    if (a.b_u.empty()) a.at_cloud = true;
+  }
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    BsAgent& a = bs_agents[bi];
+    a.bs = BsId{static_cast<std::uint32_t>(bi)};
+    a.address = bus.register_agent();
+    const BaseStation& b = scenario.bs(a.bs);
+    a.resources.crus = b.cru_capacity;
+    a.resources.rrbs = b.num_rrbs;
+    a.admitted.assign(nu, false);
+    for (const UeAgent& u : ue_agents)
+      if (scenario.link(u.ue, a.bs).in_coverage) a.covered_ues.push_back(u.address);
+  }
+
+  // Reverse maps for routing.
+  std::vector<std::size_t> agent_to_ue(bus.num_agents(), nu);
+  for (std::size_t ui = 0; ui < nu; ++ui) agent_to_ue[ue_agents[ui].address.idx()] = ui;
+
+  DecentralizedResult result;
+  result.dmra.allocation = Allocation(nu);
+
+  // ---- Bootstrap: every BS broadcasts its initial resource levels so UEs
+  // have a complete view of their candidates before the first proposal.
+  for (BsAgent& b : bs_agents)
+    for (AgentId ue_addr : b.covered_ues)
+      bus.send(b.address, ue_addr, MsgResourceUpdate{b.bs, b.resources});
+  bus.deliver();
+
+  // On a lossy network a round can lose every proposal it carried, so the
+  // |U|+1 bound no longer holds exactly; give retries headroom.
+  const std::size_t round_limit =
+      config.max_rounds > 0 ? config.max_rounds : (lossy ? 2 * nu + 16 : nu + 1);
+
+  for (std::size_t round = 0; round < round_limit; ++round) {
+    // ---- UE phase: ingest broadcasts & decisions, then propose.
+    std::size_t sent_this_round = 0;
+    for (UeAgent& a : ue_agents) {
+      for (auto& env : bus.take_inbox(a.address)) {
+        if (auto* upd = std::get_if<MsgResourceUpdate>(&env.payload)) {
+          a.view.update(upd->bs, std::move(upd->resources));
+        } else if (auto* dec = std::get_if<MsgDecision>(&env.payload)) {
+          if (dec->accept) {
+            a.matched = true;
+          } else if (config.drop_rejected) {
+            std::erase(a.b_u, dec->bs);  // move down the list, GS-style
+          }
+        }
+      }
+      if (a.matched || a.at_cloud) continue;
+      const auto choice = choose_proposal(scenario, a.view, a.ue, a.b_u, config.rho);
+      if (!choice) {
+        a.at_cloud = true;
+        continue;
+      }
+      const auto f_u = live_coverage_count(scenario, a.view, a.ue);
+      bus.send(a.address, a.sp_address, MsgOffloadRequest{a.ue, *choice, f_u});
+      ++sent_this_round;
+    }
+    bus.deliver();
+    if (sent_this_round == 0) break;
+    result.dmra.proposals_sent += sent_this_round;
+    ++result.dmra.rounds;
+
+    // ---- SP relay phase (up): forward offload requests to the BSs.
+    for (SpAgent& sp : sp_agents) {
+      for (auto& env : bus.take_inbox(sp.address)) {
+        const auto& req = std::get<MsgOffloadRequest>(env.payload);
+        bus.send(sp.address, bs_agents[req.target.idx()].address,
+                 MsgPropose{req.ue, req.f_u});
+      }
+    }
+    bus.deliver();
+
+    // ---- BS phase: select, commit locally, reply, broadcast.
+    std::size_t accepted_this_round = 0;
+    for (BsAgent& b : bs_agents) {
+      std::vector<ProposalInfo> fresh;
+      std::vector<UeId> reacks;
+      for (auto& env : bus.take_inbox(b.address)) {
+        const auto& p = std::get<MsgPropose>(env.payload);
+        // A UE this BS already admitted can only re-propose because the
+        // accept got lost: re-ack idempotently, never commit twice.
+        if (b.admitted[p.ue.idx()]) {
+          reacks.push_back(p.ue);
+        } else {
+          fresh.push_back(ProposalInfo{p.ue, p.f_u});
+        }
+      }
+      if (fresh.empty() && reacks.empty() && !lossy) continue;
+
+      std::vector<UeId> accepted;
+      if (!fresh.empty()) accepted = bs_select(scenario, b.bs, fresh, b.resources, config);
+
+      for (UeId u : accepted) {
+        const UserEquipment& e = scenario.ue(u);
+        const LinkStats& l = scenario.link(u, b.bs);
+        DMRA_REQUIRE(b.resources.crus[e.service.idx()] >= e.cru_demand);
+        DMRA_REQUIRE(b.resources.rrbs >= l.n_rrbs);
+        b.resources.crus[e.service.idx()] -= e.cru_demand;
+        b.resources.rrbs -= l.n_rrbs;
+        result.dmra.allocation.assign(u, b.bs);
+        b.admitted[u.idx()] = true;
+        ++accepted_this_round;
+      }
+
+      // Reply to every proposer through its SP.
+      for (const ProposalInfo& p : fresh) {
+        const bool ok =
+            std::binary_search(accepted.begin(), accepted.end(), p.ue);
+        const AgentId sp_addr = sp_agents[scenario.ue(p.ue).sp.idx()].address;
+        bus.send(b.address, sp_addr, MsgDecision{p.ue, b.bs, ok});
+      }
+      for (UeId u : reacks) {
+        const AgentId sp_addr = sp_agents[scenario.ue(u).sp.idx()].address;
+        bus.send(b.address, sp_addr, MsgDecision{u, b.bs, true});
+      }
+      // Broadcast the new resource levels to everyone in coverage; on a
+      // lossy network, rebroadcast every round so dropped updates heal.
+      if (!fresh.empty() || !reacks.empty() || lossy) {
+        for (AgentId ue_addr : b.covered_ues)
+          bus.send(b.address, ue_addr, MsgResourceUpdate{b.bs, b.resources});
+      }
+    }
+    bus.deliver();
+    result.dmra.rejections += sent_this_round - accepted_this_round;
+
+    // ---- SP relay phase (down): forward decisions to the UEs.
+    for (SpAgent& sp : sp_agents) {
+      for (auto& env : bus.take_inbox(sp.address)) {
+        const auto& dec = std::get<MsgDecision>(env.payload);
+        bus.send(sp.address, ue_agents[dec.ue.idx()].address, dec);
+      }
+    }
+    bus.deliver();
+  }
+
+  result.bus = bus.stats();
+  return result;
+}
+
+}  // namespace dmra

@@ -1,0 +1,52 @@
+// The decentralized DMRA runtime: Alg. 1 executed by message-passing
+// agents, the way the paper's system would actually run.
+//
+// Roles (paper Fig. 1):
+//  * UE agents hold only their own demand, their candidate list, and the
+//    resource levels their covering BSs last broadcast; they pick proposals
+//    from that local view (Eq. 17) and route them through their SP.
+//  * SP agents are the mandatory middle layer: they relay offload requests
+//    up to BSs and decisions back down to UEs (a UE never talks to a BS
+//    directly — §III-A).
+//  * BS agents know only their own remaining CRUs/RRBs; each round they
+//    apply the Alg. 1 acceptance rule to the proposals in their inbox,
+//    reply accept/reject, and broadcast their new resource levels to the
+//    UEs they cover.
+//
+// The decision logic is the shared code in core/preference.hpp and every
+// decision is order-independent, so this runtime provably computes the
+// same allocation as the direct solver — tests/core/decentralized_test.cpp
+// asserts exact equality across seeds.
+#pragma once
+
+#include "core/preference.hpp"
+#include "core/solver.hpp"
+#include "net/stats.hpp"
+
+namespace dmra {
+
+/// DmraResult plus the communication cost of reaching it.
+struct DecentralizedResult {
+  DmraResult dmra;
+  BusStats bus;
+};
+
+/// Optional network impairment for the protocol run. With loss enabled
+/// the protocol stays safe (no double-commit, always a feasible
+/// allocation) and live (terminates), at the cost of allocation quality:
+/// BSs re-ack duplicate proposals idempotently, rebroadcast their
+/// resource levels every round, and UEs fall back to the static BS
+/// capacities for candidates they have not heard from yet.
+struct NetworkConditions {
+  /// Probability that any single message is lost, in [0, 1). 0 = the
+  /// reliable bus (bit-identical to the direct solver).
+  double drop_probability = 0.0;
+  std::uint64_t seed = 0;
+};
+
+/// Run the message-passing DMRA protocol to completion.
+DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
+                                           const DmraConfig& config = {},
+                                           const NetworkConditions& net = {});
+
+}  // namespace dmra

@@ -1,0 +1,64 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+
+#include "mec/resources.hpp"
+#include "util/require.hpp"
+
+namespace dmra {
+
+IncrementalResult solve_incremental_dmra(const Scenario& scenario,
+                                         const Allocation& previous,
+                                         const IncrementalConfig& config) {
+  DMRA_REQUIRE(previous.num_ues() == scenario.num_ues());
+  DMRA_REQUIRE(config.hysteresis_margin >= 0.0);
+
+  IncrementalResult result;
+  ResourceState state(scenario);
+  Allocation allocation(scenario.num_ues());
+  std::vector<bool> matched(scenario.num_ues(), false);
+
+  // Phase 1: carry over what still works. Commit in UE-id order so a BS
+  // that can no longer hold *all* its previous UEs keeps a deterministic
+  // prefix of them.
+  for (std::size_t ui = 0; ui < scenario.num_ues(); ++ui) {
+    const UeId u{static_cast<std::uint32_t>(ui)};
+    const auto bs = previous.bs_of(u);
+    if (!bs) continue;
+    if (!state.can_serve(u, *bs)) {
+      ++result.invalidated;
+      continue;
+    }
+    state.commit(u, *bs);
+    allocation.assign(u, *bs);
+    matched[ui] = true;
+  }
+
+  // Phase 2: hysteresis — release kept UEs whose current deal has drifted
+  // far from their best alternative. (Release before re-matching so the
+  // freed capacity is visible to the rematch round.)
+  if (config.hysteresis_margin < 1e17) {
+    for (std::size_t ui = 0; ui < scenario.num_ues(); ++ui) {
+      if (!matched[ui]) continue;
+      const UeId u{static_cast<std::uint32_t>(ui)};
+      const BsId current = *allocation.bs_of(u);
+      double best_price = scenario.price(u, current);
+      for (BsId i : scenario.candidates(u))
+        best_price = std::min(best_price, scenario.price(u, i));
+      if (scenario.price(u, current) - best_price > config.hysteresis_margin) {
+        state.release(u, current);
+        allocation.assign_cloud(u);
+        matched[ui] = false;
+        ++result.released;
+      }
+    }
+  }
+  result.kept = allocation.num_served();
+
+  // Phase 3: match everyone displaced or never-assigned.
+  result.rematch = solve_dmra_partial(scenario, config.dmra, state, allocation, matched);
+  result.allocation = allocation;
+  return result;
+}
+
+}  // namespace dmra

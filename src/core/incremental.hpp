@@ -1,0 +1,43 @@
+// Incremental DMRA re-allocation — the paper's "continuously adjust the
+// resource allocation scheme" (§V/§VII) made operational.
+//
+// Full re-runs treat every step as a fresh problem and churn the
+// association (bench abl7). Incremental re-allocation instead:
+//   1. keeps every previous assignment that is still valid in the new
+//      scenario (UE still covered, BS still able to carry it),
+//   2. optionally releases kept UEs whose current BS has become much
+//      worse than their best alternative (price gap > hysteresis margin),
+//   3. runs the DMRA matching only over the displaced/new UEs against the
+//      remaining capacity.
+// Result: the same matching logic, a fraction of the handovers.
+#pragma once
+
+#include "core/solver.hpp"
+#include "mec/allocation.hpp"
+
+namespace dmra {
+
+struct IncrementalConfig {
+  DmraConfig dmra;
+  /// A kept UE is released for re-matching only if its current price
+  /// exceeds its best candidate's price by more than this margin (per
+  /// CRU). infinity-like large values mean "never switch voluntarily";
+  /// 0 re-evaluates everyone whose BS is no longer their best.
+  double hysteresis_margin = 1e18;
+};
+
+struct IncrementalResult {
+  Allocation allocation{0};
+  std::size_t kept = 0;        ///< assignments carried over unchanged
+  std::size_t released = 0;    ///< kept-capable but released by hysteresis
+  std::size_t invalidated = 0; ///< previous assignments no longer feasible
+  DmraResult rematch;          ///< the partial DMRA run over displaced UEs
+};
+
+/// Re-allocate `scenario` starting from `previous` (same UE ids; typically
+/// the same population at new positions). Deterministic.
+IncrementalResult solve_incremental_dmra(const Scenario& scenario,
+                                         const Allocation& previous,
+                                         const IncrementalConfig& config = {});
+
+}  // namespace dmra

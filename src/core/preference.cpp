@@ -1,0 +1,148 @@
+#include "core/preference.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <tuple>
+
+#include "util/require.hpp"
+
+namespace dmra {
+
+double ue_preference_value(const Scenario& scenario, const ResourceView& view, UeId u,
+                           BsId i, double rho) {
+  DMRA_REQUIRE(rho >= 0.0);
+  const ServiceId j = scenario.ue(u).service;
+  const double remaining = static_cast<double>(view.remaining_crus(i, j)) +
+                           static_cast<double>(view.remaining_rrbs(i));
+  const double price = scenario.price(u, i);
+  if (remaining <= 0.0)
+    return rho > 0.0 ? std::numeric_limits<double>::infinity() : price;
+  return price + rho / remaining;
+}
+
+bool view_can_serve(const Scenario& scenario, const ResourceView& view, UeId u, BsId i) {
+  const UserEquipment& e = scenario.ue(u);
+  const LinkStats& l = scenario.link(u, i);
+  if (!l.in_coverage || l.n_rrbs == 0) return false;
+  return view.remaining_crus(i, e.service) >= e.cru_demand &&
+         view.remaining_rrbs(i) >= l.n_rrbs;
+}
+
+std::uint32_t live_coverage_count(const Scenario& scenario, const ResourceView& view,
+                                  UeId u) {
+  std::uint32_t n = 0;
+  for (BsId i : scenario.candidates(u))
+    if (view_can_serve(scenario, view, u, i)) ++n;
+  return n;
+}
+
+std::optional<BsId> choose_proposal(const Scenario& scenario, const ResourceView& view,
+                                    UeId u, std::vector<BsId>& b_u, double rho) {
+  while (!b_u.empty()) {
+    // argmin v(u,i); ties toward the smaller BsId for determinism.
+    std::size_t best = 0;
+    double best_v = ue_preference_value(scenario, view, u, b_u[0], rho);
+    for (std::size_t n = 1; n < b_u.size(); ++n) {
+      const double v = ue_preference_value(scenario, view, u, b_u[n], rho);
+      if (v < best_v || (v == best_v && b_u[n] < b_u[best])) {
+        best = n;
+        best_v = v;
+      }
+    }
+    const BsId i = b_u[best];
+    if (view_can_serve(scenario, view, u, i)) return i;
+    // Resources only shrink, so an unserviceable BS stays unserviceable:
+    // remove it permanently (Alg. 1 line 10).
+    b_u.erase(b_u.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Lexicographic BS-side preference: same-SP first, then fewest covering
+/// BSs, then smallest resource footprint, then smallest id. Smaller is
+/// more preferred.
+struct BsPrefKey {
+  bool cross_sp;
+  std::uint32_t f_u;
+  std::uint32_t footprint;
+  std::uint32_t ue;
+
+  friend bool operator<(const BsPrefKey& a, const BsPrefKey& b) {
+    return std::tie(a.cross_sp, a.f_u, a.footprint, a.ue) <
+           std::tie(b.cross_sp, b.f_u, b.footprint, b.ue);
+  }
+};
+
+BsPrefKey pref_key(const Scenario& scenario, BsId i, const ProposalInfo& p,
+                   const DmraConfig& config) {
+  const UserEquipment& e = scenario.ue(p.ue);
+  const std::uint32_t footprint = scenario.link(p.ue, i).n_rrbs + e.cru_demand;
+  return BsPrefKey{config.prefer_same_sp ? !scenario.same_sp(p.ue, i) : false,
+                   config.use_coverage_count ? p.f_u : 0,
+                   config.use_footprint ? footprint : 0, p.ue.value};
+}
+
+}  // namespace
+
+std::vector<UeId> bs_select(const Scenario& scenario, BsId i,
+                            std::vector<ProposalInfo> proposals,
+                            const BsLocalResources& local, const DmraConfig& config) {
+  DMRA_REQUIRE(local.crus.size() == scenario.num_services());
+
+  // Group by requested service (Alg. 1 line 13); map gives service order.
+  std::map<ServiceId, std::vector<ProposalInfo>> by_service;
+  for (const ProposalInfo& p : proposals) {
+    DMRA_REQUIRE_MSG(scenario.link(p.ue, i).in_coverage, "proposal from uncovered UE");
+    by_service[scenario.ue(p.ue).service].push_back(p);
+  }
+
+  // Per service: one winner (lines 14–21). Same-SP UEs form the preferred
+  // pool; the BsPrefKey ordering already puts every same-SP proposer ahead
+  // of every cross-SP one, so a straight min implements the pool split.
+  std::vector<ProposalInfo> winners;
+  for (auto& [service, cands] : by_service) {
+    const UserEquipment& first = scenario.ue(cands.front().ue);
+    (void)first;
+    // Skip proposals the BS can no longer honour (CRU view at round start).
+    std::vector<ProposalInfo> feasible;
+    for (const ProposalInfo& p : cands) {
+      const UserEquipment& e = scenario.ue(p.ue);
+      if (local.crus[service.idx()] >= e.cru_demand &&
+          local.rrbs >= scenario.link(p.ue, i).n_rrbs) {
+        feasible.push_back(p);
+      }
+    }
+    if (feasible.empty()) continue;
+    const auto best = std::min_element(
+        feasible.begin(), feasible.end(), [&](const ProposalInfo& a, const ProposalInfo& b) {
+          return pref_key(scenario, i, a, config) < pref_key(scenario, i, b, config);
+        });
+    winners.push_back(*best);
+  }
+
+  // Radio trim (lines 22–25): if the winners' aggregate RRB demand
+  // overshoots the budget, drop the least-preferred winners until it fits.
+  std::uint64_t total_rrbs = 0;
+  for (const ProposalInfo& p : winners) total_rrbs += scenario.link(p.ue, i).n_rrbs;
+  if (total_rrbs > local.rrbs) {
+    std::sort(winners.begin(), winners.end(),
+              [&](const ProposalInfo& a, const ProposalInfo& b) {
+                return pref_key(scenario, i, a, config) < pref_key(scenario, i, b, config);
+              });
+    while (!winners.empty() && total_rrbs > local.rrbs) {
+      total_rrbs -= scenario.link(winners.back().ue, i).n_rrbs;
+      winners.pop_back();
+    }
+  }
+
+  std::vector<UeId> accepted;
+  accepted.reserve(winners.size());
+  for (const ProposalInfo& p : winners) accepted.push_back(p.ue);
+  std::sort(accepted.begin(), accepted.end());
+  return accepted;
+}
+
+}  // namespace dmra

@@ -1,0 +1,103 @@
+// DMRA preference functions and the shared selection logic of Alg. 1.
+//
+// Both the direct solver (core/solver.hpp) and the decentralized agent
+// runtime (core/decentralized.hpp) call into these functions, so the two
+// implementations cannot drift apart: the equivalence test between them
+// is a test of the message protocol, not of duplicated decision code.
+//
+// All decisions are order-independent (ties broken by explicit ids), so
+// the result does not depend on the order proposals happen to arrive in.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mec/ids.hpp"
+#include "mec/scenario.hpp"
+
+namespace dmra {
+
+/// Tunables of DMRA itself (Alg. 1 / Eq. 17).
+struct DmraConfig {
+  /// ρ of Eq. 17: weight of remaining resources in the UE preference.
+  /// ρ = 0 makes UEs purely price-driven.
+  double rho = 100.0;
+  /// Safety bound on iterations; 0 means "no explicit bound" (the
+  /// algorithm provably terminates in ≤ |U| iterations anyway).
+  std::size_t max_rounds = 0;
+
+  // Ablation switches (bench/abl2_tiebreaks): each disables one design
+  // choice of Alg. 1's BS-side preference. Leave at the defaults for the
+  // paper's algorithm.
+  /// BSs prefer same-SP proposers first (the multi-SP insight).
+  bool prefer_same_sp = true;
+  /// Tie-break by fewest covering BSs (serve the least-flexible UE first).
+  bool use_coverage_count = true;
+  /// Tie-break by smallest resource footprint n(u,i) + c_j^u.
+  bool use_footprint = true;
+  /// If true, a UE rejected by a BS removes that BS from B_u and moves on
+  /// (classic one-shot deferred acceptance). Alg. 1's literal reading —
+  /// and the default — is false: a rejected UE may re-propose once the
+  /// next broadcast shows the BS still serviceable, and only an
+  /// *unserviceable* BS leaves B_u (line 10). One-shot rejection burns
+  /// candidate options under contention and measurably hurts every metric
+  /// (see bench/abl2_tiebreaks).
+  bool drop_rejected = false;
+};
+
+/// A UE-side view of remaining BS resources. The direct solver backs this
+/// with the global ResourceState; a decentralized UE agent backs it with
+/// whatever the BSs last broadcast to it.
+class ResourceView {
+ public:
+  virtual ~ResourceView() = default;
+  virtual std::uint32_t remaining_crus(BsId i, ServiceId j) const = 0;
+  virtual std::uint32_t remaining_rrbs(BsId i) const = 0;
+};
+
+/// Eq. 17: v(u,i) = p(i,u) + ρ / (remaining CRUs of u's service at i +
+/// remaining RRBs at i). Returns +inf when the denominator is zero
+/// (an exhausted BS is never preferred).
+double ue_preference_value(const Scenario& scenario, const ResourceView& view, UeId u,
+                           BsId i, double rho);
+
+/// Whether BS i can currently serve u according to `view` (service CRUs
+/// and RRBs both sufficient; u's link must be a scenario candidate link).
+bool view_can_serve(const Scenario& scenario, const ResourceView& view, UeId u, BsId i);
+
+/// Live f_u: candidate BSs of u that can still serve it under `view`.
+std::uint32_t live_coverage_count(const Scenario& scenario, const ResourceView& view, UeId u);
+
+/// UE proposal step (Alg. 1 lines 4–10): pick argmin v(u,i) over the
+/// shrinking candidate list `b_u`, erasing BSs that can no longer serve u.
+/// Returns the chosen BS or nullopt (b_u exhausted → remote cloud).
+/// Ties in v are broken toward the smaller BsId.
+std::optional<BsId> choose_proposal(const Scenario& scenario, const ResourceView& view,
+                                    UeId u, std::vector<BsId>& b_u, double rho);
+
+/// One UE's proposal as seen by a BS: the UE id plus the f_u the UE
+/// reported (a BS cannot compute f_u itself — it only knows its own load).
+struct ProposalInfo {
+  UeId ue;
+  std::uint32_t f_u = 0;
+};
+
+/// A BS's knowledge of its own remaining resources.
+struct BsLocalResources {
+  std::vector<std::uint32_t> crus;  ///< per service
+  std::uint32_t rrbs = 0;
+};
+
+/// BS acceptance step (Alg. 1 lines 11–25): per requested service pick one
+/// winner (same-SP pool first, then min f_u, then min footprint
+/// n(u,i)+c_j^u, then min UeId), then trim the winner set to the RRB
+/// budget by dropping the BS's least-preferred winners. Returns accepted
+/// UEs sorted by id. The input order of `proposals` does not matter.
+/// `config`'s ablation switches control which tie-breaks participate.
+std::vector<UeId> bs_select(const Scenario& scenario, BsId i,
+                            std::vector<ProposalInfo> proposals,
+                            const BsLocalResources& local,
+                            const DmraConfig& config = {});
+
+}  // namespace dmra

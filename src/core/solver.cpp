@@ -1,0 +1,115 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "mec/resources.hpp"
+#include "util/log.hpp"
+#include "util/require.hpp"
+
+namespace dmra {
+
+namespace {
+
+/// ResourceView over the authoritative global ledger.
+class GlobalView final : public ResourceView {
+ public:
+  explicit GlobalView(const ResourceState& state) : state_(&state) {}
+  std::uint32_t remaining_crus(BsId i, ServiceId j) const override {
+    return state_->remaining_crus(i, j);
+  }
+  std::uint32_t remaining_rrbs(BsId i) const override { return state_->remaining_rrbs(i); }
+
+ private:
+  const ResourceState* state_;
+};
+
+}  // namespace
+
+DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config,
+                              ResourceState& state, Allocation& allocation,
+                              std::vector<bool>& matched) {
+  DMRA_REQUIRE(config.rho >= 0.0);
+  DMRA_REQUIRE(allocation.num_ues() == scenario.num_ues());
+  DMRA_REQUIRE(matched.size() == scenario.num_ues());
+
+  const GlobalView view(state);
+  DmraResult result;
+  result.allocation = Allocation(0);  // filled at the end
+
+  const std::size_t nu = scenario.num_ues();
+  std::vector<std::vector<BsId>> b_u(nu);
+  std::vector<bool> at_cloud(nu, false);
+  for (std::size_t ui = 0; ui < nu; ++ui) {
+    if (matched[ui]) continue;
+    const auto cands = scenario.candidates(UeId{static_cast<std::uint32_t>(ui)});
+    b_u[ui].assign(cands.begin(), cands.end());
+    if (b_u[ui].empty()) at_cloud[ui] = true;
+  }
+
+  const std::size_t round_limit = config.max_rounds > 0 ? config.max_rounds : nu + 1;
+
+  for (std::size_t round = 0; round < round_limit; ++round) {
+    // --- UE proposal phase: everything is evaluated against the state at
+    // the start of the round, exactly like the broadcast view a
+    // decentralized UE would hold.
+    std::map<BsId, std::vector<ProposalInfo>> proposals;
+    std::size_t sent_this_round = 0;
+    for (std::size_t ui = 0; ui < nu; ++ui) {
+      if (matched[ui] || at_cloud[ui]) continue;
+      const UeId u{static_cast<std::uint32_t>(ui)};
+      const auto choice = choose_proposal(scenario, view, u, b_u[ui], config.rho);
+      if (!choice) {
+        at_cloud[ui] = true;  // Alg. 1: B_u exhausted → remote cloud
+        continue;
+      }
+      proposals[*choice].push_back(
+          ProposalInfo{u, live_coverage_count(scenario, view, u)});
+      ++sent_this_round;
+    }
+    if (sent_this_round == 0) break;
+    result.proposals_sent += sent_this_round;
+    ++result.rounds;
+
+    // --- BS acceptance phase: each BS decides from its own local
+    // resources only, then commits.
+    std::size_t accepted_this_round = 0;
+    for (auto& [bs, props] : proposals) {
+      BsLocalResources local;
+      local.crus.resize(scenario.num_services());
+      for (std::size_t j = 0; j < scenario.num_services(); ++j)
+        local.crus[j] = state.remaining_crus(bs, ServiceId{static_cast<std::uint32_t>(j)});
+      local.rrbs = state.remaining_rrbs(bs);
+
+      const std::vector<UeId> accepted = bs_select(scenario, bs, props, local, config);
+      for (UeId u : accepted) {
+        state.commit(u, bs);
+        allocation.assign(u, bs);
+        matched[u.idx()] = true;
+        ++accepted_this_round;
+      }
+      if (config.drop_rejected) {
+        for (const ProposalInfo& p : props) {
+          if (std::binary_search(accepted.begin(), accepted.end(), p.ue)) continue;
+          auto& list = b_u[p.ue.idx()];
+          std::erase(list, bs);
+        }
+      }
+    }
+    result.rejections += sent_this_round - accepted_this_round;
+    DMRA_DEBUG("dmra round " << result.rounds << ": " << sent_this_round << " proposals, "
+                             << accepted_this_round << " accepted");
+  }
+
+  result.allocation = allocation;
+  return result;
+}
+
+DmraResult solve_dmra(const Scenario& scenario, const DmraConfig& config) {
+  ResourceState state(scenario);
+  Allocation allocation(scenario.num_ues());
+  std::vector<bool> matched(scenario.num_ues(), false);
+  return solve_dmra_partial(scenario, config, state, allocation, matched);
+}
+
+}  // namespace dmra

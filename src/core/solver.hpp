@@ -1,0 +1,41 @@
+// The direct (in-memory) DMRA solver — Alg. 1 executed round by round
+// against the global resource state.
+//
+// This is the fast path used by benchmarks and large sweeps. The
+// decentralized runtime (core/decentralized.hpp) executes the same
+// decision logic over an explicit message bus and is proven equivalent
+// by tests; use it when you care about the protocol, use this when you
+// care about the result.
+#pragma once
+
+#include "core/preference.hpp"
+#include "mec/allocation.hpp"
+#include "mec/scenario.hpp"
+
+namespace dmra {
+
+/// Outcome of a DMRA run plus convergence diagnostics.
+struct DmraResult {
+  Allocation allocation{0};
+  std::size_t rounds = 0;          ///< matching iterations executed
+  std::size_t proposals_sent = 0;  ///< total UE→BS proposals
+  std::size_t rejections = 0;      ///< proposals not accepted in their round
+};
+
+/// Run DMRA on a scenario. Deterministic; terminates in at most |U|
+/// rounds (each round with proposals matches at least one UE).
+DmraResult solve_dmra(const Scenario& scenario, const DmraConfig& config = {});
+
+// Forward declaration; defined in mec/resources.hpp.
+class ResourceState;
+
+/// Run the DMRA matching over a *subset* of UEs against an existing
+/// resource state: UEs with matched[u] == true never propose; everyone
+/// else is matched into whatever `state` has left. On return, `state`,
+/// `allocation`, and `matched` reflect the new assignments. This is the
+/// building block for incremental re-allocation (core/incremental.hpp).
+DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config,
+                              ResourceState& state, Allocation& allocation,
+                              std::vector<bool>& matched);
+
+}  // namespace dmra

@@ -1,0 +1,115 @@
+#include "market/adaptive_pricing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/metrics.hpp"
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace dmra {
+
+double eq16_safe_max_multiplier(const PricingConfig& pricing, double radius_m) {
+  const double worst_price = cru_price(pricing, radius_m, /*same_sp=*/false);
+  DMRA_REQUIRE(worst_price > 0.0);
+  // Strictly below the boundary; shave a hair for float safety.
+  return (pricing.m_k - pricing.m_k_o) / worst_price * (1.0 - 1e-9);
+}
+
+namespace {
+
+Scenario with_multipliers(const Scenario& base, const std::vector<double>& multipliers) {
+  ScenarioData data;
+  data.num_services = base.num_services();
+  data.sps.assign(base.sps().begin(), base.sps().end());
+  data.bss.assign(base.bss().begin(), base.bss().end());
+  for (std::size_t i = 0; i < data.bss.size(); ++i)
+    data.bss[i].price_multiplier = multipliers[i];
+  data.ues.assign(base.ues().begin(), base.ues().end());
+  data.channel = base.channel();
+  data.ofdma = base.ofdma();
+  data.pricing = base.pricing();
+  data.coverage_radius_m = base.coverage_radius_m();
+  return Scenario(std::move(data));
+}
+
+}  // namespace
+
+AdaptivePricingResult run_adaptive_pricing(const AdaptivePricingConfig& config,
+                                           const Allocator& allocator) {
+  DMRA_REQUIRE(config.rounds > 0);
+  DMRA_REQUIRE(config.target_utilization > 0.0 && config.target_utilization <= 1.0);
+  DMRA_REQUIRE(config.gain > 0.0);
+  DMRA_REQUIRE(config.min_multiplier > 0.0);
+  DMRA_REQUIRE(config.min_multiplier <= config.max_multiplier);
+
+  const Scenario base = generate_scenario(config.scenario, config.seed);
+  const double hard_cap =
+      eq16_safe_max_multiplier(base.pricing(), base.coverage_radius_m());
+  const double cap = std::min(config.max_multiplier, hard_cap);
+  DMRA_REQUIRE_MSG(config.min_multiplier <= cap,
+                   "min_multiplier already violates Eq. 16 at the coverage edge");
+
+  std::vector<double> multipliers(base.num_bss(), 1.0);
+  for (double& m : multipliers) m = std::clamp(m, config.min_multiplier, cap);
+
+  AdaptivePricingResult result;
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    const Scenario scenario = with_multipliers(base, multipliers);
+    const Allocation alloc = allocator.allocate(scenario);
+    const RunMetrics metrics = evaluate(scenario, alloc);
+
+    // Per-BS RRB utilization under this round's prices.
+    std::vector<double> util(base.num_bss(), 0.0);
+    {
+      std::vector<std::uint64_t> used(base.num_bss(), 0);
+      for (std::size_t ui = 0; ui < scenario.num_ues(); ++ui) {
+        const UeId u{static_cast<std::uint32_t>(ui)};
+        if (const auto bs = alloc.bs_of(u)) used[bs->idx()] += scenario.link(u, *bs).n_rrbs;
+      }
+      for (std::size_t i = 0; i < util.size(); ++i) {
+        const auto budget = base.bs(BsId{static_cast<std::uint32_t>(i)}).num_rrbs;
+        util[i] = budget ? static_cast<double>(used[i]) / budget : 0.0;
+      }
+    }
+
+    // Controller step: price follows congestion.
+    double max_change = 0.0;
+    RunningStats util_stats, mult_stats;
+    for (std::size_t i = 0; i < multipliers.size(); ++i) {
+      const double next = std::clamp(
+          multipliers[i] + config.gain * (util[i] - config.target_utilization),
+          config.min_multiplier, cap);
+      max_change = std::max(max_change, std::abs(next - multipliers[i]));
+      multipliers[i] = next;
+      util_stats.add(util[i]);
+      mult_stats.add(next);
+    }
+
+    PricingRoundStats stats;
+    stats.round = round;
+    stats.total_profit = metrics.total_profit;
+    stats.served = metrics.served;
+    stats.util_mean = util_stats.mean();
+    stats.util_stddev = util_stats.stddev();
+    stats.multiplier_mean = mult_stats.mean();
+    stats.multiplier_stddev = mult_stats.stddev();
+    stats.max_multiplier_change = max_change;
+    result.rounds.push_back(stats);
+  }
+  result.final_multipliers = multipliers;
+  return result;
+}
+
+Table AdaptivePricingResult::to_table() const {
+  Table table({"round", "profit", "served", "util mean", "util stddev", "mult mean",
+               "mult stddev", "max step"});
+  for (const PricingRoundStats& r : rounds) {
+    table.add_row({std::to_string(r.round), fmt(r.total_profit), std::to_string(r.served),
+                   fmt(r.util_mean), fmt(r.util_stddev, 3), fmt(r.multiplier_mean, 3),
+                   fmt(r.multiplier_stddev, 3), fmt(r.max_multiplier_change, 4)});
+  }
+  return table;
+}
+
+}  // namespace dmra

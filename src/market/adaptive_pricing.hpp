@@ -1,0 +1,63 @@
+// Adaptive per-BS pricing — the price-based mechanism direction the paper
+// cites as related work ([23] Xie et al., distributed price adjustment)
+// layered on top of the DMRA substrate.
+//
+// Each pricing round, every BS nudges its price multiplier toward a
+// target utilization: congested BSs raise their price (shedding
+// price-sensitive UEs), idle BSs cut it (attracting them). The UE side
+// needs no change at all — DMRA's Eq. 17 preference already reads
+// prices — so the controller composes with any allocator. The multiplier
+// is clamped so Eq. 16 (every pair profitable) keeps holding, which the
+// Scenario re-validates every round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mec/allocator.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace dmra {
+
+struct AdaptivePricingConfig {
+  ScenarioConfig scenario;
+  std::size_t rounds = 12;
+  /// RRB-utilization each BS steers toward.
+  double target_utilization = 0.8;
+  /// Multiplier step per unit of utilization error, per round.
+  double gain = 0.3;
+  /// Multiplier bounds. The upper bound is additionally capped so Eq. 16
+  /// still holds at the coverage edge (computed from the pricing config).
+  double min_multiplier = 0.6;
+  double max_multiplier = 1.6;
+  std::uint64_t seed = 1;
+};
+
+struct PricingRoundStats {
+  std::size_t round = 0;
+  double total_profit = 0.0;
+  std::size_t served = 0;
+  double util_mean = 0.0;
+  double util_stddev = 0.0;        ///< load imbalance across BSs
+  double multiplier_mean = 0.0;
+  double multiplier_stddev = 0.0;
+  double max_multiplier_change = 0.0;  ///< convergence indicator
+};
+
+struct AdaptivePricingResult {
+  std::vector<PricingRoundStats> rounds;
+  std::vector<double> final_multipliers;
+  Table to_table() const;
+};
+
+/// Run the pricing adaptation loop with `allocator` clearing the market
+/// each round. Deterministic.
+AdaptivePricingResult run_adaptive_pricing(const AdaptivePricingConfig& config,
+                                           const Allocator& allocator);
+
+/// The largest multiplier that keeps Eq. 16 satisfied at `radius_m` for
+/// cross-SP pairs under `pricing`.
+double eq16_safe_max_multiplier(const PricingConfig& pricing, double radius_m);
+
+}  // namespace dmra

@@ -1,0 +1,132 @@
+#include "matching/deferred_acceptance.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace dmra {
+
+namespace {
+constexpr std::size_t kUnranked = std::numeric_limits<std::size_t>::max();
+}
+
+std::vector<std::vector<std::size_t>> build_rank_table(const PreferenceLists& prefs,
+                                                       std::size_t other_side_size) {
+  std::vector<std::vector<std::size_t>> rank(prefs.size(),
+                                             std::vector<std::size_t>(other_side_size, kUnranked));
+  for (std::size_t a = 0; a < prefs.size(); ++a) {
+    for (std::size_t pos = 0; pos < prefs[a].size(); ++pos) {
+      const std::size_t p = prefs[a][pos];
+      DMRA_REQUIRE_MSG(p < other_side_size, "preference list references out-of-range index");
+      DMRA_REQUIRE_MSG(rank[a][p] == kUnranked, "duplicate entry in a preference list");
+      rank[a][p] = pos;
+    }
+  }
+  return rank;
+}
+
+Matching stable_marriage(const PreferenceLists& proposer_prefs,
+                         const PreferenceLists& acceptor_prefs) {
+  const std::size_t np = proposer_prefs.size();
+  const std::size_t na = acceptor_prefs.size();
+  const auto acceptor_rank = build_rank_table(acceptor_prefs, np);
+  // Validate proposer lists too (and catch duplicates early).
+  (void)build_rank_table(proposer_prefs, na);
+
+  Matching m;
+  m.proposer_to_acceptor.assign(np, std::nullopt);
+  m.acceptor_to_proposer.assign(na, std::nullopt);
+
+  std::vector<std::size_t> next_choice(np, 0);  // next index to propose to
+  std::deque<std::size_t> free;
+  for (std::size_t p = 0; p < np; ++p) free.push_back(p);
+
+  while (!free.empty()) {
+    const std::size_t p = free.front();
+    free.pop_front();
+    bool matched = false;
+    while (next_choice[p] < proposer_prefs[p].size()) {
+      const std::size_t a = proposer_prefs[p][next_choice[p]++];
+      if (acceptor_rank[a][p] == kUnranked) continue;  // a finds p unacceptable
+      const auto current = m.acceptor_to_proposer[a];
+      if (!current) {
+        m.acceptor_to_proposer[a] = p;
+        m.proposer_to_acceptor[p] = a;
+        matched = true;
+        break;
+      }
+      if (acceptor_rank[a][p] < acceptor_rank[a][*current]) {
+        // a trades up: the displaced proposer becomes free again.
+        m.proposer_to_acceptor[*current] = std::nullopt;
+        free.push_back(*current);
+        m.acceptor_to_proposer[a] = p;
+        m.proposer_to_acceptor[p] = a;
+        matched = true;
+        break;
+      }
+      // rejected; try the next choice
+    }
+    (void)matched;  // p stays unmatched if its list is exhausted
+  }
+  return m;
+}
+
+ManyToOneMatching college_admissions(const PreferenceLists& proposer_prefs,
+                                     const PreferenceLists& acceptor_prefs,
+                                     const std::vector<std::size_t>& capacities) {
+  const std::size_t np = proposer_prefs.size();
+  const std::size_t na = acceptor_prefs.size();
+  DMRA_REQUIRE_MSG(capacities.size() == na, "one capacity per acceptor");
+  const auto acceptor_rank = build_rank_table(acceptor_prefs, np);
+  (void)build_rank_table(proposer_prefs, na);
+
+  ManyToOneMatching m;
+  m.proposer_to_acceptor.assign(np, std::nullopt);
+  m.acceptor_to_proposers.assign(na, {});
+
+  std::vector<std::size_t> next_choice(np, 0);
+  std::deque<std::size_t> free;
+  for (std::size_t p = 0; p < np; ++p) free.push_back(p);
+
+  auto worst_held = [&](std::size_t a) {
+    // Index into acceptor_to_proposers[a] of the lowest-ranked held proposer.
+    const auto& held = m.acceptor_to_proposers[a];
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < held.size(); ++i)
+      if (acceptor_rank[a][held[i]] > acceptor_rank[a][held[worst]]) worst = i;
+    return worst;
+  };
+
+  while (!free.empty()) {
+    const std::size_t p = free.front();
+    free.pop_front();
+    while (next_choice[p] < proposer_prefs[p].size()) {
+      const std::size_t a = proposer_prefs[p][next_choice[p]++];
+      if (acceptor_rank[a][p] == kUnranked) continue;
+      auto& held = m.acceptor_to_proposers[a];
+      if (held.size() < capacities[a]) {
+        held.push_back(p);
+        m.proposer_to_acceptor[p] = a;
+        break;
+      }
+      if (capacities[a] == 0) continue;
+      const std::size_t w = worst_held(a);
+      if (acceptor_rank[a][p] < acceptor_rank[a][held[w]]) {
+        const std::size_t displaced = held[w];
+        held[w] = p;
+        m.proposer_to_acceptor[displaced] = std::nullopt;
+        m.proposer_to_acceptor[p] = a;
+        free.push_back(displaced);
+        break;
+      }
+    }
+  }
+
+  // Canonical order for deterministic comparison in tests.
+  for (auto& held : m.acceptor_to_proposers) std::sort(held.begin(), held.end());
+  return m;
+}
+
+}  // namespace dmra

@@ -1,0 +1,54 @@
+// Matching theory substrate (paper §V builds DMRA on this foundation,
+// citing Gale & Shapley [8]).
+//
+// Two classic mechanisms:
+//  * stable_marriage     — one-to-one deferred acceptance;
+//  * college_admissions  — many-to-one deferred acceptance with acceptor
+//                          capacities (each BS-service seat in DMRA's
+//                          framing).
+// Preference lists may be incomplete: a pair absent from either side's
+// list is unacceptable and will never be matched. Proposers end unmatched
+// when every acceptable acceptor rejects them — the analogue of a UE
+// falling through to the remote cloud.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace dmra {
+
+/// Preference lists: prefs[p] ranks acceptors best-first.
+using PreferenceLists = std::vector<std::vector<std::size_t>>;
+
+/// Result of a one-to-one matching over n proposers and m acceptors.
+struct Matching {
+  std::vector<std::optional<std::size_t>> proposer_to_acceptor;
+  std::vector<std::optional<std::size_t>> acceptor_to_proposer;
+};
+
+/// Proposer-optimal stable marriage via deferred acceptance.
+///
+/// `proposer_prefs[p]` and `acceptor_prefs[a]` rank the other side
+/// best-first; indices must be in range. O(n·m).
+Matching stable_marriage(const PreferenceLists& proposer_prefs,
+                         const PreferenceLists& acceptor_prefs);
+
+/// Result of a many-to-one matching.
+struct ManyToOneMatching {
+  std::vector<std::optional<std::size_t>> proposer_to_acceptor;
+  std::vector<std::vector<std::size_t>> acceptor_to_proposers;
+};
+
+/// Proposer-optimal college admissions: acceptor a holds at most
+/// `capacities[a]` proposers, always keeping the best ones seen so far.
+ManyToOneMatching college_admissions(const PreferenceLists& proposer_prefs,
+                                     const PreferenceLists& acceptor_prefs,
+                                     const std::vector<std::size_t>& capacities);
+
+/// rank[a][p] = position of p in acceptor a's list, or SIZE_MAX if
+/// unacceptable. Shared by the mechanisms and the stability checkers.
+std::vector<std::vector<std::size_t>> build_rank_table(const PreferenceLists& prefs,
+                                                       std::size_t other_side_size);
+
+}  // namespace dmra

@@ -1,0 +1,89 @@
+#include "matching/stability.hpp"
+
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace dmra {
+
+namespace {
+constexpr std::size_t kUnranked = std::numeric_limits<std::size_t>::max();
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> blocking_pairs(
+    const PreferenceLists& proposer_prefs, const PreferenceLists& acceptor_prefs,
+    const Matching& m) {
+  const std::size_t np = proposer_prefs.size();
+  const std::size_t na = acceptor_prefs.size();
+  const auto prank = build_rank_table(proposer_prefs, na);
+  const auto arank = build_rank_table(acceptor_prefs, np);
+  DMRA_REQUIRE(m.proposer_to_acceptor.size() == np);
+  DMRA_REQUIRE(m.acceptor_to_proposer.size() == na);
+
+  auto proposer_rank_of_current = [&](std::size_t p) {
+    const auto cur = m.proposer_to_acceptor[p];
+    return cur ? prank[p][*cur] : kUnranked;  // unmatched == worst
+  };
+  auto acceptor_rank_of_current = [&](std::size_t a) {
+    const auto cur = m.acceptor_to_proposer[a];
+    return cur ? arank[a][*cur] : kUnranked;
+  };
+
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  for (std::size_t p = 0; p < np; ++p) {
+    for (std::size_t a : proposer_prefs[p]) {
+      if (arank[a][p] == kUnranked) continue;  // a would not take p
+      const bool p_prefers = prank[p][a] < proposer_rank_of_current(p);
+      const bool a_prefers = arank[a][p] < acceptor_rank_of_current(a);
+      if (p_prefers && a_prefers) blocks.emplace_back(p, a);
+    }
+  }
+  return blocks;
+}
+
+bool is_stable(const PreferenceLists& proposer_prefs, const PreferenceLists& acceptor_prefs,
+               const Matching& m) {
+  return blocking_pairs(proposer_prefs, acceptor_prefs, m).empty();
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> blocking_pairs_many(
+    const PreferenceLists& proposer_prefs, const PreferenceLists& acceptor_prefs,
+    const std::vector<std::size_t>& capacities, const ManyToOneMatching& m) {
+  const std::size_t np = proposer_prefs.size();
+  const std::size_t na = acceptor_prefs.size();
+  const auto prank = build_rank_table(proposer_prefs, na);
+  const auto arank = build_rank_table(acceptor_prefs, np);
+  DMRA_REQUIRE(capacities.size() == na);
+  DMRA_REQUIRE(m.proposer_to_acceptor.size() == np);
+  DMRA_REQUIRE(m.acceptor_to_proposers.size() == na);
+
+  // Worst held rank per acceptor (kUnranked if it has spare capacity).
+  std::vector<std::size_t> worst(na, kUnranked);
+  for (std::size_t a = 0; a < na; ++a) {
+    if (m.acceptor_to_proposers[a].size() < capacities[a]) continue;  // spare seat
+    std::size_t w = 0;
+    for (std::size_t p : m.acceptor_to_proposers[a]) w = std::max(w, arank[a][p]);
+    worst[a] = w;
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  for (std::size_t p = 0; p < np; ++p) {
+    const auto cur = m.proposer_to_acceptor[p];
+    const std::size_t cur_rank = cur ? prank[p][*cur] : kUnranked;
+    for (std::size_t a : proposer_prefs[p]) {
+      if (arank[a][p] == kUnranked || capacities[a] == 0) continue;
+      if (prank[p][a] >= cur_rank) continue;  // p does not prefer a
+      const bool a_prefers = worst[a] == kUnranked || arank[a][p] < worst[a];
+      if (a_prefers) blocks.emplace_back(p, a);
+    }
+  }
+  return blocks;
+}
+
+bool is_stable_many(const PreferenceLists& proposer_prefs,
+                    const PreferenceLists& acceptor_prefs,
+                    const std::vector<std::size_t>& capacities, const ManyToOneMatching& m) {
+  return blocking_pairs_many(proposer_prefs, acceptor_prefs, capacities, m).empty();
+}
+
+}  // namespace dmra

@@ -1,0 +1,35 @@
+// Stability checkers for the matching mechanisms — used by property tests
+// and by examples to demonstrate the Gale–Shapley guarantees DMRA builds on.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "matching/deferred_acceptance.hpp"
+
+namespace dmra {
+
+/// All blocking pairs (p, a) of a one-to-one matching: both find each
+/// other acceptable and both strictly prefer each other to their current
+/// assignment (being unmatched is worse than any acceptable partner).
+std::vector<std::pair<std::size_t, std::size_t>> blocking_pairs(
+    const PreferenceLists& proposer_prefs, const PreferenceLists& acceptor_prefs,
+    const Matching& m);
+
+/// True iff the one-to-one matching has no blocking pair.
+bool is_stable(const PreferenceLists& proposer_prefs, const PreferenceLists& acceptor_prefs,
+               const Matching& m);
+
+/// Blocking pairs of a many-to-one matching: (p, a) blocks if both sides
+/// find each other acceptable, p strictly prefers a to its assignment,
+/// and a either has spare capacity or prefers p to its worst held proposer.
+std::vector<std::pair<std::size_t, std::size_t>> blocking_pairs_many(
+    const PreferenceLists& proposer_prefs, const PreferenceLists& acceptor_prefs,
+    const std::vector<std::size_t>& capacities, const ManyToOneMatching& m);
+
+bool is_stable_many(const PreferenceLists& proposer_prefs,
+                    const PreferenceLists& acceptor_prefs,
+                    const std::vector<std::size_t>& capacities, const ManyToOneMatching& m);
+
+}  // namespace dmra

@@ -1,0 +1,32 @@
+// The allocator interface every scheme implements (DMRA, the paper's
+// baselines, and the extra comparators).
+//
+// An allocator maps an immutable Scenario to an Allocation; any UE it
+// leaves unassigned is, by definition, forwarded to the remote cloud.
+// Allocators must be deterministic for a fixed scenario (randomized
+// schemes take their seed at construction).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mec/allocation.hpp"
+#include "mec/scenario.hpp"
+
+namespace dmra {
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Short display name used in experiment tables ("DMRA", "DCSP", ...).
+  virtual std::string name() const = 0;
+
+  /// Compute the UE→BS association. Must satisfy constraints (12)–(15);
+  /// sim/feasibility.hpp re-validates this in tests.
+  virtual Allocation allocate(const Scenario& scenario) const = 0;
+};
+
+using AllocatorPtr = std::unique_ptr<Allocator>;
+
+}  // namespace dmra

@@ -1,0 +1,50 @@
+// Strongly-typed identifiers for the MEC entities.
+//
+// A bare `int` crossing a module boundary invites mixing up UE indices
+// with BS indices; these wrappers make that a compile error while staying
+// trivially copyable and hashable.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace dmra {
+
+namespace detail {
+/// CRTP-free tagged index. `Tag` only disambiguates the type.
+template <typename Tag>
+struct TaggedId {
+  std::uint32_t value = 0;
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(std::uint32_t v) : value(v) {}
+
+  constexpr friend auto operator<=>(TaggedId, TaggedId) = default;
+
+  /// Index into a container keyed by this id family.
+  constexpr std::size_t idx() const { return value; }
+};
+}  // namespace detail
+
+struct SpTag {};
+struct BsTag {};
+struct UeTag {};
+struct ServiceTag {};
+
+using SpId = detail::TaggedId<SpTag>;        ///< Service provider.
+using BsId = detail::TaggedId<BsTag>;        ///< Base station / MEC server.
+using UeId = detail::TaggedId<UeTag>;        ///< User equipment.
+using ServiceId = detail::TaggedId<ServiceTag>;  ///< MEC service type.
+
+}  // namespace dmra
+
+namespace std {
+template <typename Tag>
+struct hash<dmra::detail::TaggedId<Tag>> {
+  size_t operator()(dmra::detail::TaggedId<Tag> id) const noexcept {
+    return std::hash<uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,60 @@
+#include "mec/resources.hpp"
+
+#include "util/require.hpp"
+
+namespace dmra {
+
+ResourceState::ResourceState(const Scenario& scenario) : scenario_(&scenario) {
+  const std::size_t nb = scenario.num_bss();
+  const std::size_t ns = scenario.num_services();
+  crus_.resize(nb * ns);
+  rrbs_.resize(nb);
+  for (std::size_t i = 0; i < nb; ++i) {
+    const BaseStation& b = scenario.bs(BsId{static_cast<std::uint32_t>(i)});
+    rrbs_[i] = b.num_rrbs;
+    for (std::size_t j = 0; j < ns; ++j) crus_[i * ns + j] = b.cru_capacity[j];
+  }
+}
+
+std::size_t ResourceState::cru_index(BsId i, ServiceId j) const {
+  return i.idx() * scenario_->num_services() + j.idx();
+}
+
+std::uint32_t ResourceState::remaining_crus(BsId i, ServiceId j) const {
+  return crus_[cru_index(i, j)];
+}
+
+std::uint32_t ResourceState::remaining_rrbs(BsId i) const { return rrbs_[i.idx()]; }
+
+bool ResourceState::can_serve(UeId u, BsId i) const {
+  const UserEquipment& e = scenario_->ue(u);
+  const LinkStats& l = scenario_->link(u, i);
+  if (!l.in_coverage || l.n_rrbs == 0) return false;
+  return remaining_crus(i, e.service) >= e.cru_demand && remaining_rrbs(i) >= l.n_rrbs;
+}
+
+void ResourceState::commit(UeId u, BsId i) {
+  DMRA_REQUIRE_MSG(can_serve(u, i), "commit on a BS that cannot serve the UE");
+  const UserEquipment& e = scenario_->ue(u);
+  crus_[cru_index(i, e.service)] -= e.cru_demand;
+  rrbs_[i.idx()] -= scenario_->link(u, i).n_rrbs;
+}
+
+void ResourceState::release(UeId u, BsId i) {
+  const UserEquipment& e = scenario_->ue(u);
+  const BaseStation& b = scenario_->bs(i);
+  const std::uint32_t next_cru = crus_[cru_index(i, e.service)] + e.cru_demand;
+  const std::uint32_t next_rrb = rrbs_[i.idx()] + scenario_->link(u, i).n_rrbs;
+  DMRA_REQUIRE_MSG(next_cru <= b.cru_capacity[e.service.idx()],
+                   "release exceeds the BS's CRU capacity (unpaired release?)");
+  DMRA_REQUIRE_MSG(next_rrb <= b.num_rrbs,
+                   "release exceeds the BS's RRB budget (unpaired release?)");
+  crus_[cru_index(i, e.service)] = next_cru;
+  rrbs_[i.idx()] = next_rrb;
+}
+
+std::uint32_t ResourceState::remaining_for_preference(BsId i, ServiceId j) const {
+  return remaining_crus(i, j) + remaining_rrbs(i);
+}
+
+}  // namespace dmra

@@ -1,0 +1,55 @@
+// Mutable resource ledger: remaining CRUs per (BS, service) and remaining
+// RRBs per BS, with commit/release bookkeeping.
+//
+// Algorithms mutate a ResourceState while deciding the association; the
+// final Allocation can always be re-validated from scratch against the
+// Scenario (sim/feasibility.hpp), so the ledger is an optimization, not
+// the source of truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mec/ids.hpp"
+#include "mec/scenario.hpp"
+
+namespace dmra {
+
+class ResourceState {
+ public:
+  /// Full capacities from the scenario's BSs.
+  explicit ResourceState(const Scenario& scenario);
+
+  /// Remaining CRUs of service j at BS i.
+  std::uint32_t remaining_crus(BsId i, ServiceId j) const;
+
+  /// Remaining RRBs at BS i.
+  std::uint32_t remaining_rrbs(BsId i) const;
+
+  /// True iff BS i can currently serve UE u: hosts the service, has the
+  /// CRUs, and has the RRBs (per the precomputed n(u,i)).
+  bool can_serve(UeId u, BsId i) const;
+
+  /// Deduct u's demands from i. Requires can_serve(u, i).
+  void commit(UeId u, BsId i);
+
+  /// Return u's demands to i (inverse of commit). The caller is
+  /// responsible for pairing releases with prior commits.
+  void release(UeId u, BsId i);
+
+  /// Total remaining CRUs at i summed over services + remaining RRBs —
+  /// the denominator of the DMRA preference (Eq. 17 uses the per-service
+  /// CRU remainder; see remaining_for_preference).
+  std::uint32_t remaining_for_preference(BsId i, ServiceId j) const;
+
+  const Scenario& scenario() const { return *scenario_; }
+
+ private:
+  const Scenario* scenario_;
+  std::vector<std::uint32_t> crus_;  // |B| × |S| row-major
+  std::vector<std::uint32_t> rrbs_;  // |B|
+
+  std::size_t cru_index(BsId i, ServiceId j) const;
+};
+
+}  // namespace dmra

@@ -1,0 +1,109 @@
+#include "mec/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dmra {
+
+Scenario::Scenario(ScenarioData data) : data_(std::move(data)) {
+  validate();
+  build_links();
+}
+
+void Scenario::validate() const {
+  DMRA_REQUIRE_MSG(!data_.sps.empty(), "scenario needs at least one SP");
+  DMRA_REQUIRE_MSG(!data_.bss.empty(), "scenario needs at least one BS");
+  DMRA_REQUIRE_MSG(data_.num_services > 0, "scenario needs at least one service");
+  DMRA_REQUIRE(data_.coverage_radius_m > 0.0);
+
+  for (std::size_t k = 0; k < data_.sps.size(); ++k)
+    DMRA_REQUIRE_MSG(data_.sps[k].id.idx() == k, "SP ids must be contiguous 0..n-1");
+
+  for (std::size_t i = 0; i < data_.bss.size(); ++i) {
+    const BaseStation& b = data_.bss[i];
+    DMRA_REQUIRE_MSG(b.id.idx() == i, "BS ids must be contiguous 0..n-1");
+    DMRA_REQUIRE_MSG(b.sp.idx() < data_.sps.size(), "BS references unknown SP");
+    DMRA_REQUIRE_MSG(b.cru_capacity.size() == data_.num_services,
+                     "BS CRU capacity vector must cover every service");
+    // num_rrbs == 0 is allowed: a radio-exhausted BS (e.g. in a residual
+    // scenario of an online run) simply can never be a candidate.
+  }
+
+  for (std::size_t u = 0; u < data_.ues.size(); ++u) {
+    const UserEquipment& e = data_.ues[u];
+    DMRA_REQUIRE_MSG(e.id.idx() == u, "UE ids must be contiguous 0..n-1");
+    DMRA_REQUIRE_MSG(e.sp.idx() < data_.sps.size(), "UE references unknown SP");
+    DMRA_REQUIRE_MSG(e.service.idx() < data_.num_services, "UE requests unknown service");
+    DMRA_REQUIRE_MSG(e.cru_demand > 0, "UE CRU demand must be positive");
+    DMRA_REQUIRE_MSG(e.rate_demand_bps > 0.0, "UE rate demand must be positive");
+  }
+
+  // Eq. 16 over the whole deployment: the farthest profitable pair is at
+  // the coverage radius (beyond it no association is possible), priced at
+  // each BS's own multiplier.
+  for (const BaseStation& b : data_.bss) {
+    DMRA_REQUIRE_MSG(b.price_multiplier > 0.0, "price multiplier must be positive");
+    const double worst_price =
+        b.price_multiplier *
+        cru_price(data_.pricing, data_.coverage_radius_m, /*same_sp=*/false);
+    DMRA_REQUIRE_MSG(data_.pricing.m_k > worst_price + data_.pricing.m_k_o,
+                     "pricing violates Eq. 16 within the coverage radius");
+  }
+}
+
+void Scenario::build_links() {
+  const std::size_t nu = num_ues();
+  const std::size_t nb = num_bss();
+  links_.resize(nu * nb);
+  cand_offsets_.assign(nu + 1, 0);
+
+  for (std::size_t ui = 0; ui < nu; ++ui) {
+    const UserEquipment& u = data_.ues[ui];
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      const BaseStation& b = data_.bss[bi];
+      LinkStats& l = links_[ui * nb + bi];
+      l.distance_m = distance_m(u.position, b.position);
+      l.in_coverage = l.distance_m <= data_.coverage_radius_m;
+      l.sinr = sinr(data_.channel, l.distance_m, data_.ofdma.rrb_bandwidth_hz,
+                    u.id.value, b.id.value);
+      l.rrb_rate_bps = rrb_rate_bps(data_.ofdma.rrb_bandwidth_hz, l.sinr);
+      if (l.in_coverage && l.rrb_rate_bps > 0.0) {
+        const std::uint32_t n = rrbs_needed(u.rate_demand_bps, l.rrb_rate_bps);
+        l.n_rrbs = n;
+      } else {
+        l.n_rrbs = 0;
+        l.in_coverage = false;
+      }
+    }
+  }
+
+  // Candidate sets: coverage + service hosted + radio demand individually
+  // satisfiable. Stored flat to keep Scenario cheap to copy around.
+  candidates_.clear();
+  for (std::size_t ui = 0; ui < nu; ++ui) {
+    const UserEquipment& u = data_.ues[ui];
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      const LinkStats& l = links_[ui * nb + bi];
+      const BaseStation& b = data_.bss[bi];
+      if (l.in_coverage && b.hosts(u.service) && l.n_rrbs <= b.num_rrbs &&
+          u.cru_demand <= b.cru_capacity[u.service.idx()]) {
+        candidates_.push_back(BsId{static_cast<std::uint32_t>(bi)});
+      }
+    }
+    cand_offsets_[ui + 1] = candidates_.size();
+  }
+}
+
+double Scenario::price(UeId u, BsId i) const {
+  return bs(i).price_multiplier *
+         cru_price(data_.pricing, link(u, i).distance_m, same_sp(u, i));
+}
+
+double Scenario::pair_profit(UeId u, BsId i) const {
+  const double margin = data_.pricing.m_k - price(u, i) - data_.pricing.m_k_o;
+  return static_cast<double>(ue(u).cru_demand) * margin;
+}
+
+}  // namespace dmra

@@ -1,0 +1,144 @@
+// The static problem instance: SPs, BSs, UEs, services, and all derived
+// per-link radio quantities (paper §III).
+//
+// A Scenario is immutable once built; algorithms read it and track the
+// mutable resource state separately (mec/resources.hpp). All per-(UE, BS)
+// quantities — distance, SINR, per-RRB rate, RRB demand — are precomputed
+// at construction so that algorithms and the decentralized runtime agree
+// on the channel exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+#include "mec/ids.hpp"
+#include "mec/pricing.hpp"
+#include "radio/channel.hpp"
+#include "radio/ofdma.hpp"
+
+namespace dmra {
+
+/// A service provider (e.g. a mobile carrier). Owns BSs; UEs subscribe.
+struct ServiceProvider {
+  SpId id;
+  std::string name;
+};
+
+/// A base station with a co-located MEC server.
+struct BaseStation {
+  BsId id;
+  SpId sp;           ///< deploying/owning SP
+  Point position;
+  /// c_{i,j}: CRU capacity per service, indexed by ServiceId::idx().
+  /// 0 means the service is not hosted (z_{i,j} = 0).
+  std::vector<std::uint32_t> cru_capacity;
+  /// N_i: uplink RRB budget.
+  std::uint32_t num_rrbs = 0;
+  /// Multiplier this BS applies to the Eq. 9/10 price (1.0 = the paper's
+  /// uniform pricing). Lets BSs price-differentiate — see src/market.
+  /// Must keep every coverage-feasible pair profitable (Eq. 16).
+  double price_multiplier = 1.0;
+
+  bool hosts(ServiceId j) const { return cru_capacity[j.idx()] > 0; }
+};
+
+/// A user equipment with one offloadable computing task.
+struct UserEquipment {
+  UeId id;
+  SpId sp;                 ///< subscribed SP
+  Point position;
+  ServiceId service;       ///< the single requested service (J_{u,j} = 1)
+  std::uint32_t cru_demand = 0;  ///< c_j^u
+  double rate_demand_bps = 0.0;  ///< w_u
+};
+
+/// Precomputed uplink statistics for one (UE, BS) pair.
+struct LinkStats {
+  double distance_m = 0.0;
+  double sinr = 0.0;          ///< λ(u,i), linear
+  double rrb_rate_bps = 0.0;  ///< e(u,i), Eq. 2
+  std::uint32_t n_rrbs = 0;   ///< n(u,i), Eq. 3 (0 if out of coverage)
+  bool in_coverage = false;   ///< within the coverage radius
+};
+
+/// Plain-data inputs to Scenario construction. Generators (src/workload)
+/// fill this in; tests may craft it by hand.
+struct ScenarioData {
+  std::size_t num_services = 0;
+  std::vector<ServiceProvider> sps;
+  std::vector<BaseStation> bss;
+  std::vector<UserEquipment> ues;
+  ChannelConfig channel;
+  OfdmaConfig ofdma;
+  PricingConfig pricing;
+  /// A BS covers a UE iff their distance is at most this (see DESIGN.md).
+  double coverage_radius_m = 500.0;
+};
+
+/// Immutable problem instance with derived link matrix and candidate sets.
+///
+/// Throws ContractViolation if the data is inconsistent (non-contiguous
+/// ids, out-of-range SP/service references, empty entity sets, or a
+/// pricing configuration violating Eq. 16 anywhere in the deployment).
+class Scenario {
+ public:
+  explicit Scenario(ScenarioData data);
+
+  std::size_t num_sps() const { return data_.sps.size(); }
+  std::size_t num_bss() const { return data_.bss.size(); }
+  std::size_t num_ues() const { return data_.ues.size(); }
+  std::size_t num_services() const { return data_.num_services; }
+
+  const ServiceProvider& sp(SpId k) const { return data_.sps[k.idx()]; }
+  const BaseStation& bs(BsId i) const { return data_.bss[i.idx()]; }
+  const UserEquipment& ue(UeId u) const { return data_.ues[u.idx()]; }
+
+  std::span<const ServiceProvider> sps() const { return data_.sps; }
+  std::span<const BaseStation> bss() const { return data_.bss; }
+  std::span<const UserEquipment> ues() const { return data_.ues; }
+
+  const ChannelConfig& channel() const { return data_.channel; }
+  const OfdmaConfig& ofdma() const { return data_.ofdma; }
+  const PricingConfig& pricing() const { return data_.pricing; }
+  double coverage_radius_m() const { return data_.coverage_radius_m; }
+
+  /// Precomputed link statistics for any (u, i) pair.
+  const LinkStats& link(UeId u, BsId i) const {
+    return links_[u.idx() * num_bss() + i.idx()];
+  }
+
+  /// B_u of Alg. 1: BSs that cover u, host u's requested service, and whose
+  /// RRB budget could carry u at all (n(u,i) ≤ N_i). Sorted by BsId.
+  std::span<const BsId> candidates(UeId u) const {
+    return {candidates_.data() + cand_offsets_[u.idx()],
+            cand_offsets_[u.idx() + 1] - cand_offsets_[u.idx()]};
+  }
+
+  /// f_u of Alg. 1 at t = 0: number of candidate BSs (the paper refines
+  /// f_u to "with available resources"; algorithms recompute it against
+  /// live resource state — this is the static upper bound).
+  std::size_t coverage_count(UeId u) const { return candidates(u).size(); }
+
+  bool same_sp(UeId u, BsId i) const { return ue(u).sp == bs(i).sp; }
+
+  /// p(i,u) of Eq. 9/10.
+  double price(UeId u, BsId i) const;
+
+  /// The UE's SP's profit if u is served by i:
+  /// c_j^u · (m_k − p(i,u) − m_k^o).  Always > 0 per Eq. 16.
+  double pair_profit(UeId u, BsId i) const;
+
+ private:
+  ScenarioData data_;
+  std::vector<LinkStats> links_;          // |U| × |B| row-major
+  std::vector<BsId> candidates_;          // concatenated per-UE candidate lists
+  std::vector<std::size_t> cand_offsets_; // |U| + 1 offsets into candidates_
+
+  void validate() const;
+  void build_links();
+};
+
+}  // namespace dmra

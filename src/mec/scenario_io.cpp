@@ -1,0 +1,220 @@
+#include "mec/scenario_io.hpp"
+
+#include "util/json.hpp"
+#include "util/require.hpp"
+
+namespace dmra {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+JsonObject channel_to_json(const ChannelConfig& c) {
+  JsonObject o;
+  o["tx_power_dbm"] = c.tx_power_dbm;
+  o["noise_dbm"] = c.noise_dbm;
+  o["noise_model"] = c.noise_model == NoiseModel::kPsd ? "psd" : "total-per-rrb";
+  o["min_distance_m"] = c.min_distance_m;
+  o["interference_psd_mw_hz"] = c.interference_psd_mw_hz;
+  o["pathloss_model"] = pathloss_model_name(c.pathloss_model);
+  o["carrier_mhz"] = c.pathloss_params.carrier_mhz;
+  o["bs_height_m"] = c.pathloss_params.bs_height_m;
+  o["ue_height_m"] = c.pathloss_params.ue_height_m;
+  o["shadowing_sigma_db"] = c.shadowing_sigma_db;
+  o["shadowing_seed"] = c.shadowing_seed;
+  return o;
+}
+
+ChannelConfig channel_from_json(const JsonValue& v) {
+  ChannelConfig c;
+  c.tx_power_dbm = v.at("tx_power_dbm").as_number();
+  c.noise_dbm = v.at("noise_dbm").as_number();
+  const std::string& noise = v.at("noise_model").as_string();
+  if (noise == "psd") c.noise_model = NoiseModel::kPsd;
+  else if (noise == "total-per-rrb") c.noise_model = NoiseModel::kTotalPerRrb;
+  else DMRA_REQUIRE_MSG(false, "unknown noise model: " + noise);
+  c.min_distance_m = v.at("min_distance_m").as_number();
+  c.interference_psd_mw_hz = v.at("interference_psd_mw_hz").as_number();
+  const std::string& pl = v.at("pathloss_model").as_string();
+  bool found = false;
+  for (auto model : {PathlossModel::kPaperEq18, PathlossModel::kFreeSpace,
+                     PathlossModel::kLteMacro, PathlossModel::kTwoRay}) {
+    if (pl == pathloss_model_name(model)) {
+      c.pathloss_model = model;
+      found = true;
+    }
+  }
+  DMRA_REQUIRE_MSG(found, "unknown path-loss model: " + pl);
+  c.pathloss_params.carrier_mhz = v.at("carrier_mhz").as_number();
+  c.pathloss_params.bs_height_m = v.at("bs_height_m").as_number();
+  c.pathloss_params.ue_height_m = v.at("ue_height_m").as_number();
+  c.shadowing_sigma_db = v.at("shadowing_sigma_db").as_number();
+  c.shadowing_seed = static_cast<std::uint64_t>(v.at("shadowing_seed").as_int());
+  return c;
+}
+
+JsonObject pricing_to_json(const PricingConfig& p) {
+  JsonObject o;
+  o["b"] = p.b;
+  o["iota"] = p.iota;
+  o["sigma"] = p.sigma;
+  o["transmission"] =
+      p.transmission == TransmissionPricing::kLinear ? "linear" : "power";
+  o["m_k"] = p.m_k;
+  o["m_k_o"] = p.m_k_o;
+  o["min_distance_m"] = p.min_distance_m;
+  return o;
+}
+
+PricingConfig pricing_from_json(const JsonValue& v) {
+  PricingConfig p;
+  p.b = v.at("b").as_number();
+  p.iota = v.at("iota").as_number();
+  p.sigma = v.at("sigma").as_number();
+  const std::string& t = v.at("transmission").as_string();
+  if (t == "linear") p.transmission = TransmissionPricing::kLinear;
+  else if (t == "power") p.transmission = TransmissionPricing::kPower;
+  else DMRA_REQUIRE_MSG(false, "unknown transmission pricing: " + t);
+  p.m_k = v.at("m_k").as_number();
+  p.m_k_o = v.at("m_k_o").as_number();
+  p.min_distance_m = v.at("min_distance_m").as_number();
+  return p;
+}
+
+}  // namespace
+
+std::string scenario_to_json(const Scenario& scenario) {
+  JsonObject root;
+  root["format"] = "dmra-scenario";
+  root["version"] = kFormatVersion;
+  root["num_services"] = static_cast<std::uint64_t>(scenario.num_services());
+  root["coverage_radius_m"] = scenario.coverage_radius_m();
+  root["channel"] = channel_to_json(scenario.channel());
+  JsonObject ofdma;
+  ofdma["uplink_bandwidth_hz"] = scenario.ofdma().uplink_bandwidth_hz;
+  ofdma["rrb_bandwidth_hz"] = scenario.ofdma().rrb_bandwidth_hz;
+  root["ofdma"] = std::move(ofdma);
+  root["pricing"] = pricing_to_json(scenario.pricing());
+
+  JsonArray sps;
+  for (const ServiceProvider& sp : scenario.sps()) {
+    JsonObject o;
+    o["id"] = sp.id.value;
+    o["name"] = sp.name;
+    sps.push_back(std::move(o));
+  }
+  root["sps"] = std::move(sps);
+
+  JsonArray bss;
+  for (const BaseStation& b : scenario.bss()) {
+    JsonObject o;
+    o["id"] = b.id.value;
+    o["sp"] = b.sp.value;
+    o["x"] = b.position.x;
+    o["y"] = b.position.y;
+    JsonArray caps;
+    for (std::uint32_t c : b.cru_capacity) caps.push_back(JsonValue(c));
+    o["cru_capacity"] = std::move(caps);
+    o["num_rrbs"] = b.num_rrbs;
+    o["price_multiplier"] = b.price_multiplier;
+    bss.push_back(std::move(o));
+  }
+  root["bss"] = std::move(bss);
+
+  JsonArray ues;
+  for (const UserEquipment& u : scenario.ues()) {
+    JsonObject o;
+    o["id"] = u.id.value;
+    o["sp"] = u.sp.value;
+    o["x"] = u.position.x;
+    o["y"] = u.position.y;
+    o["service"] = u.service.value;
+    o["cru_demand"] = u.cru_demand;
+    o["rate_demand_bps"] = u.rate_demand_bps;
+    ues.push_back(std::move(o));
+  }
+  root["ues"] = std::move(ues);
+
+  return JsonValue(std::move(root)).dump(2);
+}
+
+Scenario scenario_from_json(const std::string& text) {
+  const JsonParseResult parsed = json_parse(text);
+  DMRA_REQUIRE_MSG(parsed.ok, "scenario JSON parse error at offset " +
+                                  std::to_string(parsed.offset) + ": " + parsed.error);
+  const JsonValue& root = parsed.value;
+  DMRA_REQUIRE_MSG(root.at("format").as_string() == "dmra-scenario",
+                   "not a dmra-scenario document");
+  DMRA_REQUIRE_MSG(root.at("version").as_int() == kFormatVersion,
+                   "unsupported scenario format version");
+
+  ScenarioData data;
+  data.num_services = static_cast<std::size_t>(root.at("num_services").as_int());
+  data.coverage_radius_m = root.at("coverage_radius_m").as_number();
+  data.channel = channel_from_json(root.at("channel"));
+  data.ofdma.uplink_bandwidth_hz = root.at("ofdma").at("uplink_bandwidth_hz").as_number();
+  data.ofdma.rrb_bandwidth_hz = root.at("ofdma").at("rrb_bandwidth_hz").as_number();
+  data.pricing = pricing_from_json(root.at("pricing"));
+
+  for (const JsonValue& v : root.at("sps").as_array()) {
+    ServiceProvider sp;
+    sp.id = SpId{v.at("id").as_u32()};
+    sp.name = v.at("name").as_string();
+    data.sps.push_back(std::move(sp));
+  }
+  for (const JsonValue& v : root.at("bss").as_array()) {
+    BaseStation b;
+    b.id = BsId{v.at("id").as_u32()};
+    b.sp = SpId{v.at("sp").as_u32()};
+    b.position = {v.at("x").as_number(), v.at("y").as_number()};
+    for (const JsonValue& c : v.at("cru_capacity").as_array())
+      b.cru_capacity.push_back(c.as_u32());
+    b.num_rrbs = v.at("num_rrbs").as_u32();
+    b.price_multiplier = v.at("price_multiplier").as_number();
+    data.bss.push_back(std::move(b));
+  }
+  for (const JsonValue& v : root.at("ues").as_array()) {
+    UserEquipment u;
+    u.id = UeId{v.at("id").as_u32()};
+    u.sp = SpId{v.at("sp").as_u32()};
+    u.position = {v.at("x").as_number(), v.at("y").as_number()};
+    u.service = ServiceId{v.at("service").as_u32()};
+    u.cru_demand = v.at("cru_demand").as_u32();
+    u.rate_demand_bps = v.at("rate_demand_bps").as_number();
+    data.ues.push_back(u);
+  }
+  return Scenario(std::move(data));
+}
+
+std::string allocation_to_json(const Allocation& alloc) {
+  JsonObject root;
+  root["format"] = "dmra-allocation";
+  root["version"] = kFormatVersion;
+  JsonArray assignment;
+  for (std::size_t ui = 0; ui < alloc.num_ues(); ++ui) {
+    const auto bs = alloc.bs_of(UeId{static_cast<std::uint32_t>(ui)});
+    assignment.push_back(bs ? JsonValue(bs->value) : JsonValue(nullptr));
+  }
+  root["assignment"] = std::move(assignment);
+  return JsonValue(std::move(root)).dump(2);
+}
+
+Allocation allocation_from_json(const std::string& text) {
+  const JsonParseResult parsed = json_parse(text);
+  DMRA_REQUIRE_MSG(parsed.ok, "allocation JSON parse error at offset " +
+                                  std::to_string(parsed.offset) + ": " + parsed.error);
+  const JsonValue& root = parsed.value;
+  DMRA_REQUIRE_MSG(root.at("format").as_string() == "dmra-allocation",
+                   "not a dmra-allocation document");
+  DMRA_REQUIRE_MSG(root.at("version").as_int() == kFormatVersion,
+                   "unsupported allocation format version");
+  const JsonArray& assignment = root.at("assignment").as_array();
+  Allocation alloc(assignment.size());
+  for (std::size_t ui = 0; ui < assignment.size(); ++ui) {
+    if (assignment[ui].is_null()) continue;
+    alloc.assign(UeId{static_cast<std::uint32_t>(ui)}, BsId{assignment[ui].as_u32()});
+  }
+  return alloc;
+}
+
+}  // namespace dmra

@@ -1,0 +1,31 @@
+// Scenario and allocation persistence (JSON).
+//
+// A saved scenario captures everything needed to re-run an experiment —
+// entities, demands, channel/OFDMA/pricing configuration — so a run can
+// be archived, diffed, or replayed on another machine. Derived link
+// statistics are NOT stored; Scenario recomputes them on load, which
+// doubles as a consistency check (the channel config round-trips).
+#pragma once
+
+#include <string>
+
+#include "mec/allocation.hpp"
+#include "mec/scenario.hpp"
+
+namespace dmra {
+
+/// Serialize a scenario (version-tagged, pretty-printed JSON).
+std::string scenario_to_json(const Scenario& scenario);
+
+/// Parse a scenario produced by scenario_to_json. Throws ContractViolation
+/// on malformed input, unknown version, or data failing Scenario
+/// validation.
+Scenario scenario_from_json(const std::string& text);
+
+/// Serialize an allocation (UE → BS id, null for the remote cloud).
+std::string allocation_to_json(const Allocation& alloc);
+
+/// Parse an allocation produced by allocation_to_json.
+Allocation allocation_from_json(const std::string& text);
+
+}  // namespace dmra

@@ -1,0 +1,127 @@
+#include "mobility/handover.hpp"
+
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace dmra {
+
+const char* mobility_kind_name(MobilityKind kind) {
+  switch (kind) {
+    case MobilityKind::kStatic: return "static";
+    case MobilityKind::kRandomWaypoint: return "random-waypoint";
+    case MobilityKind::kGaussMarkov: return "gauss-markov";
+  }
+  return "?";
+}
+
+namespace {
+
+Scenario with_positions(const Scenario& base, const std::vector<Point>& positions) {
+  DMRA_REQUIRE(positions.size() == base.num_ues());
+  ScenarioData data;
+  data.num_services = base.num_services();
+  data.sps.assign(base.sps().begin(), base.sps().end());
+  data.bss.assign(base.bss().begin(), base.bss().end());
+  data.ues.assign(base.ues().begin(), base.ues().end());
+  for (std::size_t i = 0; i < positions.size(); ++i) data.ues[i].position = positions[i];
+  data.channel = base.channel();
+  data.ofdma = base.ofdma();
+  data.pricing = base.pricing();
+  data.coverage_radius_m = base.coverage_radius_m();
+  return Scenario(std::move(data));
+}
+
+}  // namespace
+
+HandoverResult run_handover_study(const HandoverConfig& config,
+                                  const Allocator& allocator) {
+  DMRA_REQUIRE(config.steps > 0);
+  DMRA_REQUIRE(config.step_duration_s > 0.0);
+
+  const Scenario base = generate_scenario(config.scenario, config.seed);
+  std::vector<Point> initial;
+  initial.reserve(base.num_ues());
+  for (const UserEquipment& u : base.ues()) initial.push_back(u.position);
+
+  Rng mobility_rng("mobility", config.seed);
+  std::unique_ptr<MobilityModel> model;
+  switch (config.mobility) {
+    case MobilityKind::kStatic:
+      model = make_static(std::move(initial));
+      break;
+    case MobilityKind::kRandomWaypoint: {
+      RandomWaypointConfig wp = config.waypoint;
+      wp.area = config.scenario.area();
+      model = make_random_waypoint(std::move(initial), wp, std::move(mobility_rng));
+      break;
+    }
+    case MobilityKind::kGaussMarkov: {
+      GaussMarkovConfig gm = config.gauss_markov;
+      gm.area = config.scenario.area();
+      model = make_gauss_markov(std::move(initial), gm, std::move(mobility_rng));
+      break;
+    }
+  }
+
+  HandoverResult result;
+  Allocation previous = allocator.allocate(base);
+  std::vector<Point> prev_positions = model->positions();
+
+  RunningStats profit_stats;
+  std::uint64_t total_handovers = 0;
+  std::uint64_t total_served_steps = 0;
+
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    model->advance(config.step_duration_s);
+    const Scenario scenario = with_positions(base, model->positions());
+    const Allocation alloc =
+        config.policy == ReallocationPolicy::kFullRerun
+            ? allocator.allocate(scenario)
+            : solve_incremental_dmra(scenario, previous, config.incremental).allocation;
+
+    HandoverStepStats stats;
+    stats.step = step;
+    stats.profit = total_profit(scenario, alloc);
+    stats.served = alloc.num_served();
+    double displacement = 0.0;
+    for (std::size_t ui = 0; ui < scenario.num_ues(); ++ui) {
+      const UeId u{static_cast<std::uint32_t>(ui)};
+      displacement += distance_m(prev_positions[ui], model->positions()[ui]);
+      const auto before = previous.bs_of(u);
+      const auto after = alloc.bs_of(u);
+      if (before && after && *before != *after) ++stats.handovers;
+      else if (before && !after) ++stats.edge_to_cloud;
+      else if (!before && after) ++stats.cloud_to_edge;
+    }
+    stats.mean_displacement_m =
+        displacement / static_cast<double>(scenario.num_ues());
+
+    profit_stats.add(stats.profit);
+    total_handovers += stats.handovers;
+    total_served_steps += stats.served;
+    result.steps.push_back(stats);
+
+    previous = alloc;
+    prev_positions = model->positions();
+  }
+
+  result.mean_profit = profit_stats.mean();
+  result.handover_rate =
+      total_served_steps
+          ? static_cast<double>(total_handovers) / static_cast<double>(total_served_steps)
+          : 0.0;
+  return result;
+}
+
+Table HandoverResult::to_table() const {
+  Table table({"step", "profit", "served", "handovers", "edge->cloud", "cloud->edge",
+               "mean move (m)"});
+  for (const HandoverStepStats& s : steps) {
+    table.add_row({std::to_string(s.step), fmt(s.profit), std::to_string(s.served),
+                   std::to_string(s.handovers), std::to_string(s.edge_to_cloud),
+                   std::to_string(s.cloud_to_edge), fmt(s.mean_displacement_m, 1)});
+  }
+  return table;
+}
+
+}  // namespace dmra

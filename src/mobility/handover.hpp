@@ -1,0 +1,68 @@
+// Handover study: re-run an allocator over a moving UE population and
+// measure how the association churns — the cost of the paper's "the best
+// association changes over time" premise.
+//
+// Each step: advance the mobility model, rebuild the scenario with the
+// new positions (same subscriptions/demands), re-allocate from scratch,
+// and diff against the previous association.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/incremental.hpp"
+#include "mec/allocator.hpp"
+#include "mobility/models.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace dmra {
+
+enum class MobilityKind { kStatic, kRandomWaypoint, kGaussMarkov };
+
+const char* mobility_kind_name(MobilityKind kind);
+
+/// How each step's allocation is derived.
+enum class ReallocationPolicy {
+  kFullRerun,    ///< forget the past; run the allocator from scratch
+  kIncremental,  ///< keep valid assignments, DMRA-rematch the displaced
+};
+
+struct HandoverConfig {
+  ScenarioConfig scenario;   ///< deployment + population distributions
+  MobilityKind mobility = MobilityKind::kRandomWaypoint;
+  RandomWaypointConfig waypoint;
+  GaussMarkovConfig gauss_markov;
+  std::size_t steps = 20;
+  double step_duration_s = 1.0;
+  std::uint64_t seed = 1;
+  ReallocationPolicy policy = ReallocationPolicy::kFullRerun;
+  /// Incremental-policy tuning (hysteresis margin, DMRA config). The
+  /// `allocator` passed to run_handover_study still produces the initial
+  /// allocation under either policy.
+  IncrementalConfig incremental;
+};
+
+struct HandoverStepStats {
+  std::size_t step = 0;
+  double profit = 0.0;
+  std::size_t served = 0;
+  std::size_t handovers = 0;      ///< served before and after, different BS
+  std::size_t edge_to_cloud = 0;  ///< served before, cloud now
+  std::size_t cloud_to_edge = 0;  ///< cloud before, served now
+  double mean_displacement_m = 0.0;
+};
+
+struct HandoverResult {
+  std::vector<HandoverStepStats> steps;
+  double mean_profit = 0.0;
+  double handover_rate = 0.0;  ///< handovers per served UE per step
+
+  Table to_table() const;
+};
+
+/// Run the study. Deterministic in (config, allocator).
+HandoverResult run_handover_study(const HandoverConfig& config, const Allocator& allocator);
+
+}  // namespace dmra

@@ -1,0 +1,65 @@
+// UE mobility models.
+//
+// The paper motivates DMRA with an environment that "changes over time"
+// (§V: the best association changes as UEs move); this module supplies
+// the movement processes, and mobility/handover.hpp re-runs an allocator
+// over the moving population to measure what that costs.
+//
+// Two classic models:
+//  * RandomWaypoint — pick a uniform destination, travel at a uniform
+//    speed, pause, repeat. The standard ad-hoc evaluation model.
+//  * GaussMarkov  — temporally-correlated velocity (tunable memory α),
+//    reflecting at the area boundary. Smooth, no teleport-like turns.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace dmra {
+
+/// Advances a population of positions through time. Implementations own
+/// all per-UE state (destinations, velocities, pause clocks).
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Current positions (size fixed at construction).
+  virtual const std::vector<Point>& positions() const = 0;
+
+  /// Move everyone forward by dt seconds.
+  virtual void advance(double dt_s) = 0;
+};
+
+struct RandomWaypointConfig {
+  Rect area{0.0, 0.0, 1200.0, 1200.0};
+  double speed_min_mps = 1.0;
+  double speed_max_mps = 15.0;
+  double pause_s = 0.0;  ///< dwell time at each waypoint
+};
+
+/// Build a random-waypoint process over `initial` positions.
+std::unique_ptr<MobilityModel> make_random_waypoint(std::vector<Point> initial,
+                                                    const RandomWaypointConfig& config,
+                                                    Rng rng);
+
+struct GaussMarkovConfig {
+  Rect area{0.0, 0.0, 1200.0, 1200.0};
+  double mean_speed_mps = 5.0;
+  double speed_sigma_mps = 2.0;
+  /// Memory parameter α in [0, 1): 0 = fresh random velocity every step,
+  /// →1 = nearly constant velocity.
+  double alpha = 0.75;
+};
+
+/// Build a Gauss–Markov process over `initial` positions.
+std::unique_ptr<MobilityModel> make_gauss_markov(std::vector<Point> initial,
+                                                 const GaussMarkovConfig& config, Rng rng);
+
+/// A model that never moves (control case for handover studies).
+std::unique_ptr<MobilityModel> make_static(std::vector<Point> initial);
+
+}  // namespace dmra

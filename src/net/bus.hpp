@@ -1,0 +1,117 @@
+// In-process message bus for the decentralized runtime.
+//
+// The DMRA paper's algorithm is decentralized: UEs, SPs, and BSs exchange
+// proposals, decisions, and resource broadcasts. This bus models that
+// exchange explicitly — agents only communicate through typed envelopes,
+// never by reading each other's state — while staying deterministic:
+// messages sent during round r are delivered at the start of round r+1,
+// ordered by (recipient, send sequence number).
+//
+// The bus is synchronous and single-threaded on purpose. What we need
+// from "decentralized" is the information structure (who can know what,
+// and when), not OS-level parallelism; a deterministic bus makes the
+// equivalence proof against the direct solver an exact, testable claim.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/stats.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dmra {
+
+/// Opaque agent address on a bus.
+struct AgentId {
+  std::uint32_t value = 0;
+  constexpr friend auto operator<=>(AgentId, AgentId) = default;
+  constexpr std::size_t idx() const { return value; }
+};
+
+/// A delivered message.
+template <typename Payload>
+struct Envelope {
+  AgentId from;
+  AgentId to;
+  std::uint64_t sent_round = 0;
+  std::uint64_t seq = 0;  ///< global send order, for deterministic delivery
+  Payload payload;
+};
+
+template <typename Payload>
+class MessageBus {
+ public:
+  /// Register an agent; returns its address. All registration must happen
+  /// before the first send.
+  AgentId register_agent() {
+    DMRA_REQUIRE_MSG(seq_ == 0, "register agents before any send");
+    const AgentId id{static_cast<std::uint32_t>(inboxes_.size())};
+    inboxes_.emplace_back();
+    return id;
+  }
+
+  std::size_t num_agents() const { return inboxes_.size(); }
+
+  /// Queue a message for delivery at the next deliver() call.
+  void send(AgentId from, AgentId to, Payload payload) {
+    DMRA_REQUIRE(from.idx() < inboxes_.size());
+    DMRA_REQUIRE(to.idx() < inboxes_.size());
+    pending_.push_back(Envelope<Payload>{from, to, round_, seq_++, std::move(payload)});
+    stats_.messages_sent++;
+  }
+
+  /// Make every subsequent delivery lossy: each pending message is
+  /// dropped independently with probability `drop_probability`
+  /// (deterministic per seed). Call before the first deliver().
+  void set_loss(double drop_probability, std::uint64_t seed) {
+    DMRA_REQUIRE(drop_probability >= 0.0 && drop_probability < 1.0);
+    drop_probability_ = drop_probability;
+    loss_rng_.emplace("bus-loss", seed);
+  }
+
+  /// Move pending messages into recipient inboxes and advance the round.
+  /// Returns the number delivered (dropped messages are counted in
+  /// stats().messages_dropped instead).
+  std::size_t deliver() {
+    std::size_t delivered = 0;
+    for (auto& env : pending_) {
+      if (drop_probability_ > 0.0 && loss_rng_->bernoulli(drop_probability_)) {
+        stats_.messages_dropped++;
+        continue;
+      }
+      inboxes_[env.to.idx()].push_back(std::move(env));
+      ++delivered;
+    }
+    pending_.clear();
+    ++round_;
+    stats_.rounds = round_;
+    stats_.messages_delivered += delivered;
+    return delivered;
+  }
+
+  /// Drain an agent's inbox (messages are in send order; the bus never
+  /// reorders messages to the same recipient).
+  std::vector<Envelope<Payload>> take_inbox(AgentId agent) {
+    DMRA_REQUIRE(agent.idx() < inboxes_.size());
+    return std::exchange(inboxes_[agent.idx()], {});
+  }
+
+  bool inbox_empty(AgentId agent) const { return inboxes_[agent.idx()].empty(); }
+
+  std::uint64_t round() const { return round_; }
+  const BusStats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::vector<Envelope<Payload>>> inboxes_;
+  std::vector<Envelope<Payload>> pending_;
+  std::uint64_t round_ = 0;
+  std::uint64_t seq_ = 0;
+  BusStats stats_;
+  double drop_probability_ = 0.0;
+  std::optional<Rng> loss_rng_;
+};
+
+}  // namespace dmra

@@ -1,0 +1,15 @@
+#include "net/stats.hpp"
+
+#include <sstream>
+
+namespace dmra {
+
+std::string to_string(const BusStats& stats) {
+  std::ostringstream os;
+  os << "rounds=" << stats.rounds << " sent=" << stats.messages_sent
+     << " delivered=" << stats.messages_delivered;
+  if (stats.messages_dropped > 0) os << " dropped=" << stats.messages_dropped;
+  return os.str();
+}
+
+}  // namespace dmra

@@ -1,0 +1,20 @@
+// Message-bus traffic statistics, reported by the decentralized runtime
+// (the coordination cost the paper's complexity analysis talks about).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dmra {
+
+struct BusStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  ///< lost by the lossy-network model
+};
+
+/// One-line human-readable rendering.
+std::string to_string(const BusStats& stats);
+
+}  // namespace dmra

@@ -1,0 +1,42 @@
+#include "radio/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dmra {
+
+const char* pathloss_model_name(PathlossModel model) {
+  switch (model) {
+    case PathlossModel::kPaperEq18: return "paper-eq18";
+    case PathlossModel::kFreeSpace: return "free-space";
+    case PathlossModel::kLteMacro: return "lte-macro";
+    case PathlossModel::kTwoRay: return "two-ray";
+  }
+  return "?";
+}
+
+double pathloss_db(PathlossModel model, double distance_m, const PathlossParams& params) {
+  DMRA_REQUIRE(distance_m >= 0.0);
+  DMRA_REQUIRE(params.min_distance_m > 0.0);
+  const double d_m = std::max(distance_m, params.min_distance_m);
+  const double d_km = d_m / 1000.0;
+  switch (model) {
+    case PathlossModel::kPaperEq18:
+      return 140.7 + 36.7 * std::log10(d_km);
+    case PathlossModel::kFreeSpace:
+      DMRA_REQUIRE(params.carrier_mhz > 0.0);
+      return 32.45 + 20.0 * std::log10(d_km) + 20.0 * std::log10(params.carrier_mhz);
+    case PathlossModel::kLteMacro:
+      return 128.1 + 37.6 * std::log10(d_km);
+    case PathlossModel::kTwoRay:
+      DMRA_REQUIRE(params.bs_height_m > 0.0 && params.ue_height_m > 0.0);
+      return 40.0 * std::log10(d_m) -
+             20.0 * std::log10(params.bs_height_m * params.ue_height_m);
+  }
+  DMRA_REQUIRE_MSG(false, "unknown path-loss model");
+  return 0.0;
+}
+
+}  // namespace dmra

@@ -1,0 +1,38 @@
+// Pluggable large-scale path-loss models.
+//
+// The paper fixes its own model (Eq. 18, the default); the alternatives
+// let downstream users study how the allocation results depend on the
+// propagation environment (bench abl5_channel_models) without touching
+// the rest of the stack.
+//
+// All models return loss in dB for a distance in meters; distances below
+// `min_distance_m` are clamped (every model diverges at d → 0).
+#pragma once
+
+namespace dmra {
+
+enum class PathlossModel {
+  /// Eq. 18: 140.7 + 36.7·log10(d_km). The paper's uplink model.
+  kPaperEq18,
+  /// Free-space (Friis): 32.45 + 20·log10(d_km) + 20·log10(f_MHz).
+  kFreeSpace,
+  /// Classic 3GPP LTE macro NLOS at 2 GHz: 128.1 + 37.6·log10(d_km).
+  kLteMacro,
+  /// Two-ray ground reflection: 40·log10(d_m) − 20·log10(h_bs·h_ue).
+  kTwoRay,
+};
+
+const char* pathloss_model_name(PathlossModel model);
+
+/// Model parameters; only the fields a model uses matter to it.
+struct PathlossParams {
+  double carrier_mhz = 2000.0;  ///< free-space
+  double bs_height_m = 25.0;    ///< two-ray
+  double ue_height_m = 1.5;     ///< two-ray
+  double min_distance_m = 1.0;
+};
+
+/// Path loss in dB at `distance_m` meters under `model`.
+double pathloss_db(PathlossModel model, double distance_m, const PathlossParams& params);
+
+}  // namespace dmra

@@ -1,0 +1,23 @@
+#include "radio/units.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dmra {
+
+double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+double mw_to_dbm(double mw) {
+  DMRA_REQUIRE(mw > 0.0);
+  return 10.0 * std::log10(mw);
+}
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+double linear_to_db(double linear) {
+  DMRA_REQUIRE(linear > 0.0);
+  return 10.0 * std::log10(linear);
+}
+
+}  // namespace dmra

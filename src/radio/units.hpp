@@ -1,0 +1,23 @@
+// Power/rate unit conversions.
+//
+// Internally the radio substrate works in linear units (mW, Hz, bit/s);
+// dBm/dB appear only at configuration boundaries, converted here.
+#pragma once
+
+namespace dmra {
+
+/// dBm → milliwatts.
+double dbm_to_mw(double dbm);
+
+/// milliwatts → dBm. Requires mw > 0.
+double mw_to_dbm(double mw);
+
+/// dB ratio → linear ratio.
+double db_to_linear(double db);
+
+/// linear ratio → dB. Requires linear > 0.
+double linear_to_db(double linear);
+
+inline constexpr double kBitsPerMbit = 1e6;
+
+}  // namespace dmra

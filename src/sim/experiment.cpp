@@ -1,0 +1,138 @@
+#include "sim/experiment.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "sim/feasibility.hpp"
+#include "util/log.hpp"
+#include "util/require.hpp"
+
+namespace dmra {
+
+std::vector<std::uint64_t> default_seeds(std::size_t n) {
+  std::vector<std::uint64_t> seeds(n);
+  std::iota(seeds.begin(), seeds.end(), std::uint64_t{1});
+  return seeds;
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  DMRA_REQUIRE_MSG(!spec.xs.empty(), "experiment needs at least one sweep point");
+  DMRA_REQUIRE_MSG(static_cast<bool>(spec.make_config), "make_config is required");
+  DMRA_REQUIRE_MSG(static_cast<bool>(spec.make_allocators), "make_allocators is required");
+  DMRA_REQUIRE_MSG(!spec.seeds.empty(), "experiment needs at least one seed");
+
+  const auto metric = spec.metric ? spec.metric
+                                  : [](const RunMetrics& m) { return m.total_profit; };
+
+  ExperimentResult result;
+  result.title = spec.title;
+  result.x_label = spec.x_label;
+  result.metric_label = spec.metric_label;
+  result.xs = spec.xs;
+
+  for (double x : spec.xs) {
+    const std::vector<AllocatorPtr> allocators = spec.make_allocators(x);
+    DMRA_REQUIRE_MSG(!allocators.empty(), "make_allocators returned no algorithms");
+    if (result.algo_names.empty()) {
+      for (const auto& a : allocators) result.algo_names.push_back(a->name());
+    } else {
+      DMRA_REQUIRE_MSG(result.algo_names.size() == allocators.size(),
+                       "algorithm set must be identical at every sweep point");
+    }
+
+    std::vector<RunningStats> stats(allocators.size());
+    for (std::uint64_t seed : spec.seeds) {
+      const Scenario scenario = generate_scenario(spec.make_config(x), seed);
+      for (std::size_t ai = 0; ai < allocators.size(); ++ai) {
+        const Allocation alloc = allocators[ai]->allocate(scenario);
+        if (spec.check_feasible) {
+          const FeasibilityReport report = check_feasibility(scenario, alloc);
+          DMRA_REQUIRE_MSG(report.ok, allocators[ai]->name() + " produced an infeasible " +
+                                          "allocation: " +
+                                          (report.violations.empty()
+                                               ? std::string("?")
+                                               : report.violations.front()));
+        }
+        stats[ai].add(metric(evaluate(scenario, alloc)));
+      }
+    }
+
+    std::vector<Summary> row;
+    row.reserve(allocators.size());
+    for (const RunningStats& s : stats) {
+      Summary sum;
+      sum.count = s.count();
+      sum.mean = s.mean();
+      sum.stddev = s.stddev();
+      sum.stderr_mean = s.stderr_mean();
+      sum.min = s.min();
+      sum.max = s.max();
+      row.push_back(sum);
+    }
+    result.cells.push_back(std::move(row));
+    DMRA_INFO("experiment '" << spec.title << "': finished x=" << x);
+  }
+  return result;
+}
+
+Table ExperimentResult::to_significance_table() const {
+  DMRA_REQUIRE_MSG(algo_names.size() >= 2, "need a challenger to compare against");
+  Table table({x_label, "comparison", "mean diff", "t", "df", "significant (95%)"});
+  for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+    const Summary& lead = cells[xi][0];
+    for (std::size_t ai = 1; ai < cells[xi].size(); ++ai) {
+      const Summary& other = cells[xi][ai];
+      const WelchResult w =
+          welch_t_test(lead.mean, lead.stddev * lead.stddev, lead.count, other.mean,
+                       other.stddev * other.stddev, other.count);
+      table.add_row({fmt(xs[xi], 0), algo_names[0] + " vs " + algo_names[ai],
+                     fmt(lead.mean - other.mean), fmt(w.t), fmt(w.df, 1),
+                     w.significant_95 ? "yes" : "no"});
+    }
+  }
+  return table;
+}
+
+std::string ExperimentResult::to_dat() const {
+  std::ostringstream os;
+  os << "# " << title << '\n' << "# " << x_label;
+  for (const std::string& name : algo_names) os << ' ' << name << " ci95";
+  os << '\n';
+  for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+    os << xs[xi];
+    for (const Summary& s : cells[xi]) os << ' ' << s.mean << ' ' << 1.96 * s.stderr_mean;
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string ExperimentResult::to_gnuplot(const std::string& data_filename) const {
+  std::ostringstream os;
+  os << "set title \"" << title << "\"\n"
+     << "set xlabel \"" << x_label << "\"\n"
+     << "set ylabel \"" << metric_label << "\"\n"
+     << "set key left top\nset grid\nset style data linespoints\n"
+     << "plot ";
+  for (std::size_t ai = 0; ai < algo_names.size(); ++ai) {
+    if (ai) os << ", \\\n     ";
+    const std::size_t mean_col = 2 + 2 * ai;
+    os << '"' << data_filename << "\" using 1:" << mean_col << ':' << mean_col + 1
+       << " with yerrorlines title \"" << algo_names[ai] << '"';
+  }
+  os << '\n';
+  return os.str();
+}
+
+Table ExperimentResult::to_table() const {
+  std::vector<std::string> header{x_label};
+  for (const std::string& name : algo_names) header.push_back(name);
+  Table table(std::move(header));
+  for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+    std::vector<std::string> row{fmt(xs[xi], xs[xi] == static_cast<long long>(xs[xi]) ? 0 : 2)};
+    for (const Summary& s : cells[xi]) row.push_back(fmt_pm(s.mean, 1.96 * s.stderr_mean));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace dmra

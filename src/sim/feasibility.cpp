@@ -1,0 +1,65 @@
+#include "sim/feasibility.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace dmra {
+
+FeasibilityReport check_feasibility(const Scenario& scenario, const Allocation& alloc) {
+  DMRA_REQUIRE(alloc.num_ues() == scenario.num_ues());
+  FeasibilityReport report;
+  auto violate = [&](const std::string& line) {
+    report.ok = false;
+    report.violations.push_back(line);
+  };
+
+  // Tally demand per (BS, service) and per BS.
+  std::vector<std::uint64_t> cru_used(scenario.num_bss() * scenario.num_services(), 0);
+  std::vector<std::uint64_t> rrb_used(scenario.num_bss(), 0);
+
+  for (std::size_t ui = 0; ui < scenario.num_ues(); ++ui) {
+    const UeId u{static_cast<std::uint32_t>(ui)};
+    const auto assigned = alloc.bs_of(u);
+    if (!assigned) continue;
+    const BsId i = *assigned;
+    const UserEquipment& e = scenario.ue(u);
+    const BaseStation& b = scenario.bs(i);
+    const LinkStats& l = scenario.link(u, i);
+    std::ostringstream tag;
+    tag << "ue " << u.value << " @ bs " << i.value << ": ";
+
+    if (!l.in_coverage) violate(tag.str() + "out of coverage");
+    if (!b.hosts(e.service))
+      violate(tag.str() + "BS does not host the requested service (Eq. 13)");
+    if (l.n_rrbs == 0) violate(tag.str() + "link cannot carry the demanded rate");
+    if (scenario.pricing().m_k <= scenario.price(u, i) + scenario.pricing().m_k_o)
+      violate(tag.str() + "pair is unprofitable for the SP (Eq. 16)");
+
+    cru_used[i.idx() * scenario.num_services() + e.service.idx()] += e.cru_demand;
+    rrb_used[i.idx()] += l.n_rrbs;
+  }
+
+  for (std::size_t bi = 0; bi < scenario.num_bss(); ++bi) {
+    const BsId i{static_cast<std::uint32_t>(bi)};
+    const BaseStation& b = scenario.bs(i);
+    for (std::size_t j = 0; j < scenario.num_services(); ++j) {
+      const std::uint64_t used = cru_used[bi * scenario.num_services() + j];
+      if (used > b.cru_capacity[j]) {
+        std::ostringstream os;
+        os << "bs " << bi << " service " << j << ": CRU demand " << used
+           << " exceeds capacity " << b.cru_capacity[j] << " (Eq. 12)";
+        violate(os.str());
+      }
+    }
+    if (rrb_used[bi] > b.num_rrbs) {
+      std::ostringstream os;
+      os << "bs " << bi << ": RRB demand " << rrb_used[bi] << " exceeds budget "
+         << b.num_rrbs << " (Eq. 14)";
+      violate(os.str());
+    }
+  }
+  return report;
+}
+
+}  // namespace dmra

@@ -1,0 +1,29 @@
+// From-scratch validation of an allocation against the TPM constraints
+// (paper Eq. 12–16). Independent of any allocator's internal ledger, so
+// it catches allocator bugs rather than inheriting them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mec/allocation.hpp"
+#include "mec/scenario.hpp"
+
+namespace dmra {
+
+struct FeasibilityReport {
+  bool ok = true;
+  /// One human-readable line per violated constraint instance.
+  std::vector<std::string> violations;
+};
+
+/// Checks, for every BS and UE:
+///  * Eq. 12 — per-(BS, service) CRU demand within capacity;
+///  * Eq. 13 — serving BS hosts the requested service;
+///  * Eq. 14 — per-BS RRB demand within budget;
+///  * Eq. 15 — structural (an Allocation can't double-assign, asserted anyway);
+///  * Eq. 16 — every realized pair is strictly profitable for the SP;
+///  * coverage — the serving BS covers the UE (implicit in the model).
+FeasibilityReport check_feasibility(const Scenario& scenario, const Allocation& alloc);
+
+}  // namespace dmra

@@ -1,0 +1,47 @@
+#include "sim/metrics.hpp"
+
+#include "radio/units.hpp"
+#include "util/require.hpp"
+
+namespace dmra {
+
+RunMetrics evaluate(const Scenario& scenario, const Allocation& alloc) {
+  DMRA_REQUIRE(alloc.num_ues() == scenario.num_ues());
+  RunMetrics m;
+
+  const ProfitBreakdown profit = compute_profit(scenario, alloc);
+  m.total_profit = profit.total;
+  m.per_sp_profit = profit.per_sp;
+  m.forwarded_traffic_mbps = forwarded_traffic_bps(scenario, alloc) / kBitsPerMbit;
+  m.served = alloc.num_served();
+  m.cloud = alloc.num_cloud();
+  m.served_ratio =
+      scenario.num_ues() ? static_cast<double>(m.served) / static_cast<double>(scenario.num_ues())
+                         : 0.0;
+  m.same_sp_ratio = same_sp_ratio(scenario, alloc);
+
+  std::vector<std::uint64_t> cru_used(scenario.num_bss(), 0);
+  std::vector<std::uint64_t> rrb_used(scenario.num_bss(), 0);
+  for (std::size_t ui = 0; ui < scenario.num_ues(); ++ui) {
+    const UeId u{static_cast<std::uint32_t>(ui)};
+    const auto bs = alloc.bs_of(u);
+    if (!bs) continue;
+    cru_used[bs->idx()] += scenario.ue(u).cru_demand;
+    rrb_used[bs->idx()] += scenario.link(u, *bs).n_rrbs;
+  }
+  double cru_util_sum = 0.0;
+  double rrb_util_sum = 0.0;
+  for (std::size_t bi = 0; bi < scenario.num_bss(); ++bi) {
+    const BaseStation& b = scenario.bs(BsId{static_cast<std::uint32_t>(bi)});
+    std::uint64_t cap = 0;
+    for (std::uint32_t c : b.cru_capacity) cap += c;
+    cru_util_sum += cap ? static_cast<double>(cru_used[bi]) / static_cast<double>(cap) : 0.0;
+    rrb_util_sum +=
+        b.num_rrbs ? static_cast<double>(rrb_used[bi]) / static_cast<double>(b.num_rrbs) : 0.0;
+  }
+  m.mean_cru_utilization = cru_util_sum / static_cast<double>(scenario.num_bss());
+  m.mean_rrb_utilization = rrb_util_sum / static_cast<double>(scenario.num_bss());
+  return m;
+}
+
+}  // namespace dmra

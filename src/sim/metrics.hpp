@@ -1,0 +1,26 @@
+// Everything the paper's evaluation section measures, extracted from one
+// (Scenario, Allocation) pair.
+#pragma once
+
+#include <vector>
+
+#include "mec/allocation.hpp"
+#include "mec/scenario.hpp"
+
+namespace dmra {
+
+struct RunMetrics {
+  double total_profit = 0.0;           ///< Eq. 11 — Figs. 2–6's y-axis
+  std::vector<double> per_sp_profit;   ///< W_k per SP
+  double forwarded_traffic_mbps = 0.0; ///< Fig. 7's y-axis
+  std::size_t served = 0;              ///< UEs served at the MEC layer
+  std::size_t cloud = 0;               ///< UEs forwarded to the cloud
+  double served_ratio = 0.0;
+  double same_sp_ratio = 0.0;          ///< of served UEs, share on own-SP BSs
+  double mean_cru_utilization = 0.0;   ///< used CRUs / hosted-capacity, over BSs
+  double mean_rrb_utilization = 0.0;   ///< used RRBs / budget, over BSs
+};
+
+RunMetrics evaluate(const Scenario& scenario, const Allocation& alloc);
+
+}  // namespace dmra

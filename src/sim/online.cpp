@@ -1,0 +1,127 @@
+#include "sim/online.hpp"
+
+#include <algorithm>
+
+#include "sim/metrics.hpp"
+#include "util/require.hpp"
+
+namespace dmra {
+
+OnlineSimulator::OnlineSimulator(OnlineConfig config, const Allocator& allocator)
+    : config_(std::move(config)),
+      allocator_(&allocator),
+      base_(generate_scenario(config_.scenario, config_.seed)),
+      lifetime_rng_("online-lifetime", config_.seed) {
+  DMRA_REQUIRE(config_.lifetime_min_epochs >= 1);
+  DMRA_REQUIRE(config_.lifetime_min_epochs <= config_.lifetime_max_epochs);
+  for (const BaseStation& b : base_.bss()) {
+    crus_.push_back(b.cru_capacity);
+    rrbs_.push_back(b.num_rrbs);
+  }
+}
+
+std::uint32_t OnlineSimulator::remaining_crus(BsId i, ServiceId j) const {
+  return crus_[i.idx()][j.idx()];
+}
+
+std::uint32_t OnlineSimulator::remaining_rrbs(BsId i) const { return rrbs_[i.idx()]; }
+
+void OnlineSimulator::release_departures() {
+  auto expired = [&](const ActiveTask& t) { return t.expires_at <= epoch_; };
+  for (const ActiveTask& t : active_) {
+    if (!expired(t)) continue;
+    crus_[t.bs.idx()][t.service.idx()] += t.crus;
+    rrbs_[t.bs.idx()] += t.rrbs;
+  }
+  active_.erase(std::remove_if(active_.begin(), active_.end(), expired), active_.end());
+}
+
+Scenario OnlineSimulator::residual_scenario(std::uint64_t epoch_seed) const {
+  // Fresh arrivals for this epoch...
+  const Scenario arrivals = generate_scenario(config_.scenario, epoch_seed);
+  // ...against the deployment with its *current* remaining capacities.
+  ScenarioData data;
+  data.num_services = base_.num_services();
+  data.sps.assign(base_.sps().begin(), base_.sps().end());
+  data.bss.assign(base_.bss().begin(), base_.bss().end());
+  for (std::size_t i = 0; i < data.bss.size(); ++i) {
+    data.bss[i].cru_capacity = crus_[i];
+    data.bss[i].num_rrbs = rrbs_[i];
+  }
+  data.ues.assign(arrivals.ues().begin(), arrivals.ues().end());
+  data.channel = base_.channel();
+  data.ofdma = base_.ofdma();
+  data.pricing = base_.pricing();
+  data.coverage_radius_m = base_.coverage_radius_m();
+  return Scenario(std::move(data));
+}
+
+EpochStats OnlineSimulator::step() {
+  release_departures();
+
+  // Epoch seeds derive from the run seed via a named stream so arrival
+  // batches are independent across epochs but reproducible.
+  const std::uint64_t epoch_seed =
+      Rng("online-epoch", config_.seed ^ (epoch_ * 0x9e3779b97f4a7c15ULL))();
+  const Scenario scenario = residual_scenario(epoch_seed);
+  const Allocation alloc = allocator_->allocate(scenario);
+  const RunMetrics metrics = evaluate(scenario, alloc);
+
+  for (const UserEquipment& ue : scenario.ues()) {
+    const auto bs = alloc.bs_of(ue.id);
+    if (!bs) continue;
+    const std::uint32_t n = scenario.link(ue.id, *bs).n_rrbs;
+    DMRA_REQUIRE(crus_[bs->idx()][ue.service.idx()] >= ue.cru_demand);
+    DMRA_REQUIRE(rrbs_[bs->idx()] >= n);
+    crus_[bs->idx()][ue.service.idx()] -= ue.cru_demand;
+    rrbs_[bs->idx()] -= n;
+    const auto lifetime = static_cast<std::size_t>(lifetime_rng_.uniform_int(
+        static_cast<std::int64_t>(config_.lifetime_min_epochs),
+        static_cast<std::int64_t>(config_.lifetime_max_epochs)));
+    active_.push_back({epoch_ + lifetime, *bs, ue.service, ue.cru_demand, n});
+  }
+
+  EpochStats stats;
+  stats.epoch = epoch_;
+  stats.arrivals = scenario.num_ues();
+  stats.served = metrics.served;
+  stats.cloud = metrics.cloud;
+  stats.profit = metrics.total_profit;
+  stats.forwarded_mbps = metrics.forwarded_traffic_mbps;
+  stats.active_tasks = active_.size();
+  double util = 0.0;
+  for (std::size_t i = 0; i < rrbs_.size(); ++i) {
+    const BaseStation& b = base_.bs(BsId{static_cast<std::uint32_t>(i)});
+    util += b.num_rrbs ? 1.0 - static_cast<double>(rrbs_[i]) / b.num_rrbs : 0.0;
+  }
+  stats.mean_rrb_utilization = util / static_cast<double>(rrbs_.size());
+
+  ++epoch_;
+  return stats;
+}
+
+OnlineResult OnlineSimulator::run() {
+  OnlineResult result;
+  for (std::size_t e = 0; e < config_.epochs; ++e) {
+    const EpochStats stats = step();
+    result.cumulative_profit += stats.profit;
+    result.total_served += stats.served;
+    result.total_cloud += stats.cloud;
+    result.epochs.push_back(stats);
+  }
+  return result;
+}
+
+Table OnlineResult::to_table() const {
+  Table table({"epoch", "arrivals", "served", "cloud", "profit", "fwd (Mbps)",
+               "active", "RRB util"});
+  for (const EpochStats& e : epochs) {
+    table.add_row({std::to_string(e.epoch), std::to_string(e.arrivals),
+                   std::to_string(e.served), std::to_string(e.cloud), fmt(e.profit),
+                   fmt(e.forwarded_mbps), std::to_string(e.active_tasks),
+                   fmt(e.mean_rrb_utilization)});
+  }
+  return table;
+}
+
+}  // namespace dmra

@@ -1,0 +1,99 @@
+// Online (epochized) simulation: batches of tasks arrive, hold edge
+// resources for a few epochs, and depart — the "continuously adjust the
+// allocation" operation the paper's §V motivates for DMRA.
+//
+// Each epoch the simulator:
+//   1. releases the resources of departing tasks,
+//   2. draws a fresh arrival batch (seeded per epoch),
+//   3. builds the residual scenario (same deployment, current remaining
+//      capacities) and runs the configured allocator on it,
+//   4. commits the winners and records the epoch's metrics.
+//
+// Any Allocator works, so online DMRA can be compared with online
+// baselines under identical arrival processes (bench abl6_online).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mec/allocator.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace dmra {
+
+struct OnlineConfig {
+  /// Deployment and per-arrival distributions. `scenario.num_ues` is the
+  /// arrival batch size per epoch.
+  ScenarioConfig scenario;
+  std::size_t epochs = 14;
+  /// Task lifetime in epochs, drawn uniformly per task (inclusive).
+  std::size_t lifetime_min_epochs = 3;
+  std::size_t lifetime_max_epochs = 5;
+  std::uint64_t seed = 1;
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  std::size_t arrivals = 0;
+  std::size_t served = 0;
+  std::size_t cloud = 0;
+  double profit = 0.0;
+  double forwarded_mbps = 0.0;
+  std::size_t active_tasks = 0;      ///< tasks holding edge resources after the epoch
+  double mean_rrb_utilization = 0.0; ///< across BSs, after the epoch
+};
+
+struct OnlineResult {
+  std::vector<EpochStats> epochs;
+  double cumulative_profit = 0.0;
+  std::size_t total_served = 0;
+  std::size_t total_cloud = 0;
+
+  /// One row per epoch, the columns of EpochStats.
+  Table to_table() const;
+};
+
+/// Epoch-stepped simulator. Deterministic in (config, allocator).
+class OnlineSimulator {
+ public:
+  /// `allocator` must outlive the simulator.
+  OnlineSimulator(OnlineConfig config, const Allocator& allocator);
+
+  /// Execute one epoch; returns its stats. Callable past config.epochs
+  /// (the epoch counter just keeps running).
+  EpochStats step();
+
+  /// Run `config.epochs` epochs from the current position.
+  OnlineResult run();
+
+  /// Remaining CRUs of service j at BS i right now.
+  std::uint32_t remaining_crus(BsId i, ServiceId j) const;
+  /// Remaining RRBs at BS i right now.
+  std::uint32_t remaining_rrbs(BsId i) const;
+  std::size_t active_tasks() const { return active_.size(); }
+  std::size_t current_epoch() const { return epoch_; }
+
+ private:
+  struct ActiveTask {
+    std::size_t expires_at;
+    BsId bs;
+    ServiceId service;
+    std::uint32_t crus;
+    std::uint32_t rrbs;
+  };
+
+  OnlineConfig config_;
+  const Allocator* allocator_;
+  Scenario base_;  ///< the fixed deployment (epoch scenarios reuse it)
+  std::vector<std::vector<std::uint32_t>> crus_;  ///< live per-(BS, service)
+  std::vector<std::uint32_t> rrbs_;               ///< live per-BS
+  std::vector<ActiveTask> active_;
+  std::size_t epoch_ = 0;
+  Rng lifetime_rng_;
+
+  Scenario residual_scenario(std::uint64_t epoch_seed) const;
+  void release_departures();
+};
+
+}  // namespace dmra

@@ -1,0 +1,62 @@
+#include "sim/qos.hpp"
+
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace dmra {
+
+double edge_latency_ms(const LatencyModel& model, double distance_m) {
+  DMRA_REQUIRE(distance_m >= 0.0);
+  return model.edge_base_ms + model.per_km_ms * distance_m / 1000.0;
+}
+
+double cloud_latency_ms(const LatencyModel& model) {
+  return model.edge_base_ms + model.cloud_rtt_ms;
+}
+
+double jain_index(std::span<const double> xs) {
+  DMRA_REQUIRE(!xs.empty());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    DMRA_REQUIRE_MSG(x >= 0.0, "Jain index needs non-negative values");
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all zero → perfectly equal
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+QosMetrics evaluate_qos(const Scenario& scenario, const Allocation& alloc,
+                        const LatencyModel& model) {
+  DMRA_REQUIRE(alloc.num_ues() == scenario.num_ues());
+  QosMetrics q;
+  q.per_ue_latency_ms.reserve(scenario.num_ues());
+
+  RunningStats all;
+  RunningStats edge;
+  for (std::size_t ui = 0; ui < scenario.num_ues(); ++ui) {
+    const UeId u{static_cast<std::uint32_t>(ui)};
+    double latency;
+    if (const auto bs = alloc.bs_of(u)) {
+      latency = edge_latency_ms(model, scenario.link(u, *bs).distance_m);
+      edge.add(latency);
+    } else {
+      latency = cloud_latency_ms(model);
+    }
+    all.add(latency);
+    q.per_ue_latency_ms.push_back(latency);
+  }
+  q.mean_latency_ms = all.mean();
+  q.mean_edge_latency_ms = edge.empty() ? 0.0 : edge.mean();
+  q.p95_latency_ms = percentile(q.per_ue_latency_ms, 0.95);
+
+  const ProfitBreakdown profit = compute_profit(scenario, alloc);
+  // Profit can in principle be negative only if Eq. 16 were violated;
+  // Scenario validation guarantees it is not, so Jain is well-defined.
+  q.jain_sp_profit = jain_index(profit.per_sp);
+  q.jain_ue_latency = jain_index(q.per_ue_latency_ms);
+  return q;
+}
+
+}  // namespace dmra

@@ -1,0 +1,51 @@
+// QoS-side evaluation: latency proxy and fairness indices.
+//
+// The paper's motivation is QoS/QoE — edge serving beats the cloud on
+// latency, and distance "determines the transmission delay and user
+// experience" (§V) — but its evaluation only plots profit. This module
+// adds the QoS view: a simple, documented latency proxy per task and
+// Jain fairness indices over SPs and UEs, so allocation schemes can be
+// compared on what users feel, not just on what operators earn.
+#pragma once
+
+#include <span>
+
+#include "mec/allocation.hpp"
+#include "mec/scenario.hpp"
+
+namespace dmra {
+
+/// Latency proxy parameters. Not a physical model: `per_km_ms` stands in
+/// for the multi-hop backhaul/retransmission cost that grows with UE–BS
+/// distance (physical propagation alone would be negligible), and
+/// `cloud_rtt_ms` is the WAN detour every forwarded task pays.
+struct LatencyModel {
+  double edge_base_ms = 2.0;    ///< MEC processing + radio access floor
+  double per_km_ms = 5.0;       ///< distance-dependent access cost
+  double cloud_rtt_ms = 60.0;   ///< extra round trip for cloud-forwarded tasks
+};
+
+/// Latency proxy of one served task at distance `distance_m`.
+double edge_latency_ms(const LatencyModel& model, double distance_m);
+
+/// Latency proxy of a cloud-forwarded task.
+double cloud_latency_ms(const LatencyModel& model);
+
+/// Jain's fairness index: (Σx)² / (n·Σx²). 1 when all equal, 1/n when a
+/// single element holds everything. Requires non-empty, non-negative
+/// input with a positive sum; returns 1.0 for an all-zero vector.
+double jain_index(std::span<const double> xs);
+
+struct QosMetrics {
+  double mean_latency_ms = 0.0;       ///< over every UE (cloud included)
+  double mean_edge_latency_ms = 0.0;  ///< over served UEs only
+  double p95_latency_ms = 0.0;        ///< over every UE
+  double jain_sp_profit = 0.0;        ///< fairness of W_k across SPs
+  double jain_ue_latency = 0.0;       ///< fairness of latency across UEs
+  std::vector<double> per_ue_latency_ms;
+};
+
+QosMetrics evaluate_qos(const Scenario& scenario, const Allocation& alloc,
+                        const LatencyModel& model = {});
+
+}  // namespace dmra

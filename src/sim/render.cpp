@@ -1,0 +1,140 @@
+#include "sim/render.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace dmra {
+
+namespace {
+
+struct Frame {
+  double x0, y0, x1, y1;
+  std::size_t cols, rows;
+
+  std::size_t col_of(double x) const {
+    const double t = (x - x0) / std::max(x1 - x0, 1e-9);
+    return std::min(cols - 1, static_cast<std::size_t>(std::max(0.0, t) *
+                                                       static_cast<double>(cols)));
+  }
+  std::size_t row_of(double y) const {
+    const double t = (y - y0) / std::max(y1 - y0, 1e-9);
+    // Row 0 is the top of the printout = the maximum y.
+    const std::size_t r = std::min(
+        rows - 1,
+        static_cast<std::size_t>(std::max(0.0, t) * static_cast<double>(rows)));
+    return rows - 1 - r;
+  }
+};
+
+Frame fit_frame(const Scenario& scenario, const RenderOptions& options) {
+  DMRA_REQUIRE(options.cols >= 8 && options.rows >= 4);
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;
+  bool first = true;
+  auto grow = [&](const Point& p) {
+    if (first) {
+      x0 = x1 = p.x;
+      y0 = y1 = p.y;
+      first = false;
+      return;
+    }
+    x0 = std::min(x0, p.x);
+    x1 = std::max(x1, p.x);
+    y0 = std::min(y0, p.y);
+    y1 = std::max(y1, p.y);
+  };
+  for (const BaseStation& b : scenario.bss()) grow(b.position);
+  for (const UserEquipment& u : scenario.ues()) grow(u.position);
+  return Frame{x0, y0, x1, y1, options.cols, options.rows};
+}
+
+char density_glyph(std::size_t count, std::size_t max_count) {
+  static constexpr char kShades[] = {' ', '.', ':', '+', '*', '#', '@'};
+  if (count == 0 || max_count == 0) return ' ';
+  const double t = static_cast<double>(count) / static_cast<double>(max_count);
+  const auto idx =
+      1 + static_cast<std::size_t>(t * 5.999) % 6;  // 1..6, never back to ' '
+  return kShades[std::min<std::size_t>(idx, 6)];
+}
+
+std::string draw(const Frame& frame, const std::vector<std::string>& grid) {
+  std::ostringstream os;
+  os << '+' << std::string(frame.cols, '-') << "+\n";
+  for (const std::string& row : grid) os << '|' << row << "|\n";
+  os << '+' << std::string(frame.cols, '-') << "+\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_deployment(const Scenario& scenario, const RenderOptions& options) {
+  const Frame frame = fit_frame(scenario, options);
+  std::vector<std::vector<std::size_t>> counts(options.rows,
+                                               std::vector<std::size_t>(options.cols, 0));
+  for (const UserEquipment& u : scenario.ues())
+    counts[frame.row_of(u.position.y)][frame.col_of(u.position.x)]++;
+  std::size_t max_count = 0;
+  for (const auto& row : counts)
+    for (std::size_t c : row) max_count = std::max(max_count, c);
+
+  std::vector<std::string> grid(options.rows, std::string(options.cols, ' '));
+  for (std::size_t r = 0; r < options.rows; ++r)
+    for (std::size_t c = 0; c < options.cols; ++c)
+      grid[r][c] = density_glyph(counts[r][c], max_count);
+  for (const BaseStation& b : scenario.bss()) {
+    grid[frame.row_of(b.position.y)][frame.col_of(b.position.x)] =
+        static_cast<char>('A' + (b.sp.value % 26));
+  }
+
+  std::string out = draw(frame, grid);
+  if (options.legend) {
+    out += "UE density: . : + * # @ (light to heavy); letters = BSs by owning SP "
+           "(A = SP-0, ...)\n";
+  }
+  return out;
+}
+
+std::string render_utilization(const Scenario& scenario, const Allocation& alloc,
+                               const RenderOptions& options) {
+  DMRA_REQUIRE(alloc.num_ues() == scenario.num_ues());
+  const Frame frame = fit_frame(scenario, options);
+
+  // Per-BS RRB usage under the allocation.
+  std::vector<std::uint64_t> rrb_used(scenario.num_bss(), 0);
+  std::vector<std::vector<std::size_t>> cloud(options.rows,
+                                              std::vector<std::size_t>(options.cols, 0));
+  for (std::size_t ui = 0; ui < scenario.num_ues(); ++ui) {
+    const UeId u{static_cast<std::uint32_t>(ui)};
+    if (const auto bs = alloc.bs_of(u)) {
+      rrb_used[bs->idx()] += scenario.link(u, *bs).n_rrbs;
+    } else {
+      const Point& p = scenario.ue(u).position;
+      cloud[frame.row_of(p.y)][frame.col_of(p.x)]++;
+    }
+  }
+  std::size_t max_cloud = 0;
+  for (const auto& row : cloud)
+    for (std::size_t c : row) max_cloud = std::max(max_cloud, c);
+
+  std::vector<std::string> grid(options.rows, std::string(options.cols, ' '));
+  for (std::size_t r = 0; r < options.rows; ++r)
+    for (std::size_t c = 0; c < options.cols; ++c)
+      grid[r][c] = cloud[r][c] ? density_glyph(cloud[r][c], max_cloud) : ' ';
+  for (const BaseStation& b : scenario.bss()) {
+    const double util =
+        b.num_rrbs ? static_cast<double>(rrb_used[b.id.idx()]) / b.num_rrbs : 0.0;
+    const auto bucket = static_cast<char>('0' + std::min(9, static_cast<int>(util * 10.0)));
+    grid[frame.row_of(b.position.y)][frame.col_of(b.position.x)] = bucket;
+  }
+
+  std::string out = draw(frame, grid);
+  if (options.legend) {
+    out += "digits = BS RRB utilization (0 = idle, 9 = full); shades = cloud-forwarded "
+           "UE density\n";
+  }
+  return out;
+}
+
+}  // namespace dmra

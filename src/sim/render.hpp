@@ -1,0 +1,30 @@
+// ASCII rendering of deployments and allocations — a quick, dependency-
+// free way to *see* a scenario: where the BSs sit, how the population
+// clusters, and which cells run hot after an allocation.
+#pragma once
+
+#include <string>
+
+#include "mec/allocation.hpp"
+#include "mec/scenario.hpp"
+
+namespace dmra {
+
+struct RenderOptions {
+  std::size_t cols = 60;  ///< character grid width
+  std::size_t rows = 24;  ///< character grid height
+  bool legend = true;     ///< append a legend below the map
+};
+
+/// Deployment map: UE density as ' '.:+*#@' shades, BSs overlaid as the
+/// owning SP's letter (SP 0 → 'A', SP 1 → 'B', ...).
+std::string render_deployment(const Scenario& scenario, const RenderOptions& options = {});
+
+/// Utilization map: each BS drawn as its RRB utilization bucket under
+/// `alloc` (digits '0'..'9' for 0–100%, with '9' ≈ full); non-BS cells
+/// show the density of *cloud-forwarded* UEs, making stranded hotspots
+/// visible.
+std::string render_utilization(const Scenario& scenario, const Allocation& alloc,
+                               const RenderOptions& options = {});
+
+}  // namespace dmra

@@ -1,0 +1,46 @@
+#include "topology/placement.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dmra {
+
+const char* placement_name(PlacementMethod m) {
+  switch (m) {
+    case PlacementMethod::kRegularGrid: return "regular";
+    case PlacementMethod::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::vector<Point> place_bss(PlacementMethod method, const Rect& area, std::size_t num_bss,
+                             double grid_spacing_m, Rng& rng) {
+  DMRA_REQUIRE(num_bss > 0);
+  switch (method) {
+    case PlacementMethod::kRandom:
+      return sample_uniform(area, num_bss, rng);
+    case PlacementMethod::kRegularGrid: {
+      const auto cols =
+          static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(num_bss))));
+      const std::size_t rows = (num_bss + cols - 1) / cols;
+      std::vector<Point> pts = grid_points(area, rows, cols, grid_spacing_m);
+      pts.resize(num_bss);
+      return pts;
+    }
+  }
+  DMRA_REQUIRE_MSG(false, "unknown placement method");
+  return {};
+}
+
+std::vector<SpId> assign_owners(OwnershipPolicy policy, std::size_t num_bss,
+                                std::size_t num_sps, Rng& rng) {
+  DMRA_REQUIRE(num_bss > 0 && num_sps > 0);
+  std::vector<SpId> owners(num_bss);
+  for (std::size_t i = 0; i < num_bss; ++i)
+    owners[i] = SpId{static_cast<std::uint32_t>(i % num_sps)};
+  if (policy == OwnershipPolicy::kShuffled) rng.shuffle(owners);
+  return owners;
+}
+
+}  // namespace dmra

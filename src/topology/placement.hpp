@@ -1,0 +1,42 @@
+// BS placement and SP ownership (paper §VI-A).
+//
+// Two placement methods are evaluated in the paper:
+//  * regular — a square grid with 300 m inter-site distance;
+//  * random  — uniform in a 1200 m × 1200 m rectangle.
+// Ownership interleaves SPs round-robin across sites so that overlapping
+// coverage areas mix operators (the paper's densely-deployed premise).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+#include "mec/ids.hpp"
+#include "util/rng.hpp"
+
+namespace dmra {
+
+enum class PlacementMethod {
+  kRegularGrid,  ///< near-square grid, fixed inter-site distance
+  kRandom,       ///< uniform in the deployment area
+};
+
+const char* placement_name(PlacementMethod m);
+
+/// Site positions for `num_bss` BSs.
+///
+/// Regular: the most-square rows × cols grid with rows·cols ≥ num_bss,
+/// spaced `grid_spacing_m`, centered in `area`; extra sites are dropped
+/// from the end. Random: uniform samples (consumes `rng`).
+std::vector<Point> place_bss(PlacementMethod method, const Rect& area, std::size_t num_bss,
+                             double grid_spacing_m, Rng& rng);
+
+/// SP owner per site. `kRoundRobin` interleaves SPs (site s → SP s mod K)
+/// so neighbouring sites belong to different operators; `kShuffled`
+/// assigns each SP an equal share at random positions.
+enum class OwnershipPolicy { kRoundRobin, kShuffled };
+
+std::vector<SpId> assign_owners(OwnershipPolicy policy, std::size_t num_bss,
+                                std::size_t num_sps, Rng& rng);
+
+}  // namespace dmra

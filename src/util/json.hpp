@@ -1,0 +1,89 @@
+// Minimal JSON support — enough to persist scenarios and allocations
+// (mec/scenario_io.hpp) without an external dependency.
+//
+// Writer: streaming, always emits valid JSON (keys escaped, numbers via
+// shortest round-trip formatting). Parser: strict recursive descent over
+// the JSON grammar; errors carry the byte offset. Neither aims to be a
+// general-purpose library — no comments, no trailing commas, UTF-8 passed
+// through untouched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dmra {
+
+// ---- value model -------------------------------------------------------------
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// std::map keeps keys ordered — deterministic round-trips.
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::uint32_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(std::uint64_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(JsonArray a) : value_(std::move(a)) {}
+  JsonValue(JsonObject o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; ContractViolation on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member access; ContractViolation if absent or not an object.
+  const JsonValue& at(const std::string& key) const;
+  /// True iff this is an object containing `key`.
+  bool has(const std::string& key) const;
+
+  /// Integer helpers (number must be integral within epsilon).
+  std::int64_t as_int() const;
+  std::uint32_t as_u32() const;
+
+  /// Serialize. `indent` > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+ private:
+  Storage value_;
+};
+
+// ---- parsing -------------------------------------------------------------------
+
+/// Result of json_parse: either a value or an error with byte offset.
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;       ///< empty when ok
+  std::size_t offset = 0;  ///< byte offset of the error
+};
+
+JsonParseResult json_parse(std::string_view text);
+
+/// Escape a string for embedding in JSON (without surrounding quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace dmra

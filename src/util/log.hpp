@@ -1,0 +1,38 @@
+// Minimal leveled logger.
+//
+// The library itself is silent by default; examples flip the level to
+// kInfo/kDebug to trace algorithm rounds. Not thread-safe by design —
+// the simulator is single-threaded (decentralization is modeled with the
+// message bus in src/net, not with OS threads).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dmra {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at `level` (stderr). Prefer the DMRA_LOG macro.
+void log_line(LogLevel level, const std::string& msg);
+
+const char* log_level_name(LogLevel level);
+
+}  // namespace dmra
+
+#define DMRA_LOG(level, expr)                                 \
+  do {                                                        \
+    if (static_cast<int>(level) >= static_cast<int>(::dmra::log_level())) { \
+      std::ostringstream dmra_log_os;                         \
+      dmra_log_os << expr;                                    \
+      ::dmra::log_line(level, dmra_log_os.str());             \
+    }                                                         \
+  } while (false)
+
+#define DMRA_DEBUG(expr) DMRA_LOG(::dmra::LogLevel::kDebug, expr)
+#define DMRA_INFO(expr) DMRA_LOG(::dmra::LogLevel::kInfo, expr)
+#define DMRA_WARN(expr) DMRA_LOG(::dmra::LogLevel::kWarn, expr)

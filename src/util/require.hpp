@@ -1,0 +1,42 @@
+// Contract checking for programmer errors.
+//
+// DMRA_REQUIRE fires on violated preconditions/invariants: it throws
+// dmra::ContractViolation with file/line and the failed expression so
+// tests can assert on misuse.  It is always on (not compiled out in
+// release builds) — the checks in this library are cheap relative to the
+// simulation work they guard.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dmra {
+
+/// Thrown when a DMRA_REQUIRE contract is violated. Indicates a bug in the
+/// caller (bad arguments, broken invariants), never an environmental error.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::string full = std::string("contract violated: ") + expr + " at " + file + ":" +
+                     std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw ContractViolation(full);
+}
+}  // namespace detail
+
+}  // namespace dmra
+
+#define DMRA_REQUIRE(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) ::dmra::detail::contract_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define DMRA_REQUIRE_MSG(expr, msg)                                           \
+  do {                                                                        \
+    if (!(expr)) ::dmra::detail::contract_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

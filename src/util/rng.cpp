@@ -1,0 +1,101 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dmra {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_name(std::string_view name) {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::seed_from(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64_next(sm);
+  // xoshiro256** state must not be all-zero; splitmix64 output never
+  // produces four consecutive zeros in practice, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::Rng(std::uint64_t seed) { seed_from(seed); }
+
+Rng::Rng(std::string_view name, std::uint64_t seed) { seed_from(seed ^ hash_name(name)); }
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::child(std::string_view name) const {
+  // Mix the current state into the child seed so two children with the
+  // same name taken at different points of the parent stream differ.
+  std::uint64_t mixed = s_[0] ^ rotl(s_[2], 13) ^ hash_name(name);
+  return Rng(mixed);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  DMRA_REQUIRE(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t v;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  DMRA_REQUIRE(lo <= hi);
+  // 53 random bits → uniform in [0, 1).
+  const double u = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+bool Rng::bernoulli(double p) {
+  DMRA_REQUIRE(p >= 0.0 && p <= 1.0);
+  return uniform_real(0.0, 1.0) < p;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  DMRA_REQUIRE(n > 0);
+  return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  DMRA_REQUIRE(stddev >= 0.0);
+  // Box–Muller; u1 in (0, 1] so the log is finite.
+  const double u1 = 1.0 - uniform_real(0.0, 1.0);
+  const double u2 = uniform_real(0.0, 1.0);
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  return mean + stddev * z;
+}
+
+}  // namespace dmra

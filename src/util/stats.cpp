@@ -1,0 +1,135 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace dmra {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return mean_; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  mean_ += delta * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.stderr_mean = rs.stderr_mean();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.median = percentile(xs, 0.5);
+  return s;
+}
+
+double percentile(std::vector<double> xs, double q) {
+  DMRA_REQUIRE(!xs.empty());
+  DMRA_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double ci95_halfwidth(const RunningStats& s) { return 1.96 * s.stderr_mean(); }
+
+double t_critical_95(double df) {
+  DMRA_REQUIRE(df > 0.0);
+  // Two-sided 95% critical values for df = 1..30, then selected points.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df <= 1.0) return kTable[0];
+  if (df < 30.0) {
+    const auto lo = static_cast<std::size_t>(df);
+    const double frac = df - static_cast<double>(lo);
+    return kTable[lo - 1] * (1.0 - frac) + kTable[lo] * frac;
+  }
+  if (df < 60.0) return 2.042 + (2.000 - 2.042) * (df - 30.0) / 30.0;
+  if (df < 120.0) return 2.000 + (1.980 - 2.000) * (df - 60.0) / 60.0;
+  return 1.96;
+}
+
+WelchResult welch_t_test(double mean_a, double var_a, std::size_t n_a, double mean_b,
+                         double var_b, std::size_t n_b) {
+  DMRA_REQUIRE(n_a >= 2 && n_b >= 2);
+  DMRA_REQUIRE(var_a >= 0.0 && var_b >= 0.0);
+  WelchResult r;
+  const double sa = var_a / static_cast<double>(n_a);
+  const double sb = var_b / static_cast<double>(n_b);
+  const double se_sq = sa + sb;
+  if (se_sq == 0.0) {
+    // Both samples are constants.
+    r.t = mean_a == mean_b ? 0.0
+                           : std::numeric_limits<double>::infinity() *
+                                 (mean_a > mean_b ? 1.0 : -1.0);
+    r.df = static_cast<double>(n_a + n_b - 2);
+    r.significant_95 = mean_a != mean_b;
+    return r;
+  }
+  r.t = (mean_a - mean_b) / std::sqrt(se_sq);
+  const double num = se_sq * se_sq;
+  const double den = sa * sa / static_cast<double>(n_a - 1) +
+                     sb * sb / static_cast<double>(n_b - 1);
+  r.df = den > 0.0 ? num / den : static_cast<double>(n_a + n_b - 2);
+  r.significant_95 = std::abs(r.t) > t_critical_95(r.df);
+  return r;
+}
+
+WelchResult welch_t_test(const RunningStats& a, const RunningStats& b) {
+  return welch_t_test(a.mean(), a.variance(), a.count(), b.mean(), b.variance(),
+                      b.count());
+}
+
+}  // namespace dmra

@@ -1,0 +1,76 @@
+// Descriptive statistics for experiment results.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dmra {
+
+/// Single-pass accumulator (Welford) for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double stderr_mean() const;
+  double min() const;
+  double max() const;
+
+  /// Merge another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample, computed in one call for reporting.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double stderr_mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Summarize a sample. Accepts an empty vector (all-zero summary).
+Summary summarize(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, q in [0, 1]. Requires non-empty input.
+double percentile(std::vector<double> xs, double q);
+
+/// Half-width of a ~95% normal-approximation confidence interval
+/// (1.96 × stderr). Returns 0 for fewer than two samples.
+double ci95_halfwidth(const RunningStats& s);
+
+/// Welch's unequal-variance t-test between two summarized samples.
+struct WelchResult {
+  double t = 0.0;   ///< t statistic (sign: mean_a − mean_b)
+  double df = 0.0;  ///< Welch–Satterthwaite degrees of freedom
+  /// True iff |t| exceeds the two-sided 95% critical value for df
+  /// (tabulated for small df, 1.96 asymptotically).
+  bool significant_95 = false;
+};
+
+/// Requires ≥ 2 samples on each side. Degenerate zero-variance inputs
+/// yield significant_95 = (means differ) with t = ±inf.
+WelchResult welch_t_test(double mean_a, double var_a, std::size_t n_a, double mean_b,
+                         double var_b, std::size_t n_b);
+WelchResult welch_t_test(const RunningStats& a, const RunningStats& b);
+
+/// Two-sided 95% critical value of Student's t for `df` degrees of
+/// freedom (linear interpolation over a standard table; 1.96 as df → ∞).
+double t_critical_95(double df);
+
+}  // namespace dmra

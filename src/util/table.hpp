@@ -1,0 +1,43 @@
+// Aligned-table and CSV rendering for experiment output.
+//
+// Benches print their series both as a human-readable aligned table
+// (what the paper's figures plot) and, optionally, as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dmra {
+
+/// A simple column-aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row. Must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Render with columns padded to their widest cell.
+  std::string to_aligned() const;
+
+  /// Render as RFC-4180-ish CSV (quotes cells containing , " or newline).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` places after the decimal point.
+std::string fmt(double v, int digits = 2);
+
+/// Format "mean ± halfwidth".
+std::string fmt_pm(double mean, double halfwidth, int digits = 2);
+
+}  // namespace dmra

@@ -1,0 +1,103 @@
+#include "baselines/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "baselines/greedy.hpp"
+#include "core/dmra_allocator.hpp"
+#include "sim/feasibility.hpp"
+#include "util/require.hpp"
+#include "workload/generator.hpp"
+
+namespace dmra {
+namespace {
+
+TEST(Exact, SolvesTrivialInstanceOptimally) {
+  const Scenario s = test::two_bs_scenario(4);
+  const Allocation a = ExactAllocator().allocate(s);
+  // Plenty of resources: the optimum serves everyone.
+  EXPECT_EQ(a.num_served(), 4u);
+  EXPECT_TRUE(check_feasibility(s, a).ok);
+}
+
+TEST(Exact, PicksTheProfitMaximalAssignmentUnderContention) {
+  // One slot, two takers with different margins: optimum takes the better.
+  test::MiniScenario ms;
+  const SpId sp0 = ms.add_sp();
+  const SpId sp1 = ms.add_sp();
+  ms.add_bs(sp0, {0, 0}, /*cru=*/4);
+  ms.add_ue(sp1, {10, 0}, ServiceId{0}, 4);  // cross-SP margin
+  ms.add_ue(sp0, {10, 5}, ServiceId{0}, 4);  // same-SP margin (higher)
+  const Scenario s = ms.build();
+  const Allocation a = ExactAllocator().allocate(s);
+  EXPECT_TRUE(a.is_cloud(UeId{0}));
+  EXPECT_EQ(a.bs_of(UeId{1}), (BsId{0}));
+}
+
+TEST(Exact, BeatsOrTiesGreedyWhereGreedyIsMyopic) {
+  // Greedy grabs the single most profitable pair and may block two smaller
+  // pairs whose sum is higher; the exact solver must not.
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0}, /*cru=*/6);
+  ms.add_ue(sp, {10, 0}, ServiceId{0}, 5);  // big task: margin × 5
+  ms.add_ue(sp, {12, 0}, ServiceId{0}, 3);  // two small tasks: margin × 6
+  ms.add_ue(sp, {14, 0}, ServiceId{0}, 3);
+  const Scenario s = ms.build();
+  const double exact = total_profit(s, ExactAllocator().allocate(s));
+  const double greedy = total_profit(s, GreedyProfitAllocator().allocate(s));
+  EXPECT_GE(exact, greedy);
+  // The two small tasks fit together (6 CRUs) and out-earn the big one.
+  const Allocation a = ExactAllocator().allocate(s);
+  EXPECT_TRUE(a.is_cloud(UeId{0}));
+  EXPECT_FALSE(a.is_cloud(UeId{1}));
+  EXPECT_FALSE(a.is_cloud(UeId{2}));
+}
+
+// Property: on small random instances the exact optimum dominates every
+// heuristic, and DMRA's optimality gap stays moderate.
+class ExactDominance : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactDominance, ExactIsAnUpperBound) {
+  ScenarioConfig cfg;
+  cfg.num_sps = 2;
+  cfg.bss_per_sp = 2;
+  cfg.num_ues = 10;
+  cfg.num_services = 2;
+  cfg.services_per_bs = 2;
+  cfg.cru_capacity_min = 8;  // tight capacities so choices actually conflict
+  cfg.cru_capacity_max = 12;
+  const Scenario s = generate_scenario(cfg, static_cast<std::uint64_t>(GetParam()));
+
+  const Allocation exact = ExactAllocator().allocate(s);
+  EXPECT_TRUE(check_feasibility(s, exact).ok);
+  const double best = total_profit(s, exact);
+
+  const double dmra = total_profit(s, DmraAllocator().allocate(s));
+  const double greedy = total_profit(s, GreedyProfitAllocator().allocate(s));
+  EXPECT_GE(best, dmra - 1e-9);
+  EXPECT_GE(best, greedy - 1e-9);
+  if (best > 0) EXPECT_GT(dmra, 0.5 * best);  // sanity: DMRA is not garbage
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactDominance, ::testing::Range(1, 9));
+
+TEST(Exact, RefusesOversizedInstances) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 100;
+  const Scenario s = generate_scenario(cfg, 1);
+  EXPECT_THROW(ExactAllocator(15).allocate(s), ContractViolation);
+}
+
+TEST(Exact, HandlesAllCloudInstances) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_ue(sp, {4000, 0}, ServiceId{0});
+  const Scenario s = ms.build();
+  const Allocation a = ExactAllocator().allocate(s);
+  EXPECT_EQ(a.num_served(), 0u);
+}
+
+}  // namespace
+}  // namespace dmra

@@ -1,0 +1,157 @@
+#include "core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/dmra_allocator.hpp"
+#include "mobility/handover.hpp"
+#include "sim/feasibility.hpp"
+#include "util/require.hpp"
+#include "workload/generator.hpp"
+
+namespace dmra {
+namespace {
+
+Scenario moved_copy(const Scenario& base, double dx) {
+  ScenarioData data;
+  data.num_services = base.num_services();
+  data.sps.assign(base.sps().begin(), base.sps().end());
+  data.bss.assign(base.bss().begin(), base.bss().end());
+  data.ues.assign(base.ues().begin(), base.ues().end());
+  for (auto& ue : data.ues) ue.position.x += dx;
+  data.channel = base.channel();
+  data.ofdma = base.ofdma();
+  data.pricing = base.pricing();
+  data.coverage_radius_m = base.coverage_radius_m();
+  return Scenario(std::move(data));
+}
+
+TEST(Incremental, UnchangedScenarioKeepsEverything) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 300;
+  const Scenario s = generate_scenario(cfg, 7);
+  const Allocation previous = DmraAllocator().allocate(s);
+  const IncrementalResult r = solve_incremental_dmra(s, previous);
+  EXPECT_EQ(r.allocation, previous);
+  EXPECT_EQ(r.kept, previous.num_served());
+  EXPECT_EQ(r.invalidated, 0u);
+  EXPECT_EQ(r.released, 0u);
+}
+
+TEST(Incremental, StartingFromScratchEqualsPlainDmra) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 250;
+  const Scenario s = generate_scenario(cfg, 9);
+  const IncrementalResult r = solve_incremental_dmra(s, Allocation(s.num_ues()));
+  EXPECT_EQ(r.allocation, solve_dmra(s).allocation);
+  EXPECT_EQ(r.kept, 0u);
+}
+
+TEST(Incremental, SmallMovesProduceFewerHandoversThanRerun) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 500;
+  const Scenario before = generate_scenario(cfg, 11);
+  const Allocation prev = DmraAllocator().allocate(before);
+  const Scenario after = moved_copy(before, 15.0);  // everyone drifts 15 m
+
+  const Allocation rerun = DmraAllocator().allocate(after);
+  const IncrementalResult inc = solve_incremental_dmra(after, prev);
+
+  auto handovers = [&](const Allocation& now) {
+    std::size_t n = 0;
+    for (std::size_t ui = 0; ui < after.num_ues(); ++ui) {
+      const UeId u{static_cast<std::uint32_t>(ui)};
+      const auto a = prev.bs_of(u);
+      const auto b = now.bs_of(u);
+      if (a && b && *a != *b) ++n;
+    }
+    return n;
+  };
+  EXPECT_LT(handovers(inc.allocation), handovers(rerun));
+  EXPECT_TRUE(check_feasibility(after, inc.allocation).ok);
+  // Staying costs little profit relative to the full re-optimization.
+  EXPECT_GT(total_profit(after, inc.allocation), 0.9 * total_profit(after, rerun));
+}
+
+TEST(Incremental, InvalidatedAssignmentsAreRematched) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_bs(sp, {400, 0});
+  ms.add_ue(sp, {100, 0}, ServiceId{0});
+  const Scenario before = ms.build();
+  Allocation prev(1);
+  prev.assign(UeId{0}, BsId{0});
+  // The UE walks out of BS 0's coverage but stays in BS 1's.
+  const Scenario after = moved_copy(before, 450.0);  // at x=550: d0=550, d1=150
+  const IncrementalResult r = solve_incremental_dmra(after, prev);
+  EXPECT_EQ(r.invalidated, 1u);
+  EXPECT_EQ(r.allocation.bs_of(UeId{0}), (BsId{1}));
+}
+
+TEST(Incremental, HysteresisReleasesDriftedUes) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_bs(sp, {480, 0});
+  ms.add_ue(sp, {40, 0}, ServiceId{0});
+  const Scenario before = ms.build();
+  Allocation prev(1);
+  prev.assign(UeId{0}, BsId{0});
+  // Drift close to BS 1: current price (d=400) far above best (d=80).
+  const Scenario after = moved_copy(before, 360.0);
+
+  // Without hysteresis (default): sticky.
+  const IncrementalResult sticky = solve_incremental_dmra(after, prev);
+  EXPECT_EQ(sticky.allocation.bs_of(UeId{0}), (BsId{0}));
+
+  // With a modest margin the drift exceeds it → switch.
+  IncrementalConfig cfg;
+  cfg.hysteresis_margin = 0.5;  // price gap is σ·Δd·b = 0.003·360 ≈ 1.08
+  const IncrementalResult agile = solve_incremental_dmra(after, prev, cfg);
+  EXPECT_EQ(agile.released, 1u);
+  EXPECT_EQ(agile.allocation.bs_of(UeId{0}), (BsId{1}));
+}
+
+TEST(Incremental, FeasibleAcrossManySteps) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 300;
+  Scenario scenario = generate_scenario(cfg, 13);
+  Allocation alloc = DmraAllocator().allocate(scenario);
+  for (int step = 1; step <= 5; ++step) {
+    scenario = moved_copy(scenario, 25.0);
+    const IncrementalResult r = solve_incremental_dmra(scenario, alloc);
+    const FeasibilityReport report = check_feasibility(scenario, r.allocation);
+    EXPECT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations[0]);
+    alloc = r.allocation;
+  }
+}
+
+TEST(Incremental, HandoverStudyPolicyReducesChurn) {
+  HandoverConfig cfg;
+  cfg.scenario.num_ues = 300;
+  cfg.mobility = MobilityKind::kRandomWaypoint;
+  cfg.waypoint.speed_min_mps = 8.0;
+  cfg.waypoint.speed_max_mps = 16.0;
+  cfg.steps = 6;
+  cfg.step_duration_s = 2.0;
+  cfg.seed = 3;
+
+  const DmraAllocator algo;
+  const HandoverResult rerun = run_handover_study(cfg, algo);
+  cfg.policy = ReallocationPolicy::kIncremental;
+  const HandoverResult incremental = run_handover_study(cfg, algo);
+
+  EXPECT_LT(incremental.handover_rate, rerun.handover_rate);
+  EXPECT_GT(incremental.mean_profit, 0.85 * rerun.mean_profit);
+}
+
+TEST(Incremental, SizeMismatchIsContractViolation) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 10;
+  const Scenario s = generate_scenario(cfg, 1);
+  EXPECT_THROW(solve_incremental_dmra(s, Allocation(9)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmra

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/dmra_allocator.hpp"
+#include "core/solver.hpp"
+#include "mec/resources.hpp"
+#include "sim/feasibility.hpp"
+#include "util/require.hpp"
+#include "workload/generator.hpp"
+
+namespace dmra {
+namespace {
+
+TEST(PartialSolver, PreMatchedUesNeverPropose) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 100;
+  const Scenario s = generate_scenario(cfg, 3);
+
+  // Pre-assign the first 20 UEs wherever DMRA would put them.
+  const Allocation full = solve_dmra(s).allocation;
+  ResourceState state(s);
+  Allocation alloc(s.num_ues());
+  std::vector<bool> matched(s.num_ues(), false);
+  std::size_t premarked = 0;
+  for (std::uint32_t ui = 0; ui < 20; ++ui) {
+    const UeId u{ui};
+    if (const auto bs = full.bs_of(u)) {
+      state.commit(u, *bs);
+      alloc.assign(u, *bs);
+      matched[ui] = true;
+      ++premarked;
+    }
+  }
+
+  const DmraResult r = solve_dmra_partial(s, {}, state, alloc, matched);
+  // The pre-assigned UEs kept their BS.
+  for (std::uint32_t ui = 0; ui < 20; ++ui) {
+    const UeId u{ui};
+    if (full.bs_of(u)) {
+      EXPECT_EQ(alloc.bs_of(u), full.bs_of(u));
+    }
+  }
+  // Everyone is matched or legitimately at the cloud, and it's feasible.
+  EXPECT_TRUE(check_feasibility(s, alloc).ok);
+  EXPECT_GE(r.proposals_sent, alloc.num_served() - premarked);
+}
+
+TEST(PartialSolver, AllPreMatchedMeansNothingToDo) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 50;
+  const Scenario s = generate_scenario(cfg, 5);
+  ResourceState state(s);
+  Allocation alloc(s.num_ues());
+  std::vector<bool> matched(s.num_ues(), true);  // pretend everyone is placed
+  const DmraResult r = solve_dmra_partial(s, {}, state, alloc, matched);
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_EQ(r.proposals_sent, 0u);
+}
+
+TEST(PartialSolver, RespectsDepletedState) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0}, /*cru=*/4);
+  ms.add_ue(sp, {10, 0}, ServiceId{0}, 4);
+  ms.add_ue(sp, {20, 0}, ServiceId{0}, 4);
+  const Scenario s = ms.build();
+  ResourceState state(s);
+  Allocation alloc(s.num_ues());
+  std::vector<bool> matched(s.num_ues(), false);
+  // Externally consume the only slot for UE 1's benefit.
+  state.commit(UeId{1}, BsId{0});
+  alloc.assign(UeId{1}, BsId{0});
+  matched[1] = true;
+  const DmraResult r = solve_dmra_partial(s, {}, state, alloc, matched);
+  (void)r;
+  EXPECT_TRUE(alloc.is_cloud(UeId{0}));  // nothing left for UE 0
+}
+
+TEST(PartialSolver, MismatchedSizesAreContractViolations) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 10;
+  const Scenario s = generate_scenario(cfg, 1);
+  ResourceState state(s);
+  Allocation small(5);
+  std::vector<bool> matched(10, false);
+  EXPECT_THROW(solve_dmra_partial(s, {}, state, small, matched), ContractViolation);
+  Allocation ok(10);
+  std::vector<bool> bad_mask(7, false);
+  EXPECT_THROW(solve_dmra_partial(s, {}, state, ok, bad_mask), ContractViolation);
+}
+
+TEST(PartialSolver, EquivalentToFullSolveFromEmptyState) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 400;
+  const Scenario s = generate_scenario(cfg, 7);
+  ResourceState state(s);
+  Allocation alloc(s.num_ues());
+  std::vector<bool> matched(s.num_ues(), false);
+  const DmraResult partial = solve_dmra_partial(s, {}, state, alloc, matched);
+  const DmraResult full = solve_dmra(s);
+  EXPECT_EQ(alloc, full.allocation);
+  EXPECT_EQ(partial.rounds, full.rounds);
+  EXPECT_EQ(partial.proposals_sent, full.proposals_sent);
+}
+
+}  // namespace
+}  // namespace dmra

@@ -1,0 +1,288 @@
+#include "core/preference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "../test_util.hpp"
+#include "mec/resources.hpp"
+#include "util/rng.hpp"
+
+namespace dmra {
+namespace {
+
+/// ResourceView over a live ResourceState (what the direct solver uses).
+class StateView final : public ResourceView {
+ public:
+  explicit StateView(const ResourceState& s) : s_(&s) {}
+  std::uint32_t remaining_crus(BsId i, ServiceId j) const override {
+    return s_->remaining_crus(i, j);
+  }
+  std::uint32_t remaining_rrbs(BsId i) const override { return s_->remaining_rrbs(i); }
+
+ private:
+  const ResourceState* s_;
+};
+
+TEST(UePreference, MatchesEq17) {
+  const Scenario s = test::two_bs_scenario();
+  ResourceState rs(s);
+  const StateView view(rs);
+  const UeId u{0};
+  const BsId i{0};
+  const double rho = 150.0;
+  const double expected =
+      s.price(u, i) + rho / (rs.remaining_crus(i, s.ue(u).service) + rs.remaining_rrbs(i));
+  EXPECT_DOUBLE_EQ(ue_preference_value(s, view, u, i, rho), expected);
+}
+
+TEST(UePreference, RhoZeroIsPureprice) {
+  const Scenario s = test::two_bs_scenario();
+  ResourceState rs(s);
+  const StateView view(rs);
+  EXPECT_DOUBLE_EQ(ue_preference_value(s, view, UeId{0}, BsId{0}, 0.0),
+                   s.price(UeId{0}, BsId{0}));
+}
+
+TEST(UePreference, ExhaustedBsIsInfinitelyUnattractive) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0}, /*cru=*/4, /*rrbs=*/1);
+  ms.add_ue(sp, {10, 0}, ServiceId{0}, 4, 2e6);
+  ms.add_ue(sp, {20, 0}, ServiceId{0}, 4, 2e6);
+  const Scenario s = ms.build();
+  ResourceState rs(s);
+  rs.commit(UeId{1}, BsId{0});  // consumes all 4 CRUs and the only RRB
+  const StateView view(rs);
+  EXPECT_TRUE(std::isinf(ue_preference_value(s, view, UeId{0}, BsId{0}, 10.0)));
+  // With rho = 0 the resource term is absent and the price stays finite.
+  EXPECT_TRUE(std::isfinite(ue_preference_value(s, view, UeId{0}, BsId{0}, 0.0)));
+}
+
+TEST(UePreference, LessLoadedBsWinsAtEqualPrice) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_bs(sp, {100, 0});
+  ms.add_ue(sp, {50, 0}, ServiceId{0});  // equidistant → equal price
+  ms.add_ue(sp, {40, 10}, ServiceId{0});
+  const Scenario s = ms.build();
+  ResourceState rs(s);
+  rs.commit(UeId{1}, BsId{0});  // load BS 0
+  const StateView view(rs);
+  EXPECT_GT(ue_preference_value(s, view, UeId{0}, BsId{0}, 100.0),
+            ue_preference_value(s, view, UeId{0}, BsId{1}, 100.0));
+}
+
+TEST(ViewCanServe, ChecksEveryDimension) {
+  const Scenario s = test::two_bs_scenario();
+  ResourceState rs(s);
+  const StateView view(rs);
+  EXPECT_TRUE(view_can_serve(s, view, UeId{0}, BsId{0}));
+  EXPECT_EQ(view_can_serve(s, view, UeId{0}, BsId{0}), rs.can_serve(UeId{0}, BsId{0}));
+}
+
+TEST(LiveCoverage, TracksResourceDepletion) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0}, /*cru=*/4);
+  ms.add_bs(sp, {100, 0}, /*cru=*/4);
+  ms.add_ue(sp, {50, 0}, ServiceId{0}, 4);
+  ms.add_ue(sp, {50, 10}, ServiceId{0}, 4);
+  const Scenario s = ms.build();
+  ResourceState rs(s);
+  const StateView view(rs);
+  EXPECT_EQ(live_coverage_count(s, view, UeId{0}), 2u);
+  rs.commit(UeId{1}, BsId{0});  // exhausts BS 0's service-0 CRUs
+  EXPECT_EQ(live_coverage_count(s, view, UeId{0}), 1u);
+}
+
+TEST(ChooseProposal, PicksSmallestPreferenceValue) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_bs(sp, {300, 0});
+  ms.add_ue(sp, {100, 0}, ServiceId{0});  // nearer to BS 0 → cheaper
+  const Scenario s = ms.build();
+  ResourceState rs(s);
+  const StateView view(rs);
+  std::vector<BsId> b_u{BsId{0}, BsId{1}};
+  EXPECT_EQ(choose_proposal(s, view, UeId{0}, b_u, 100.0), (BsId{0}));
+  EXPECT_EQ(b_u.size(), 2u);  // nothing erased — both serviceable
+}
+
+TEST(ChooseProposal, ErasesUnserviceableAndFallsBack) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0}, /*cru=*/4);
+  ms.add_bs(sp, {300, 0});
+  ms.add_ue(sp, {100, 0}, ServiceId{0}, 4);
+  ms.add_ue(sp, {10, 0}, ServiceId{0}, 4);
+  const Scenario s = ms.build();
+  ResourceState rs(s);
+  rs.commit(UeId{1}, BsId{0});  // BS 0 out of CRUs
+  const StateView view(rs);
+  std::vector<BsId> b_u{BsId{0}, BsId{1}};
+  // With a small rho the near (cheap) BS 0 is still the argmin; it is
+  // unserviceable, so Alg. 1 line 10 erases it and falls back to BS 1.
+  EXPECT_EQ(choose_proposal(s, view, UeId{0}, b_u, 10.0), (BsId{1}));
+  EXPECT_EQ(b_u, (std::vector<BsId>{BsId{1}}));  // BS 0 permanently erased
+}
+
+TEST(ChooseProposal, DoesNotEraseBsesItNeverPicked) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0}, /*cru=*/4);
+  ms.add_bs(sp, {300, 0});
+  ms.add_ue(sp, {100, 0}, ServiceId{0}, 4);
+  ms.add_ue(sp, {10, 0}, ServiceId{0}, 4);
+  const Scenario s = ms.build();
+  ResourceState rs(s);
+  rs.commit(UeId{1}, BsId{0});
+  const StateView view(rs);
+  std::vector<BsId> b_u{BsId{0}, BsId{1}};
+  // A huge rho makes the exhausted BS 0 infinitely unattractive: BS 1 is
+  // the argmin directly, so BS 0 stays in B_u (only picked-and-failed BSs
+  // are deleted).
+  EXPECT_EQ(choose_proposal(s, view, UeId{0}, b_u, 1e6), (BsId{1}));
+  EXPECT_EQ(b_u.size(), 2u);
+}
+
+TEST(ChooseProposal, ReturnsNulloptWhenExhausted) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0}, /*cru=*/4);
+  ms.add_ue(sp, {100, 0}, ServiceId{0}, 4);
+  ms.add_ue(sp, {10, 0}, ServiceId{0}, 4);
+  const Scenario s = ms.build();
+  ResourceState rs(s);
+  rs.commit(UeId{1}, BsId{0});
+  const StateView view(rs);
+  std::vector<BsId> b_u{BsId{0}};
+  EXPECT_FALSE(choose_proposal(s, view, UeId{0}, b_u, 100.0).has_value());
+  EXPECT_TRUE(b_u.empty());
+}
+
+// ---- bs_select --------------------------------------------------------------
+
+Scenario contested_scenario() {
+  // One BS (SP0), UEs from both SPs requesting service 0.
+  test::MiniScenario ms;
+  const SpId sp0 = ms.add_sp();
+  const SpId sp1 = ms.add_sp();
+  ms.add_bs(sp0, {0, 0});
+  ms.add_bs(sp1, {1000, 1000});  // far decoy so f_u can differ
+  ms.add_ue(sp1, {10, 0}, ServiceId{0});   // UE 0: cross-SP
+  ms.add_ue(sp0, {20, 0}, ServiceId{0});   // UE 1: same-SP
+  ms.add_ue(sp0, {30, 0}, ServiceId{0});   // UE 2: same-SP
+  return ms.build();
+}
+
+BsLocalResources full_resources(const Scenario& s, BsId i) {
+  return {s.bs(i).cru_capacity, s.bs(i).num_rrbs};
+}
+
+TEST(BsSelect, SameSpPoolBeatsCrossSp) {
+  const Scenario s = contested_scenario();
+  const auto accepted = bs_select(s, BsId{0},
+                                  {{UeId{0}, 1}, {UeId{1}, 1}},
+                                  full_resources(s, BsId{0}));
+  // One winner for the single contested service: the same-SP UE 1.
+  EXPECT_EQ(accepted, (std::vector<UeId>{UeId{1}}));
+}
+
+TEST(BsSelect, SmallerFuWinsWithinPool) {
+  const Scenario s = contested_scenario();
+  const auto accepted = bs_select(s, BsId{0},
+                                  {{UeId{1}, 5}, {UeId{2}, 2}},
+                                  full_resources(s, BsId{0}));
+  EXPECT_EQ(accepted, (std::vector<UeId>{UeId{2}}));
+}
+
+TEST(BsSelect, FootprintBreaksFuTies) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_ue(sp, {10, 0}, ServiceId{0}, /*cru=*/5);
+  ms.add_ue(sp, {10, 5}, ServiceId{0}, /*cru=*/3);
+  const Scenario s = ms.build();
+  const auto accepted = bs_select(s, BsId{0}, {{UeId{0}, 1}, {UeId{1}, 1}},
+                                  full_resources(s, BsId{0}));
+  EXPECT_EQ(accepted, (std::vector<UeId>{UeId{1}}));  // smaller footprint
+}
+
+TEST(BsSelect, OneWinnerPerServiceManyServicesAtOnce) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_ue(sp, {10, 0}, ServiceId{0});
+  ms.add_ue(sp, {20, 0}, ServiceId{0});
+  ms.add_ue(sp, {10, 5}, ServiceId{1});
+  const Scenario s = ms.build();
+  const auto accepted =
+      bs_select(s, BsId{0}, {{UeId{0}, 1}, {UeId{1}, 1}, {UeId{2}, 1}},
+                full_resources(s, BsId{0}));
+  // Service 0 → one of UE {0,1}; service 1 → UE 2.
+  EXPECT_EQ(accepted.size(), 2u);
+  EXPECT_TRUE(std::find(accepted.begin(), accepted.end(), UeId{2}) != accepted.end());
+}
+
+TEST(BsSelect, RadioTrimDropsLeastPreferred) {
+  test::MiniScenario ms;
+  const SpId sp0 = ms.add_sp();
+  const SpId sp1 = ms.add_sp();
+  ms.add_bs(sp0, {0, 0}, 100, /*rrbs=*/1);  // room for exactly one 1-RRB UE
+  ms.add_ue(sp0, {10, 0}, ServiceId{0}, 4, 2e6);
+  ms.add_ue(sp1, {10, 5}, ServiceId{1}, 4, 2e6);
+  const Scenario s = ms.build();
+  const auto accepted = bs_select(s, BsId{0}, {{UeId{0}, 1}, {UeId{1}, 1}},
+                                  full_resources(s, BsId{0}));
+  // Both are sole winners of their services; only 1 RRB available: the
+  // same-SP UE 0 survives the trim.
+  EXPECT_EQ(accepted, (std::vector<UeId>{UeId{0}}));
+}
+
+TEST(BsSelect, SkipsProposalsItCanNoLongerHonour) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0}, /*cru=*/3);
+  ms.add_ue(sp, {10, 0}, ServiceId{0}, /*cru=*/4);  // bigger than capacity
+  const Scenario s = ms.build();
+  const auto accepted =
+      bs_select(s, BsId{0}, {{UeId{0}, 1}}, full_resources(s, BsId{0}));
+  EXPECT_TRUE(accepted.empty());
+}
+
+TEST(BsSelect, OrderIndependent) {
+  const Scenario s = contested_scenario();
+  std::vector<ProposalInfo> props{{UeId{0}, 3}, {UeId{1}, 2}, {UeId{2}, 2}};
+  const auto a = bs_select(s, BsId{0}, props, full_resources(s, BsId{0}));
+  std::reverse(props.begin(), props.end());
+  const auto b = bs_select(s, BsId{0}, props, full_resources(s, BsId{0}));
+  EXPECT_EQ(a, b);
+}
+
+TEST(BsSelect, AblationDisablesSameSpPreference) {
+  const Scenario s = contested_scenario();
+  DmraConfig cfg;
+  cfg.prefer_same_sp = false;
+  // Without the same-SP pool, the smaller-f_u proposer wins even cross-SP.
+  const auto accepted = bs_select(s, BsId{0}, {{UeId{0}, 1}, {UeId{1}, 4}},
+                                  full_resources(s, BsId{0}), cfg);
+  EXPECT_EQ(accepted, (std::vector<UeId>{UeId{0}}));
+}
+
+TEST(BsSelect, AblationDisablesCoverageCount) {
+  const Scenario s = contested_scenario();
+  DmraConfig cfg;
+  cfg.use_coverage_count = false;
+  // UE 1 has the worse f_u but equal footprint and the smaller id among
+  // same-SP proposers {1, 2}; without f_u it wins by id.
+  const auto accepted = bs_select(s, BsId{0}, {{UeId{1}, 9}, {UeId{2}, 1}},
+                                  full_resources(s, BsId{0}), cfg);
+  EXPECT_EQ(accepted, (std::vector<UeId>{UeId{1}}));
+}
+
+}  // namespace
+}  // namespace dmra

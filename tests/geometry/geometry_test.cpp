@@ -1,0 +1,105 @@
+#include "geometry/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dmra {
+namespace {
+
+TEST(Distance, KnownValues) {
+  EXPECT_DOUBLE_EQ(distance_m({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_m({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(distance_sq({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Distance, Symmetric) {
+  const Point a{12.5, -3.0};
+  const Point b{-7.0, 44.0};
+  EXPECT_DOUBLE_EQ(distance_m(a, b), distance_m(b, a));
+}
+
+TEST(Rect, ContainsBoundaryAndInterior) {
+  const Rect r{0, 0, 10, 20};
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({10, 20}));
+  EXPECT_TRUE(r.contains({5, 5}));
+  EXPECT_FALSE(r.contains({-0.1, 5}));
+  EXPECT_FALSE(r.contains({5, 20.1}));
+}
+
+TEST(Rect, DimensionsAndCenter) {
+  const Rect r{2, 4, 12, 24};
+  EXPECT_DOUBLE_EQ(r.width(), 10.0);
+  EXPECT_DOUBLE_EQ(r.height(), 20.0);
+  EXPECT_DOUBLE_EQ(r.center().x, 7.0);
+  EXPECT_DOUBLE_EQ(r.center().y, 14.0);
+}
+
+TEST(SampleUniform, AllInsideAndDeterministic) {
+  const Rect r{0, 0, 1200, 1200};
+  Rng rng1(3), rng2(3);
+  const auto a = sample_uniform(r, 500, rng1);
+  const auto b = sample_uniform(r, 500, rng2);
+  ASSERT_EQ(a.size(), 500u);
+  EXPECT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(r.contains(a[i]));
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(SampleUniform, SpreadsAcrossArea) {
+  const Rect r{0, 0, 100, 100};
+  Rng rng(5);
+  const auto pts = sample_uniform(r, 400, rng);
+  int quadrants[4] = {0, 0, 0, 0};
+  for (const Point& p : pts) quadrants[(p.x > 50 ? 1 : 0) + (p.y > 50 ? 2 : 0)]++;
+  for (int q : quadrants) EXPECT_GT(q, 50);
+}
+
+TEST(GridPoints, CountAndSpacing) {
+  const Rect r{0, 0, 1200, 1200};
+  const auto pts = grid_points(r, 5, 5, 300.0);
+  ASSERT_EQ(pts.size(), 25u);
+  // Row-major: neighbours in the same row are 300 m apart.
+  EXPECT_DOUBLE_EQ(distance_m(pts[0], pts[1]), 300.0);
+  // Vertical neighbours too.
+  EXPECT_DOUBLE_EQ(distance_m(pts[0], pts[5]), 300.0);
+}
+
+TEST(GridPoints, CenteredInArea) {
+  const Rect r{0, 0, 1200, 1200};
+  const auto pts = grid_points(r, 5, 5, 300.0);
+  // 5×5 at 300 m spans 1200 m; centered → first point at (0, 0) offset by
+  // (1200-1200)/2 = 0.
+  EXPECT_DOUBLE_EQ(pts.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().x, 1200.0);
+  // A 3×3 grid at 300 m spans 600; centered → margin 300 on each side.
+  const auto small = grid_points(r, 3, 3, 300.0);
+  EXPECT_DOUBLE_EQ(small.front().x, 300.0);
+  EXPECT_DOUBLE_EQ(small.back().x, 900.0);
+}
+
+TEST(GridPoints, SingleRowAndColumn) {
+  const Rect r{0, 0, 100, 100};
+  const auto row = grid_points(r, 1, 4, 10.0);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_DOUBLE_EQ(row[0].y, row[3].y);
+  const auto col = grid_points(r, 4, 1, 10.0);
+  ASSERT_EQ(col.size(), 4u);
+  EXPECT_DOUBLE_EQ(col[0].x, col[3].x);
+}
+
+TEST(GridPoints, Contracts) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_THROW(grid_points(r, 0, 3, 1.0), ContractViolation);
+  EXPECT_THROW(grid_points(r, 3, 0, 1.0), ContractViolation);
+  EXPECT_THROW(grid_points(r, 3, 3, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmra

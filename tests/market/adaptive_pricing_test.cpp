@@ -1,0 +1,153 @@
+#include "market/adaptive_pricing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/dmra_allocator.hpp"
+#include "sim/feasibility.hpp"
+#include "util/require.hpp"
+
+namespace dmra {
+namespace {
+
+// ---- price multipliers in the core model --------------------------------------
+
+TEST(PriceMultiplier, ScalesThePairPrice) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_ue(sp, {100, 0}, ServiceId{0});
+  ms.data().bss[0].price_multiplier = 1.25;
+  const Scenario s = ms.build();
+  EXPECT_DOUBLE_EQ(s.price(UeId{0}, BsId{0}),
+                   1.25 * cru_price(s.pricing(), 100.0, true));
+  // Profit shrinks accordingly.
+  const double margin = s.pricing().m_k - s.price(UeId{0}, BsId{0}) - s.pricing().m_k_o;
+  EXPECT_DOUBLE_EQ(s.pair_profit(UeId{0}, BsId{0}), 4.0 * margin);
+}
+
+TEST(PriceMultiplier, SteersDmraAwayFromExpensiveBs) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_bs(sp, {120, 0});
+  ms.add_ue(sp, {50, 0}, ServiceId{0});  // nearer to BS 0
+  // ...but BS 0 became pricey (1.35 stays under the Eq. 16 cap of ≈1.43).
+  ms.data().bss[0].price_multiplier = 1.35;
+  const Scenario s = ms.build();
+  const DmraResult r = solve_dmra(s, {.rho = 0.0});
+  EXPECT_EQ(r.allocation.bs_of(UeId{0}), (BsId{1}));
+}
+
+TEST(PriceMultiplier, Eq16ValidationUsesTheMultiplier) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_ue(sp, {10, 0}, ServiceId{0});
+  // Safe max at 500 m: (6−1)/(2+1.5) ≈ 1.43 — go above it.
+  ms.data().bss[0].price_multiplier = 1.6;
+  EXPECT_THROW(ms.build(), ContractViolation);
+}
+
+TEST(PriceMultiplier, FeasibilityFlagsUnprofitablePairs) {
+  test::MiniScenario ms;
+  const SpId sp0 = ms.add_sp();
+  const SpId sp1 = ms.add_sp();
+  ms.add_bs(sp0, {0, 0});
+  ms.add_bs(sp1, {600, 0});  // irrelevant filler
+  ms.add_ue(sp1, {450, 0}, ServiceId{0});  // cross-SP at 450 m from BS 0
+  ms.data().bss[0].price_multiplier = 1.4;  // valid at build time (≈1.43 cap)
+  const Scenario s = ms.build();
+  Allocation a(1);
+  a.assign(UeId{0}, BsId{0});
+  // price = 1.4·(2 + 1.35) = 4.69 < 6 − 1 → still fine...
+  EXPECT_TRUE(check_feasibility(s, a).ok);
+}
+
+TEST(PriceMultiplier, SafeMaxFormula) {
+  const PricingConfig pricing;
+  const double cap = eq16_safe_max_multiplier(pricing, 500.0);
+  // (m_k − m_k_o) / worst cross price = 5 / 3.5 ≈ 1.428.
+  EXPECT_NEAR(cap, 5.0 / 3.5, 1e-6);
+  // At the cap the pair is right at the profitability boundary.
+  EXPECT_GT(pricing.m_k, cap * cru_price(pricing, 500.0, false) + pricing.m_k_o - 1e-6);
+}
+
+// ---- the adaptation loop -------------------------------------------------------
+
+AdaptivePricingConfig loop_config(std::size_t ues = 900) {
+  AdaptivePricingConfig cfg;
+  cfg.scenario.num_ues = ues;
+  cfg.rounds = 10;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(AdaptivePricing, RunsAndStaysEq16Safe) {
+  const DmraAllocator algo;
+  const AdaptivePricingResult r = run_adaptive_pricing(loop_config(), algo);
+  ASSERT_EQ(r.rounds.size(), 10u);
+  const double cap = eq16_safe_max_multiplier(PricingConfig{}, 500.0);
+  for (double m : r.final_multipliers) {
+    EXPECT_GE(m, 0.6 - 1e-12);
+    EXPECT_LE(m, std::min(1.6, cap) + 1e-12);
+  }
+}
+
+TEST(AdaptivePricing, StepsShrinkAsItConverges) {
+  const DmraAllocator algo;
+  const AdaptivePricingResult r = run_adaptive_pricing(loop_config(), algo);
+  const double early = r.rounds[1].max_multiplier_change;
+  const double late = r.rounds.back().max_multiplier_change;
+  EXPECT_LE(late, early);
+}
+
+TEST(AdaptivePricing, CongestionRaisesPricesUnderLoad) {
+  // Heavily loaded system: mean utilization above target → mean
+  // multiplier drifts upward from 1.0.
+  AdaptivePricingConfig cfg = loop_config(1400);
+  cfg.target_utilization = 0.5;
+  const DmraAllocator algo;
+  const AdaptivePricingResult r = run_adaptive_pricing(cfg, algo);
+  EXPECT_GT(r.rounds.back().multiplier_mean, 1.0);
+}
+
+TEST(AdaptivePricing, IdleSystemCutsPrices) {
+  AdaptivePricingConfig cfg = loop_config(100);  // almost empty network
+  cfg.target_utilization = 0.8;
+  const DmraAllocator algo;
+  const AdaptivePricingResult r = run_adaptive_pricing(cfg, algo);
+  EXPECT_LT(r.rounds.back().multiplier_mean, 1.0);
+}
+
+TEST(AdaptivePricing, Deterministic) {
+  const DmraAllocator algo;
+  const AdaptivePricingResult a = run_adaptive_pricing(loop_config(), algo);
+  const AdaptivePricingResult b = run_adaptive_pricing(loop_config(), algo);
+  ASSERT_EQ(a.final_multipliers.size(), b.final_multipliers.size());
+  for (std::size_t i = 0; i < a.final_multipliers.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.final_multipliers[i], b.final_multipliers[i]);
+}
+
+TEST(AdaptivePricing, TableHasOneRowPerRound) {
+  const DmraAllocator algo;
+  const AdaptivePricingResult r = run_adaptive_pricing(loop_config(), algo);
+  EXPECT_EQ(r.to_table().num_rows(), r.rounds.size());
+}
+
+TEST(AdaptivePricing, Contracts) {
+  const DmraAllocator algo;
+  AdaptivePricingConfig cfg = loop_config();
+  cfg.rounds = 0;
+  EXPECT_THROW(run_adaptive_pricing(cfg, algo), ContractViolation);
+  cfg = loop_config();
+  cfg.target_utilization = 0.0;
+  EXPECT_THROW(run_adaptive_pricing(cfg, algo), ContractViolation);
+  cfg = loop_config();
+  cfg.min_multiplier = 2.0;  // above the Eq. 16 cap
+  cfg.max_multiplier = 2.5;
+  EXPECT_THROW(run_adaptive_pricing(cfg, algo), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmra

@@ -1,0 +1,123 @@
+#include "matching/deferred_acceptance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace dmra {
+namespace {
+
+// Textbook instance (Gale & Shapley 1962, 3×3) with known proposer-optimal
+// outcome: m0–w0, m1–w2, m2–w1.
+PreferenceLists gs_men() { return {{0, 1, 2}, {2, 0, 1}, {1, 2, 0}}; }
+PreferenceLists gs_women() { return {{1, 2, 0}, {2, 0, 1}, {0, 1, 2}}; }
+
+TEST(StableMarriage, TextbookProposerOptimalOutcome) {
+  const Matching m = stable_marriage(gs_men(), gs_women());
+  EXPECT_EQ(m.proposer_to_acceptor[0], 0u);
+  EXPECT_EQ(m.proposer_to_acceptor[1], 2u);
+  EXPECT_EQ(m.proposer_to_acceptor[2], 1u);
+  // Every proposer got their first choice — proposer-optimality in action.
+  for (std::size_t p = 0; p < 3; ++p)
+    EXPECT_EQ(*m.proposer_to_acceptor[p], gs_men()[p][0]);
+}
+
+TEST(StableMarriage, InverseMapsAreConsistent) {
+  const Matching m = stable_marriage(gs_men(), gs_women());
+  for (std::size_t p = 0; p < 3; ++p) {
+    ASSERT_TRUE(m.proposer_to_acceptor[p].has_value());
+    EXPECT_EQ(m.acceptor_to_proposer[*m.proposer_to_acceptor[p]], p);
+  }
+}
+
+TEST(StableMarriage, ContestedAcceptorPicksItsFavourite) {
+  // Both proposers want acceptor 0; acceptor 0 prefers proposer 1.
+  const PreferenceLists pp{{0, 1}, {0, 1}};
+  const PreferenceLists ap{{1, 0}, {0, 1}};
+  const Matching m = stable_marriage(pp, ap);
+  EXPECT_EQ(m.acceptor_to_proposer[0], 1u);
+  EXPECT_EQ(m.proposer_to_acceptor[0], 1u);  // displaced to second choice
+}
+
+TEST(StableMarriage, IncompleteListsLeaveUnmatched) {
+  // Proposer 1 only accepts acceptor 0, who prefers proposer 0.
+  const PreferenceLists pp{{0}, {0}};
+  const PreferenceLists ap{{0, 1}, {}};
+  const Matching m = stable_marriage(pp, ap);
+  EXPECT_EQ(m.proposer_to_acceptor[0], 0u);
+  EXPECT_FALSE(m.proposer_to_acceptor[1].has_value());
+  EXPECT_FALSE(m.acceptor_to_proposer[1].has_value());
+}
+
+TEST(StableMarriage, UnacceptablePairNeverMatched) {
+  // Acceptor 0 lists nobody: it stays unmatched no matter what.
+  const PreferenceLists pp{{0}};
+  const PreferenceLists ap{{}};
+  const Matching m = stable_marriage(pp, ap);
+  EXPECT_FALSE(m.proposer_to_acceptor[0].has_value());
+}
+
+TEST(StableMarriage, EmptySidesAreFine) {
+  const Matching m = stable_marriage({}, {});
+  EXPECT_TRUE(m.proposer_to_acceptor.empty());
+  EXPECT_TRUE(m.acceptor_to_proposer.empty());
+}
+
+TEST(StableMarriage, RejectsMalformedPreferences) {
+  EXPECT_THROW(stable_marriage({{5}}, {{0}}), ContractViolation);       // out of range
+  EXPECT_THROW(stable_marriage({{0, 0}}, {{0}}), ContractViolation);    // duplicate
+}
+
+TEST(CollegeAdmissions, CapacityBoundsHeldProposers) {
+  // 4 proposers, 1 college with capacity 2 preferring low indices.
+  const PreferenceLists pp{{0}, {0}, {0}, {0}};
+  const PreferenceLists ap{{0, 1, 2, 3}};
+  const ManyToOneMatching m = college_admissions(pp, ap, {2});
+  EXPECT_EQ(m.acceptor_to_proposers[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_FALSE(m.proposer_to_acceptor[2].has_value());
+  EXPECT_FALSE(m.proposer_to_acceptor[3].has_value());
+}
+
+TEST(CollegeAdmissions, LateBetterProposerDisplacesWorst) {
+  // College holds {1, 2}; proposer 0 (its favourite) arrives via the free
+  // queue order and displaces the worst held.
+  const PreferenceLists pp{{0}, {0}, {0}};
+  const PreferenceLists ap{{0, 1, 2}};
+  const ManyToOneMatching m = college_admissions(pp, ap, {2});
+  EXPECT_EQ(m.acceptor_to_proposers[0], (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(CollegeAdmissions, DisplacedProposerFallsToSecondChoice) {
+  // Two colleges; both proposers prefer college 0 (capacity 1).
+  const PreferenceLists pp{{0, 1}, {0, 1}};
+  const PreferenceLists ap{{0, 1}, {0, 1}};
+  const ManyToOneMatching m = college_admissions(pp, ap, {1, 1});
+  EXPECT_EQ(m.proposer_to_acceptor[0], 0u);
+  EXPECT_EQ(m.proposer_to_acceptor[1], 1u);
+}
+
+TEST(CollegeAdmissions, ZeroCapacityCollegeTakesNobody) {
+  const PreferenceLists pp{{0, 1}};
+  const PreferenceLists ap{{0}, {0}};
+  const ManyToOneMatching m = college_admissions(pp, ap, {0, 1});
+  EXPECT_EQ(m.proposer_to_acceptor[0], 1u);
+  EXPECT_TRUE(m.acceptor_to_proposers[0].empty());
+}
+
+TEST(CollegeAdmissions, CapacityVectorMustMatch) {
+  EXPECT_THROW(college_admissions({{0}}, {{0}}, {1, 2}), ContractViolation);
+}
+
+TEST(RankTable, BuildsPositionsAndFlagsMissing) {
+  const auto rank = build_rank_table({{2, 0}}, 3);
+  ASSERT_EQ(rank.size(), 1u);
+  EXPECT_EQ(rank[0][2], 0u);
+  EXPECT_EQ(rank[0][0], 1u);
+  EXPECT_EQ(rank[0][1], std::numeric_limits<std::size_t>::max());
+}
+
+}  // namespace
+}  // namespace dmra

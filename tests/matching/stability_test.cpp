@@ -1,0 +1,165 @@
+#include "matching/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+
+#include "util/rng.hpp"
+
+namespace dmra {
+namespace {
+
+PreferenceLists random_complete_prefs(std::size_t n, std::size_t m, Rng& rng) {
+  PreferenceLists prefs(n);
+  for (auto& list : prefs) {
+    list.resize(m);
+    for (std::size_t i = 0; i < m; ++i) list[i] = i;
+    rng.shuffle(list);
+  }
+  return prefs;
+}
+
+TEST(Stability, DetectsAKnownBlockingPair) {
+  // p0–a1 and p1–a0, but p0 and a0 rank each other first: blocking pair.
+  const PreferenceLists pp{{0, 1}, {0, 1}};
+  const PreferenceLists ap{{0, 1}, {0, 1}};
+  Matching m;
+  m.proposer_to_acceptor = {1, 0};
+  m.acceptor_to_proposer = {1, 0};
+  const auto blocks = blocking_pairs(pp, ap, m);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], std::make_pair(std::size_t{0}, std::size_t{0}));
+  EXPECT_FALSE(is_stable(pp, ap, m));
+}
+
+TEST(Stability, UnmatchedMutuallyAcceptablePairBlocks) {
+  const PreferenceLists pp{{0}};
+  const PreferenceLists ap{{0}};
+  Matching m;
+  m.proposer_to_acceptor = {std::nullopt};
+  m.acceptor_to_proposer = {std::nullopt};
+  EXPECT_FALSE(is_stable(pp, ap, m));
+}
+
+TEST(Stability, UnacceptablePairCannotBlock) {
+  // Acceptor finds the proposer unacceptable; both unmatched but no block.
+  const PreferenceLists pp{{0}};
+  const PreferenceLists ap{{}};
+  Matching m;
+  m.proposer_to_acceptor = {std::nullopt};
+  m.acceptor_to_proposer = {std::nullopt};
+  EXPECT_TRUE(is_stable(pp, ap, m));
+}
+
+// Property: deferred acceptance always yields a stable matching.
+class StableMarriageProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StableMarriageProperty, OutputIsStable) {
+  const auto [size, seed] = GetParam();
+  Rng rng("sm-prop", static_cast<std::uint64_t>(seed));
+  const auto n = static_cast<std::size_t>(size);
+  const auto pp = random_complete_prefs(n, n, rng);
+  const auto ap = random_complete_prefs(n, n, rng);
+  const Matching m = stable_marriage(pp, ap);
+  EXPECT_TRUE(is_stable(pp, ap, m));
+  // Complete lists + equal sides → perfect matching.
+  for (std::size_t p = 0; p < n; ++p) EXPECT_TRUE(m.proposer_to_acceptor[p].has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StableMarriageProperty,
+                         ::testing::Combine(::testing::Values(2, 5, 16, 40),
+                                            ::testing::Values(1, 2, 3, 4, 5)));
+
+// Property: college admissions is stable for random capacitated instances.
+class CollegeAdmissionsProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CollegeAdmissionsProperty, OutputIsStable) {
+  const auto [students, seed] = GetParam();
+  Rng rng("ca-prop", static_cast<std::uint64_t>(seed));
+  const auto n = static_cast<std::size_t>(students);
+  const std::size_t colleges = n / 4 + 1;
+  const auto pp = random_complete_prefs(n, colleges, rng);
+  const auto ap = random_complete_prefs(colleges, n, rng);
+  std::vector<std::size_t> caps(colleges);
+  for (auto& c : caps) c = static_cast<std::size_t>(rng.uniform_int(0, 5));
+  const ManyToOneMatching m = college_admissions(pp, ap, caps);
+  EXPECT_TRUE(is_stable_many(pp, ap, caps, m));
+  for (std::size_t a = 0; a < colleges; ++a) EXPECT_LE(m.acceptor_to_proposers[a].size(), caps[a]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollegeAdmissionsProperty,
+                         ::testing::Combine(::testing::Values(4, 12, 30, 60),
+                                            ::testing::Values(1, 2, 3, 4, 5)));
+
+// Proposer-optimality, checked the honest way: enumerate every perfect
+// matching of a small instance, keep the stable ones, and verify that the
+// deferred-acceptance outcome gives every proposer their *best* partner
+// across all stable matchings.
+class ProposerOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProposerOptimality, GsIsBestStableOutcomeForEveryProposer) {
+  Rng rng("gs-opt", static_cast<std::uint64_t>(GetParam()));
+  constexpr std::size_t n = 5;
+  const auto pp = random_complete_prefs(n, n, rng);
+  const auto ap = random_complete_prefs(n, n, rng);
+  const Matching gs = stable_marriage(pp, ap);
+
+  const auto prank = build_rank_table(pp, n);
+
+  // Enumerate all n! perfect matchings via permutation.
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  std::vector<std::size_t> best_rank(n, std::numeric_limits<std::size_t>::max());
+  std::size_t stable_count = 0;
+  do {
+    Matching m;
+    m.proposer_to_acceptor.assign(n, std::nullopt);
+    m.acceptor_to_proposer.assign(n, std::nullopt);
+    for (std::size_t p = 0; p < n; ++p) {
+      m.proposer_to_acceptor[p] = perm[p];
+      m.acceptor_to_proposer[perm[p]] = p;
+    }
+    if (!is_stable(pp, ap, m)) continue;
+    ++stable_count;
+    for (std::size_t p = 0; p < n; ++p)
+      best_rank[p] = std::min(best_rank[p], prank[p][perm[p]]);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  ASSERT_GE(stable_count, 1u);  // GS itself guarantees at least one
+  for (std::size_t p = 0; p < n; ++p) {
+    ASSERT_TRUE(gs.proposer_to_acceptor[p].has_value());
+    EXPECT_EQ(prank[p][*gs.proposer_to_acceptor[p]], best_rank[p])
+        << "proposer " << p << " did not get its best stable partner";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProposerOptimality, ::testing::Range(1, 9));
+
+TEST(StabilityMany, SpareCapacityPlusMutualAcceptabilityBlocks) {
+  const PreferenceLists pp{{0}};
+  const PreferenceLists ap{{0}};
+  ManyToOneMatching m;
+  m.proposer_to_acceptor = {std::nullopt};
+  m.acceptor_to_proposers = {{}};
+  EXPECT_FALSE(is_stable_many(pp, ap, {2}, m));
+}
+
+TEST(StabilityMany, FullCollegeOnlyBlocksWhenItPrefers) {
+  // College holds its favourite (0) at capacity 1; proposer 1 prefers the
+  // college but the college does not prefer it → stable.
+  const PreferenceLists pp{{0}, {0}};
+  const PreferenceLists ap{{0, 1}};
+  ManyToOneMatching m;
+  m.proposer_to_acceptor = {std::size_t{0}, std::nullopt};
+  m.acceptor_to_proposers = {{0}};
+  EXPECT_TRUE(is_stable_many(pp, ap, {1}, m));
+  // Flip the held student to the less-preferred one → now it blocks.
+  m.proposer_to_acceptor = {std::nullopt, std::size_t{0}};
+  m.acceptor_to_proposers = {{1}};
+  EXPECT_FALSE(is_stable_many(pp, ap, {1}, m));
+}
+
+}  // namespace
+}  // namespace dmra

@@ -1,0 +1,120 @@
+#include "mec/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "radio/units.hpp"
+#include "util/require.hpp"
+
+namespace dmra {
+namespace {
+
+TEST(Allocation, StartsAllCloud) {
+  const Allocation a(3);
+  EXPECT_EQ(a.num_ues(), 3u);
+  EXPECT_EQ(a.num_served(), 0u);
+  EXPECT_EQ(a.num_cloud(), 3u);
+  for (std::uint32_t u = 0; u < 3; ++u) EXPECT_TRUE(a.is_cloud(UeId{u}));
+}
+
+TEST(Allocation, AssignAndReassign) {
+  Allocation a(2);
+  a.assign(UeId{0}, BsId{4});
+  EXPECT_EQ(a.bs_of(UeId{0}), (BsId{4}));
+  EXPECT_EQ(a.num_served(), 1u);
+  a.assign(UeId{0}, BsId{7});
+  EXPECT_EQ(a.bs_of(UeId{0}), (BsId{7}));
+  a.assign_cloud(UeId{0});
+  EXPECT_TRUE(a.is_cloud(UeId{0}));
+  EXPECT_EQ(a.num_served(), 0u);
+}
+
+TEST(Allocation, OutOfRangeIsContractViolation) {
+  Allocation a(1);
+  EXPECT_THROW(a.bs_of(UeId{1}), ContractViolation);
+  EXPECT_THROW(a.assign(UeId{1}, BsId{0}), ContractViolation);
+}
+
+TEST(Allocation, EqualityComparesAssignments) {
+  Allocation a(2), b(2);
+  EXPECT_EQ(a, b);
+  a.assign(UeId{0}, BsId{1});
+  EXPECT_NE(a, b);
+  b.assign(UeId{0}, BsId{1});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Profit, MatchesHandComputation) {
+  const Scenario s = test::two_bs_scenario(2);
+  Allocation a(2);
+  a.assign(UeId{0}, BsId{0});  // same SP
+  a.assign(UeId{1}, BsId{1});  // same SP (UE1 → SP1, BS1 → SP1)
+
+  const ProfitBreakdown pb = compute_profit(s, a);
+  const double expected0 = s.pair_profit(UeId{0}, BsId{0});
+  const double expected1 = s.pair_profit(UeId{1}, BsId{1});
+  ASSERT_EQ(pb.per_sp.size(), 2u);
+  EXPECT_NEAR(pb.per_sp[0], expected0, 1e-9);
+  EXPECT_NEAR(pb.per_sp[1], expected1, 1e-9);
+  EXPECT_NEAR(pb.total, expected0 + expected1, 1e-9);
+  EXPECT_NEAR(total_profit(s, a), pb.total, 1e-12);
+}
+
+TEST(Profit, BreakdownComponentsAreConsistent) {
+  const Scenario s = test::two_bs_scenario(4);
+  Allocation a(4);
+  a.assign(UeId{0}, BsId{0});
+  a.assign(UeId{1}, BsId{0});  // cross-SP pair
+  const ProfitBreakdown pb = compute_profit(s, a);
+  EXPECT_NEAR(pb.total, pb.revenue - pb.bs_payments - pb.other_costs, 1e-9);
+  EXPECT_GT(pb.revenue, 0.0);
+  EXPECT_GT(pb.bs_payments, 0.0);
+}
+
+TEST(Profit, CloudUEsContributeNothing) {
+  const Scenario s = test::two_bs_scenario(4);
+  const Allocation a(4);  // everyone at the cloud
+  EXPECT_DOUBLE_EQ(total_profit(s, a), 0.0);
+}
+
+TEST(Profit, CrossSpServingEarnsLessThanSameSp) {
+  test::MiniScenario ms;
+  const SpId sp0 = ms.add_sp();
+  const SpId sp1 = ms.add_sp();
+  ms.add_bs(sp0, {0, 0});
+  ms.add_bs(sp1, {0, 0});  // co-located → identical distance
+  ms.add_ue(sp0, {100, 0}, ServiceId{0});
+  const Scenario s = ms.build();
+  Allocation same(1), cross(1);
+  same.assign(UeId{0}, BsId{0});
+  cross.assign(UeId{0}, BsId{1});
+  EXPECT_GT(total_profit(s, same), total_profit(s, cross));
+}
+
+TEST(ForwardedTraffic, SumsCloudDemands) {
+  const Scenario s = test::two_bs_scenario(4);
+  Allocation a(4);
+  a.assign(UeId{0}, BsId{0});
+  double expected = 0.0;
+  for (std::uint32_t u = 1; u < 4; ++u) expected += s.ue(UeId{u}).rate_demand_bps;
+  EXPECT_NEAR(forwarded_traffic_bps(s, a), expected, 1e-6);
+}
+
+TEST(SameSpRatio, CountsOnlyServedUEs) {
+  const Scenario s = test::two_bs_scenario(4);
+  Allocation a(4);
+  EXPECT_DOUBLE_EQ(same_sp_ratio(s, a), 0.0);  // nothing served
+  a.assign(UeId{0}, BsId{0});                  // same SP
+  a.assign(UeId{1}, BsId{0});                  // cross SP (UE1 is SP1)
+  EXPECT_DOUBLE_EQ(same_sp_ratio(s, a), 0.5);
+}
+
+TEST(Profit, MismatchedSizesAreContractViolation) {
+  const Scenario s = test::two_bs_scenario(4);
+  const Allocation a(2);
+  EXPECT_THROW(compute_profit(s, a), ContractViolation);
+  EXPECT_THROW(forwarded_traffic_bps(s, a), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmra

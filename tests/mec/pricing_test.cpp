@@ -1,0 +1,97 @@
+#include "mec/pricing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dmra {
+namespace {
+
+PricingConfig linear_cfg() {
+  PricingConfig cfg;  // defaults: b=1, iota=2, sigma=0.003/m, linear
+  return cfg;
+}
+
+TEST(Pricing, LinearFormKnownValues) {
+  const PricingConfig cfg = linear_cfg();
+  // same SP: b + σ·d·b = 1 + 0.003·200 = 1.6
+  EXPECT_NEAR(cru_price(cfg, 200.0, true), 1.6, 1e-12);
+  // cross SP: ι·b + σ·d·b = 2 + 0.6 = 2.6
+  EXPECT_NEAR(cru_price(cfg, 200.0, false), 2.6, 1e-12);
+}
+
+TEST(Pricing, PowerFormKnownValues) {
+  PricingConfig cfg = linear_cfg();
+  cfg.transmission = TransmissionPricing::kPower;
+  cfg.sigma = 0.01;
+  EXPECT_NEAR(cru_price(cfg, 200.0, true), 1.0 + std::pow(200.0, 0.01), 1e-12);
+  EXPECT_NEAR(cru_price(cfg, 200.0, false), 2.0 + std::pow(200.0, 0.01), 1e-12);
+}
+
+TEST(Pricing, CrossSpAlwaysCostsMore) {
+  const PricingConfig cfg = linear_cfg();
+  for (double d : {1.0, 50.0, 200.0, 500.0})
+    EXPECT_GT(cru_price(cfg, d, false), cru_price(cfg, d, true));
+}
+
+TEST(Pricing, MonotoneInDistanceBothForms) {
+  for (auto form : {TransmissionPricing::kLinear, TransmissionPricing::kPower}) {
+    PricingConfig cfg = linear_cfg();
+    cfg.transmission = form;
+    double prev = cru_price(cfg, 1.0, true);
+    for (double d = 50.0; d <= 500.0; d += 50.0) {
+      const double p = cru_price(cfg, d, true);
+      EXPECT_GT(p, prev);
+      prev = p;
+    }
+  }
+}
+
+TEST(Pricing, DistanceClampedBelowMinimum) {
+  const PricingConfig cfg = linear_cfg();
+  EXPECT_DOUBLE_EQ(cru_price(cfg, 0.0, true), cru_price(cfg, cfg.min_distance_m, true));
+}
+
+TEST(Pricing, MarginIsPriceComplement) {
+  const PricingConfig cfg = linear_cfg();
+  const double d = 123.0;
+  EXPECT_NEAR(cru_margin(cfg, d, true), cfg.m_k - cru_price(cfg, d, true) - cfg.m_k_o,
+              1e-12);
+}
+
+TEST(Pricing, Eq16HoldsAtPaperDefaultsWithinCoverage) {
+  const PricingConfig cfg = linear_cfg();
+  EXPECT_TRUE(pricing_valid_for(cfg, 500.0));
+  EXPECT_TRUE(is_profitable(cfg, 500.0, false));
+  EXPECT_TRUE(is_profitable(cfg, 500.0, true));
+}
+
+TEST(Pricing, Eq16FailsWhenMarginExhausted) {
+  PricingConfig cfg = linear_cfg();
+  cfg.m_k = 3.0;  // max cross-SP price at 500 m is 2 + 1.5 = 3.5 > 3 − 1
+  EXPECT_FALSE(pricing_valid_for(cfg, 500.0));
+  // But a short link can still be profitable.
+  EXPECT_TRUE(is_profitable(cfg, 100.0, true));
+}
+
+TEST(Pricing, SameSpMarginBeatsCrossSpByIotaMinusOne) {
+  const PricingConfig cfg = linear_cfg();
+  const double d = 250.0;
+  EXPECT_NEAR(cru_margin(cfg, d, true) - cru_margin(cfg, d, false),
+              (cfg.iota - 1.0) * cfg.b, 1e-12);
+}
+
+TEST(Pricing, Contracts) {
+  PricingConfig cfg = linear_cfg();
+  EXPECT_THROW(cru_price(cfg, -1.0, true), ContractViolation);
+  cfg.iota = 1.0;  // Eq. 10 needs iota > 1
+  EXPECT_THROW(cru_price(cfg, 10.0, false), ContractViolation);
+  cfg = linear_cfg();
+  cfg.b = 0.0;
+  EXPECT_THROW(cru_price(cfg, 10.0, true), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmra

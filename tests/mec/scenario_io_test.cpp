@@ -1,0 +1,119 @@
+#include "mec/scenario_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/dmra_allocator.hpp"
+#include "util/require.hpp"
+#include "workload/generator.hpp"
+
+namespace dmra {
+namespace {
+
+void expect_scenarios_equal(const Scenario& a, const Scenario& b) {
+  ASSERT_EQ(a.num_sps(), b.num_sps());
+  ASSERT_EQ(a.num_bss(), b.num_bss());
+  ASSERT_EQ(a.num_ues(), b.num_ues());
+  ASSERT_EQ(a.num_services(), b.num_services());
+  EXPECT_DOUBLE_EQ(a.coverage_radius_m(), b.coverage_radius_m());
+  for (std::size_t i = 0; i < a.num_bss(); ++i) {
+    const BsId bs{static_cast<std::uint32_t>(i)};
+    EXPECT_EQ(a.bs(bs).sp, b.bs(bs).sp);
+    EXPECT_EQ(a.bs(bs).position, b.bs(bs).position);
+    EXPECT_EQ(a.bs(bs).cru_capacity, b.bs(bs).cru_capacity);
+    EXPECT_EQ(a.bs(bs).num_rrbs, b.bs(bs).num_rrbs);
+  }
+  for (std::size_t i = 0; i < a.num_ues(); ++i) {
+    const UeId u{static_cast<std::uint32_t>(i)};
+    EXPECT_EQ(a.ue(u).sp, b.ue(u).sp);
+    EXPECT_EQ(a.ue(u).position, b.ue(u).position);
+    EXPECT_EQ(a.ue(u).service, b.ue(u).service);
+    EXPECT_EQ(a.ue(u).cru_demand, b.ue(u).cru_demand);
+    EXPECT_DOUBLE_EQ(a.ue(u).rate_demand_bps, b.ue(u).rate_demand_bps);
+  }
+}
+
+TEST(ScenarioIo, GeneratedScenarioRoundTrips) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 150;
+  const Scenario original = generate_scenario(cfg, 42);
+  const Scenario loaded = scenario_from_json(scenario_to_json(original));
+  expect_scenarios_equal(original, loaded);
+}
+
+TEST(ScenarioIo, DerivedLinksIdenticalAfterRoundTrip) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 60;
+  cfg.channel.shadowing_sigma_db = 6.0;  // exercises channel persistence
+  cfg.channel.shadowing_seed = 7;
+  const Scenario original = generate_scenario(cfg, 3);
+  const Scenario loaded = scenario_from_json(scenario_to_json(original));
+  for (std::size_t ui = 0; ui < original.num_ues(); ++ui) {
+    const UeId u{static_cast<std::uint32_t>(ui)};
+    for (std::size_t bi = 0; bi < original.num_bss(); ++bi) {
+      const BsId i{static_cast<std::uint32_t>(bi)};
+      EXPECT_DOUBLE_EQ(original.link(u, i).sinr, loaded.link(u, i).sinr);
+      EXPECT_EQ(original.link(u, i).n_rrbs, loaded.link(u, i).n_rrbs);
+    }
+    const auto ca = original.candidates(u);
+    const auto cb = loaded.candidates(u);
+    ASSERT_EQ(ca.size(), cb.size());
+  }
+}
+
+TEST(ScenarioIo, AllocationRoundTripsAndReproducesProfit) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 200;
+  const Scenario scenario = generate_scenario(cfg, 9);
+  const Allocation alloc = DmraAllocator().allocate(scenario);
+  const Allocation loaded = allocation_from_json(allocation_to_json(alloc));
+  EXPECT_EQ(loaded, alloc);
+  EXPECT_DOUBLE_EQ(total_profit(scenario, loaded), total_profit(scenario, alloc));
+}
+
+TEST(ScenarioIo, SolveAfterLoadMatchesSolveBeforeSave) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 120;
+  const Scenario original = generate_scenario(cfg, 5);
+  const Scenario loaded = scenario_from_json(scenario_to_json(original));
+  EXPECT_EQ(DmraAllocator().allocate(loaded), DmraAllocator().allocate(original));
+}
+
+TEST(ScenarioIo, NonDefaultConfigsSurvive) {
+  test::MiniScenario ms({.num_services = 3, .coverage_radius_m = 350.0, .iota = 1.5});
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {1.5, 2.5}, 77, 13);
+  ms.add_ue(sp, {10.25, 0.125}, ServiceId{2}, 5, 3.25e6);
+  ms.data().pricing.transmission = TransmissionPricing::kPower;
+  ms.data().pricing.sigma = 0.01;
+  ms.data().channel.noise_model = NoiseModel::kPsd;
+  ms.data().channel.pathloss_model = PathlossModel::kLteMacro;
+  const Scenario original = ms.build();
+  const Scenario loaded = scenario_from_json(scenario_to_json(original));
+  expect_scenarios_equal(original, loaded);
+  EXPECT_EQ(loaded.pricing().transmission, TransmissionPricing::kPower);
+  EXPECT_EQ(loaded.channel().noise_model, NoiseModel::kPsd);
+  EXPECT_EQ(loaded.channel().pathloss_model, PathlossModel::kLteMacro);
+  EXPECT_DOUBLE_EQ(loaded.price(UeId{0}, BsId{0}), original.price(UeId{0}, BsId{0}));
+}
+
+TEST(ScenarioIo, RejectsGarbageAndWrongFormat) {
+  EXPECT_THROW(scenario_from_json("not json"), ContractViolation);
+  EXPECT_THROW(scenario_from_json("{\"format\": \"something-else\", \"version\": 1}"),
+               ContractViolation);
+  EXPECT_THROW(allocation_from_json("{\"format\": \"dmra-scenario\", \"version\": 1}"),
+               ContractViolation);
+}
+
+TEST(ScenarioIo, RejectsUnsupportedVersion) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 10;
+  std::string text = scenario_to_json(generate_scenario(cfg, 1));
+  const auto pos = text.find("\"version\": 1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 12, "\"version\": 9");
+  EXPECT_THROW(scenario_from_json(text), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmra

@@ -1,0 +1,160 @@
+#include "mec/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "util/require.hpp"
+
+namespace dmra {
+namespace {
+
+using test::MiniScenario;
+
+TEST(Scenario, LinkStatsMatchManualComputation) {
+  MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0.0, 0.0});
+  ms.add_ue(sp, {300.0, 400.0}, ServiceId{0}, 4, 4e6);
+  const Scenario s = ms.build();
+
+  const LinkStats& l = s.link(UeId{0}, BsId{0});
+  EXPECT_DOUBLE_EQ(l.distance_m, 500.0);
+  EXPECT_TRUE(l.in_coverage);  // exactly at the default 500 m radius
+  const double expected_sinr = sinr(s.channel(), 500.0, s.ofdma().rrb_bandwidth_hz);
+  EXPECT_DOUBLE_EQ(l.sinr, expected_sinr);
+  const double expected_rate = rrb_rate_bps(s.ofdma().rrb_bandwidth_hz, expected_sinr);
+  EXPECT_DOUBLE_EQ(l.rrb_rate_bps, expected_rate);
+  EXPECT_EQ(l.n_rrbs, rrbs_needed(4e6, expected_rate));
+}
+
+TEST(Scenario, OutOfCoverageLinkHasNoRrbs) {
+  MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0.0, 0.0});
+  ms.add_ue(sp, {501.0, 0.0}, ServiceId{0});
+  const Scenario s = ms.build();
+  EXPECT_FALSE(s.link(UeId{0}, BsId{0}).in_coverage);
+  EXPECT_EQ(s.link(UeId{0}, BsId{0}).n_rrbs, 0u);
+  EXPECT_TRUE(s.candidates(UeId{0}).empty());
+}
+
+TEST(Scenario, CandidatesRequireHostedService) {
+  MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs_hosting(sp, {0.0, 0.0}, {ServiceId{0}});    // hosts only service 0
+  ms.add_bs_hosting(sp, {100.0, 0.0}, {ServiceId{1}});  // hosts only service 1
+  ms.add_ue(sp, {50.0, 0.0}, ServiceId{1});
+  const Scenario s = ms.build();
+  const auto cands = s.candidates(UeId{0});
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0], (BsId{1}));
+}
+
+TEST(Scenario, CandidatesRequireCapacityForTheDemand) {
+  MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0.0, 0.0}, /*cru_per_service=*/3);
+  ms.add_ue(sp, {10.0, 0.0}, ServiceId{0}, /*cru_demand=*/4);
+  const Scenario s = ms.build();
+  EXPECT_TRUE(s.candidates(UeId{0}).empty());  // 4 CRUs never fit in 3
+}
+
+TEST(Scenario, CandidatesRequireRadioFeasibility) {
+  MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0.0, 0.0}, 100, /*rrbs=*/1);
+  // 6 Mbit/s at 450 m needs 2 RRBs > budget of 1.
+  ms.add_ue(sp, {450.0, 0.0}, ServiceId{0}, 4, 6e6);
+  const Scenario s = ms.build();
+  EXPECT_TRUE(s.candidates(UeId{0}).empty());
+}
+
+TEST(Scenario, SameSpAndPricing) {
+  const Scenario s = test::two_bs_scenario(2);
+  EXPECT_TRUE(s.same_sp(UeId{0}, BsId{0}));   // UE 0 → SP0, BS 0 → SP0
+  EXPECT_FALSE(s.same_sp(UeId{0}, BsId{1}));
+  const double d = s.link(UeId{0}, BsId{0}).distance_m;
+  EXPECT_DOUBLE_EQ(s.price(UeId{0}, BsId{0}), cru_price(s.pricing(), d, true));
+  EXPECT_DOUBLE_EQ(s.pair_profit(UeId{0}, BsId{0}),
+                   4.0 * cru_margin(s.pricing(), d, true));
+}
+
+TEST(Scenario, CoverageCountIsCandidateCount) {
+  const Scenario s = test::two_bs_scenario(4);
+  for (std::size_t u = 0; u < s.num_ues(); ++u) {
+    const UeId id{static_cast<std::uint32_t>(u)};
+    EXPECT_EQ(s.coverage_count(id), s.candidates(id).size());
+  }
+}
+
+TEST(ScenarioValidation, RejectsEmptyEntitySets) {
+  ScenarioData d;
+  d.num_services = 1;
+  EXPECT_THROW(Scenario(std::move(d)), ContractViolation);
+}
+
+TEST(ScenarioValidation, RejectsNonContiguousIds) {
+  MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_ue(sp, {0, 0}, ServiceId{0});
+  ms.data().ues[0].id = UeId{5};
+  EXPECT_THROW(ms.build(), ContractViolation);
+}
+
+TEST(ScenarioValidation, RejectsUnknownSpReference) {
+  MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_ue(sp, {0, 0}, ServiceId{0});
+  ms.data().bss[0].sp = SpId{9};
+  EXPECT_THROW(ms.build(), ContractViolation);
+}
+
+TEST(ScenarioValidation, RejectsUnknownServiceRequest) {
+  MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_ue(sp, {0, 0}, ServiceId{7});
+  EXPECT_THROW(ms.build(), ContractViolation);
+}
+
+TEST(ScenarioValidation, RejectsWrongCapacityVectorLength) {
+  MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_ue(sp, {0, 0}, ServiceId{0});
+  ms.data().bss[0].cru_capacity.resize(1);  // num_services is 2
+  EXPECT_THROW(ms.build(), ContractViolation);
+}
+
+TEST(ScenarioValidation, RejectsZeroCruDemand) {
+  MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_ue(sp, {0, 0}, ServiceId{0}, /*cru_demand=*/0);
+  EXPECT_THROW(ms.build(), ContractViolation);
+}
+
+TEST(Scenario, ZeroRrbBsIsInertNotInvalid) {
+  // Radio-exhausted BSs occur in residual scenarios of online runs; they
+  // must validate but can never be candidates.
+  MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0}, 100, /*rrbs=*/0);
+  ms.add_ue(sp, {10, 0}, ServiceId{0});
+  const Scenario s = ms.build();
+  EXPECT_TRUE(s.candidates(UeId{0}).empty());
+}
+
+TEST(ScenarioValidation, RejectsPricingViolatingEq16) {
+  MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_ue(sp, {0, 0}, ServiceId{0});
+  ms.data().pricing.m_k = 2.0;  // cannot cover cross-SP price at 500 m
+  EXPECT_THROW(ms.build(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmra

@@ -1,0 +1,138 @@
+#include "net/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/require.hpp"
+
+namespace dmra {
+namespace {
+
+using StrBus = MessageBus<std::string>;
+
+TEST(Bus, RegisterAssignsSequentialAddresses) {
+  StrBus bus;
+  EXPECT_EQ(bus.register_agent(), (AgentId{0}));
+  EXPECT_EQ(bus.register_agent(), (AgentId{1}));
+  EXPECT_EQ(bus.num_agents(), 2u);
+}
+
+TEST(Bus, MessagesInvisibleUntilDelivered) {
+  StrBus bus;
+  const AgentId a = bus.register_agent();
+  const AgentId b = bus.register_agent();
+  bus.send(a, b, "hello");
+  EXPECT_TRUE(bus.inbox_empty(b));
+  EXPECT_EQ(bus.deliver(), 1u);
+  EXPECT_FALSE(bus.inbox_empty(b));
+  const auto inbox = bus.take_inbox(b);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].payload, "hello");
+  EXPECT_EQ(inbox[0].from, a);
+  EXPECT_EQ(inbox[0].to, b);
+}
+
+TEST(Bus, TakeInboxDrains) {
+  StrBus bus;
+  const AgentId a = bus.register_agent();
+  bus.send(a, a, "x");
+  bus.deliver();
+  EXPECT_EQ(bus.take_inbox(a).size(), 1u);
+  EXPECT_TRUE(bus.take_inbox(a).empty());
+}
+
+TEST(Bus, PerRecipientOrderFollowsSendOrder) {
+  StrBus bus;
+  const AgentId a = bus.register_agent();
+  const AgentId b = bus.register_agent();
+  const AgentId c = bus.register_agent();
+  bus.send(a, c, "first");
+  bus.send(b, c, "second");
+  bus.send(a, c, "third");
+  bus.deliver();
+  const auto inbox = bus.take_inbox(c);
+  ASSERT_EQ(inbox.size(), 3u);
+  EXPECT_EQ(inbox[0].payload, "first");
+  EXPECT_EQ(inbox[1].payload, "second");
+  EXPECT_EQ(inbox[2].payload, "third");
+  EXPECT_LT(inbox[0].seq, inbox[1].seq);
+  EXPECT_LT(inbox[1].seq, inbox[2].seq);
+}
+
+TEST(Bus, RoundsAdvanceOnDeliver) {
+  StrBus bus;
+  const AgentId a = bus.register_agent();
+  EXPECT_EQ(bus.round(), 0u);
+  bus.send(a, a, "m");
+  bus.deliver();
+  EXPECT_EQ(bus.round(), 1u);
+  bus.deliver();  // empty deliveries still tick the round
+  EXPECT_EQ(bus.round(), 2u);
+}
+
+TEST(Bus, EnvelopesRecordTheSendRound) {
+  StrBus bus;
+  const AgentId a = bus.register_agent();
+  bus.deliver();
+  bus.send(a, a, "late");
+  bus.deliver();
+  const auto inbox = bus.take_inbox(a);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].sent_round, 1u);
+}
+
+TEST(Bus, StatsCountTraffic) {
+  StrBus bus;
+  const AgentId a = bus.register_agent();
+  const AgentId b = bus.register_agent();
+  bus.send(a, b, "1");
+  bus.send(b, a, "2");
+  bus.deliver();
+  const BusStats& s = bus.stats();
+  EXPECT_EQ(s.messages_sent, 2u);
+  EXPECT_EQ(s.messages_delivered, 2u);
+  EXPECT_EQ(s.rounds, 1u);
+}
+
+TEST(Bus, StatsRenderAsText) {
+  BusStats s{3, 10, 9};
+  const std::string text = to_string(s);
+  EXPECT_NE(text.find("rounds=3"), std::string::npos);
+  EXPECT_NE(text.find("sent=10"), std::string::npos);
+  EXPECT_NE(text.find("delivered=9"), std::string::npos);
+}
+
+TEST(Bus, SendToUnknownAgentIsContractViolation) {
+  StrBus bus;
+  const AgentId a = bus.register_agent();
+  EXPECT_THROW(bus.send(a, AgentId{5}, "x"), ContractViolation);
+  EXPECT_THROW(bus.send(AgentId{5}, a, "x"), ContractViolation);
+  EXPECT_THROW(bus.take_inbox(AgentId{5}), ContractViolation);
+}
+
+TEST(Bus, RegistrationAfterFirstSendIsContractViolation) {
+  StrBus bus;
+  const AgentId a = bus.register_agent();
+  bus.send(a, a, "x");
+  EXPECT_THROW(bus.register_agent(), ContractViolation);
+}
+
+TEST(Bus, MessagesSentDuringAPhaseArriveNextDeliver) {
+  StrBus bus;
+  const AgentId a = bus.register_agent();
+  const AgentId b = bus.register_agent();
+  bus.send(a, b, "r0");
+  bus.deliver();
+  // b reacts to r0 by sending a reply; the reply is not visible to a until
+  // the next deliver.
+  const auto inbox = bus.take_inbox(b);
+  ASSERT_EQ(inbox.size(), 1u);
+  bus.send(b, a, "reply");
+  EXPECT_TRUE(bus.inbox_empty(a));
+  bus.deliver();
+  EXPECT_EQ(bus.take_inbox(a).at(0).payload, "reply");
+}
+
+}  // namespace
+}  // namespace dmra

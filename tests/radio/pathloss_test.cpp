@@ -1,0 +1,130 @@
+#include "radio/pathloss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radio/channel.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace dmra {
+namespace {
+
+const PathlossParams kDefault{};
+
+TEST(PathlossModels, PaperModelMatchesLegacyFunction) {
+  for (double d : {1.0, 50.0, 300.0, 1000.0, 2000.0})
+    EXPECT_DOUBLE_EQ(pathloss_db(PathlossModel::kPaperEq18, d, kDefault), pathloss_db(d));
+}
+
+TEST(PathlossModels, FreeSpaceKnownValue) {
+  // 32.45 + 20·log10(1 km) + 20·log10(2000 MHz) = 32.45 + 66.02 = 98.47.
+  EXPECT_NEAR(pathloss_db(PathlossModel::kFreeSpace, 1000.0, kDefault),
+              32.45 + 20.0 * std::log10(2000.0), 1e-9);
+}
+
+TEST(PathlossModels, LteMacroKnownValue) {
+  EXPECT_NEAR(pathloss_db(PathlossModel::kLteMacro, 1000.0, kDefault), 128.1, 1e-9);
+  EXPECT_NEAR(pathloss_db(PathlossModel::kLteMacro, 100.0, kDefault), 128.1 - 37.6, 1e-9);
+}
+
+TEST(PathlossModels, TwoRayKnownValue) {
+  // 40·log10(1000 m) − 20·log10(25·1.5) = 120 − 31.48.
+  EXPECT_NEAR(pathloss_db(PathlossModel::kTwoRay, 1000.0, kDefault),
+              120.0 - 20.0 * std::log10(37.5), 1e-9);
+}
+
+TEST(PathlossModels, AllModelsMonotoneInDistance) {
+  for (auto model : {PathlossModel::kPaperEq18, PathlossModel::kFreeSpace,
+                     PathlossModel::kLteMacro, PathlossModel::kTwoRay}) {
+    double prev = pathloss_db(model, 10.0, kDefault);
+    for (double d = 50.0; d <= 2000.0; d += 50.0) {
+      const double pl = pathloss_db(model, d, kDefault);
+      EXPECT_GT(pl, prev) << pathloss_model_name(model);
+      prev = pl;
+    }
+  }
+}
+
+TEST(PathlossModels, ClampBelowMinDistance) {
+  for (auto model : {PathlossModel::kPaperEq18, PathlossModel::kFreeSpace,
+                     PathlossModel::kLteMacro, PathlossModel::kTwoRay}) {
+    EXPECT_DOUBLE_EQ(pathloss_db(model, 0.0, kDefault),
+                     pathloss_db(model, kDefault.min_distance_m, kDefault));
+  }
+}
+
+TEST(PathlossModels, NamesAreDistinct) {
+  EXPECT_STREQ(pathloss_model_name(PathlossModel::kPaperEq18), "paper-eq18");
+  EXPECT_STREQ(pathloss_model_name(PathlossModel::kFreeSpace), "free-space");
+  EXPECT_STREQ(pathloss_model_name(PathlossModel::kLteMacro), "lte-macro");
+  EXPECT_STREQ(pathloss_model_name(PathlossModel::kTwoRay), "two-ray");
+}
+
+TEST(PathlossModels, Contracts) {
+  EXPECT_THROW(pathloss_db(PathlossModel::kPaperEq18, -1.0, kDefault), ContractViolation);
+  PathlossParams bad = kDefault;
+  bad.carrier_mhz = 0.0;
+  EXPECT_THROW(pathloss_db(PathlossModel::kFreeSpace, 10.0, bad), ContractViolation);
+  bad = kDefault;
+  bad.bs_height_m = 0.0;
+  EXPECT_THROW(pathloss_db(PathlossModel::kTwoRay, 10.0, bad), ContractViolation);
+}
+
+// ---- shadowing ---------------------------------------------------------------
+
+TEST(Shadowing, ZeroSigmaIsExactlyZero) {
+  const ChannelConfig cfg;  // sigma = 0 by default
+  EXPECT_DOUBLE_EQ(shadowing_db(cfg, 1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(link_loss_db(cfg, 250.0, 1, 2), pathloss_db(250.0));
+}
+
+TEST(Shadowing, DeterministicPerLink) {
+  ChannelConfig cfg;
+  cfg.shadowing_sigma_db = 8.0;
+  cfg.shadowing_seed = 99;
+  EXPECT_DOUBLE_EQ(shadowing_db(cfg, 3, 7), shadowing_db(cfg, 3, 7));
+  EXPECT_NE(shadowing_db(cfg, 3, 7), shadowing_db(cfg, 3, 8));
+  EXPECT_NE(shadowing_db(cfg, 4, 7), shadowing_db(cfg, 3, 7));
+}
+
+TEST(Shadowing, SeedChangesTheDraws) {
+  ChannelConfig a, b;
+  a.shadowing_sigma_db = b.shadowing_sigma_db = 8.0;
+  a.shadowing_seed = 1;
+  b.shadowing_seed = 2;
+  EXPECT_NE(shadowing_db(a, 3, 7), shadowing_db(b, 3, 7));
+}
+
+TEST(Shadowing, EmpiricalMomentsMatchSigma) {
+  ChannelConfig cfg;
+  cfg.shadowing_sigma_db = 6.0;
+  RunningStats stats;
+  for (std::uint32_t u = 0; u < 400; ++u)
+    for (std::uint32_t b = 0; b < 10; ++b) stats.add(shadowing_db(cfg, u, b));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.5);
+  EXPECT_NEAR(stats.stddev(), 6.0, 0.5);
+}
+
+TEST(Shadowing, KeyedSinrAppliesTheDraw) {
+  ChannelConfig cfg;
+  cfg.shadowing_sigma_db = 8.0;
+  const double base = sinr(cfg, 200.0, 180e3);
+  const double shadowed = sinr(cfg, 200.0, 180e3, 1, 2);
+  const double sh_db = shadowing_db(cfg, 1, 2);
+  EXPECT_NEAR(10.0 * std::log10(base / shadowed), sh_db, 1e-9);
+}
+
+TEST(RngGaussian, MomentsAndContract) {
+  Rng rng(123);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.gaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmra

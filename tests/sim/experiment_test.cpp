@@ -1,0 +1,162 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/nonco.hpp"
+#include "core/dmra_allocator.hpp"
+#include "util/require.hpp"
+
+namespace dmra {
+namespace {
+
+ExperimentSpec tiny_spec() {
+  ExperimentSpec spec;
+  spec.title = "tiny";
+  spec.x_label = "UEs";
+  spec.xs = {30, 60};
+  spec.seeds = {1, 2, 3};
+  spec.make_config = [](double x) {
+    ScenarioConfig cfg;
+    cfg.num_ues = static_cast<std::size_t>(x);
+    return cfg;
+  };
+  spec.make_allocators = [](double) {
+    std::vector<AllocatorPtr> algos;
+    algos.push_back(std::make_unique<DmraAllocator>());
+    algos.push_back(std::make_unique<NonCoAllocator>());
+    return algos;
+  };
+  return spec;
+}
+
+TEST(Experiment, ShapesAndNames) {
+  const ExperimentResult r = run_experiment(tiny_spec());
+  EXPECT_EQ(r.title, "tiny");
+  ASSERT_EQ(r.xs.size(), 2u);
+  ASSERT_EQ(r.cells.size(), 2u);
+  ASSERT_EQ(r.cells[0].size(), 2u);
+  EXPECT_EQ(r.algo_names, (std::vector<std::string>{"DMRA", "NonCo"}));
+  for (const auto& row : r.cells)
+    for (const Summary& s : row) EXPECT_EQ(s.count, 3u);
+}
+
+TEST(Experiment, Deterministic) {
+  const ExperimentResult a = run_experiment(tiny_spec());
+  const ExperimentResult b = run_experiment(tiny_spec());
+  for (std::size_t x = 0; x < a.cells.size(); ++x)
+    for (std::size_t i = 0; i < a.cells[x].size(); ++i)
+      EXPECT_DOUBLE_EQ(a.cells[x][i].mean, b.cells[x][i].mean);
+}
+
+TEST(Experiment, DefaultMetricIsTotalProfit) {
+  ExperimentSpec spec = tiny_spec();
+  const ExperimentResult with_default = run_experiment(spec);
+  spec.metric = [](const RunMetrics& m) { return m.total_profit; };
+  const ExperimentResult with_explicit = run_experiment(spec);
+  EXPECT_DOUBLE_EQ(with_default.cells[0][0].mean, with_explicit.cells[0][0].mean);
+}
+
+TEST(Experiment, CustomMetricIsUsed) {
+  ExperimentSpec spec = tiny_spec();
+  spec.metric = [](const RunMetrics& m) { return static_cast<double>(m.served); };
+  const ExperimentResult r = run_experiment(spec);
+  // At 30 UEs with paper capacities everything is served.
+  EXPECT_DOUBLE_EQ(r.cells[0][0].mean, 30.0);
+}
+
+TEST(Experiment, TableHasOneRowPerSweepPoint) {
+  const ExperimentResult r = run_experiment(tiny_spec());
+  const Table t = r.to_table();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 3u);  // x + 2 algorithms
+  EXPECT_NE(t.to_aligned().find("DMRA"), std::string::npos);
+}
+
+TEST(Experiment, SpecMisuseIsContractViolation) {
+  ExperimentSpec spec = tiny_spec();
+  spec.xs.clear();
+  EXPECT_THROW(run_experiment(spec), ContractViolation);
+
+  spec = tiny_spec();
+  spec.make_config = nullptr;
+  EXPECT_THROW(run_experiment(spec), ContractViolation);
+
+  spec = tiny_spec();
+  spec.seeds.clear();
+  EXPECT_THROW(run_experiment(spec), ContractViolation);
+
+  spec = tiny_spec();
+  spec.make_allocators = [](double) { return std::vector<AllocatorPtr>{}; };
+  EXPECT_THROW(run_experiment(spec), ContractViolation);
+}
+
+TEST(Experiment, InconsistentAlgorithmSetsRejected) {
+  ExperimentSpec spec = tiny_spec();
+  spec.make_allocators = [](double x) {
+    std::vector<AllocatorPtr> algos;
+    algos.push_back(std::make_unique<DmraAllocator>());
+    if (x > 40) algos.push_back(std::make_unique<NonCoAllocator>());
+    return algos;
+  };
+  EXPECT_THROW(run_experiment(spec), ContractViolation);
+}
+
+TEST(Experiment, SignificanceTableComparesLeaderToChallengers) {
+  const ExperimentResult r = run_experiment(tiny_spec());
+  const Table t = r.to_significance_table();
+  EXPECT_EQ(t.num_rows(), 2u);  // 2 sweep points × 1 challenger
+  const std::string text = t.to_aligned();
+  EXPECT_NE(text.find("DMRA vs NonCo"), std::string::npos);
+}
+
+TEST(Experiment, SignificanceNeedsTwoAlgorithms) {
+  ExperimentSpec spec = tiny_spec();
+  spec.make_allocators = [](double) {
+    std::vector<AllocatorPtr> algos;
+    algos.push_back(std::make_unique<DmraAllocator>());
+    return algos;
+  };
+  const ExperimentResult r = run_experiment(spec);
+  EXPECT_THROW(r.to_significance_table(), ContractViolation);
+}
+
+TEST(Experiment, DatOutputIsColumnar) {
+  const ExperimentResult r = run_experiment(tiny_spec());
+  const std::string dat = r.to_dat();
+  // Two comment lines + one line per sweep point, 1 + 2·algos columns.
+  std::istringstream is(dat);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line.front(), '#');
+  std::getline(is, line);
+  EXPECT_NE(line.find("DMRA"), std::string::npos);
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    std::istringstream fields(line);
+    double v;
+    std::size_t n = 0;
+    while (fields >> v) ++n;
+    EXPECT_EQ(n, 1u + 2u * r.algo_names.size());
+    ++rows;
+  }
+  EXPECT_EQ(rows, r.xs.size());
+}
+
+TEST(Experiment, GnuplotScriptReferencesEverySeries) {
+  const ExperimentResult r = run_experiment(tiny_spec());
+  const std::string gp = r.to_gnuplot("series.dat");
+  EXPECT_NE(gp.find("series.dat"), std::string::npos);
+  for (const std::string& name : r.algo_names)
+    EXPECT_NE(gp.find("title \"" + name + "\""), std::string::npos);
+  EXPECT_NE(gp.find("yerrorlines"), std::string::npos);
+}
+
+TEST(Experiment, DefaultSeedsHelper) {
+  const auto seeds = default_seeds(4);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace dmra

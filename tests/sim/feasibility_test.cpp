@@ -1,0 +1,107 @@
+#include "sim/feasibility.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "util/require.hpp"
+
+namespace dmra {
+namespace {
+
+TEST(Feasibility, CleanAllocationPasses) {
+  const Scenario s = test::two_bs_scenario(4);
+  Allocation a(4);
+  a.assign(UeId{0}, BsId{0});
+  a.assign(UeId{1}, BsId{1});
+  const FeasibilityReport r = check_feasibility(s, a);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(Feasibility, AllCloudIsTriviallyFeasible) {
+  const Scenario s = test::two_bs_scenario(4);
+  EXPECT_TRUE(check_feasibility(s, Allocation(4)).ok);
+}
+
+TEST(Feasibility, DetectsCruOvercommit) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0}, /*cru=*/6);
+  ms.add_ue(sp, {10, 0}, ServiceId{0}, 4);
+  ms.add_ue(sp, {20, 0}, ServiceId{0}, 4);
+  const Scenario s = ms.build();
+  Allocation a(2);
+  a.assign(UeId{0}, BsId{0});
+  a.assign(UeId{1}, BsId{0});  // 8 CRUs demanded, 6 available
+  const FeasibilityReport r = check_feasibility(s, a);
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_NE(r.violations.front().find("Eq. 12"), std::string::npos);
+}
+
+TEST(Feasibility, DetectsRrbOvercommit) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0}, 100, /*rrbs=*/1);
+  ms.add_ue(sp, {400, 0}, ServiceId{0}, 4, 2e6);
+  ms.add_ue(sp, {410, 0}, ServiceId{0}, 4, 2e6);
+  const Scenario s = ms.build();
+  Allocation a(2);
+  a.assign(UeId{0}, BsId{0});
+  a.assign(UeId{1}, BsId{0});
+  const FeasibilityReport r = check_feasibility(s, a);
+  EXPECT_FALSE(r.ok);
+  bool found = false;
+  for (const auto& v : r.violations)
+    if (v.find("Eq. 14") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Feasibility, DetectsUnhostedService) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs_hosting(sp, {0, 0}, {ServiceId{0}});
+  ms.add_ue(sp, {10, 0}, ServiceId{1});
+  const Scenario s = ms.build();
+  Allocation a(1);
+  a.assign(UeId{0}, BsId{0});
+  const FeasibilityReport r = check_feasibility(s, a);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violations.front().find("Eq. 13"), std::string::npos);
+}
+
+TEST(Feasibility, DetectsOutOfCoverageAssignment) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  ms.add_ue(sp, {900, 0}, ServiceId{0});
+  const Scenario s = ms.build();
+  Allocation a(1);
+  a.assign(UeId{0}, BsId{0});
+  const FeasibilityReport r = check_feasibility(s, a);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violations.front().find("coverage"), std::string::npos);
+}
+
+TEST(Feasibility, ReportsMultipleViolationsAtOnce) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs_hosting(sp, {0, 0}, {ServiceId{0}}, /*cru=*/3);
+  ms.add_ue(sp, {10, 0}, ServiceId{0}, 4);  // CRU overcommit
+  ms.add_ue(sp, {20, 0}, ServiceId{1}, 4);  // unhosted service
+  const Scenario s = ms.build();
+  Allocation a(2);
+  a.assign(UeId{0}, BsId{0});
+  a.assign(UeId{1}, BsId{0});
+  const FeasibilityReport r = check_feasibility(s, a);
+  EXPECT_FALSE(r.ok);
+  EXPECT_GE(r.violations.size(), 2u);
+}
+
+TEST(Feasibility, SizeMismatchIsContractViolation) {
+  const Scenario s = test::two_bs_scenario(4);
+  EXPECT_THROW(check_feasibility(s, Allocation(3)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmra

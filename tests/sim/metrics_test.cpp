@@ -1,0 +1,66 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "radio/units.hpp"
+
+namespace dmra {
+namespace {
+
+TEST(Metrics, MatchHandComputation) {
+  const Scenario s = test::two_bs_scenario(4);
+  Allocation a(4);
+  a.assign(UeId{0}, BsId{0});  // same SP
+  a.assign(UeId{1}, BsId{0});  // cross SP (UE 1 subscribes to SP 1)
+
+  const RunMetrics m = evaluate(s, a);
+  EXPECT_EQ(m.served, 2u);
+  EXPECT_EQ(m.cloud, 2u);
+  EXPECT_DOUBLE_EQ(m.served_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(m.same_sp_ratio, 0.5);
+  EXPECT_NEAR(m.total_profit,
+              s.pair_profit(UeId{0}, BsId{0}) + s.pair_profit(UeId{1}, BsId{0}), 1e-9);
+  const double expected_fwd =
+      (s.ue(UeId{2}).rate_demand_bps + s.ue(UeId{3}).rate_demand_bps) / kBitsPerMbit;
+  EXPECT_NEAR(m.forwarded_traffic_mbps, expected_fwd, 1e-9);
+  ASSERT_EQ(m.per_sp_profit.size(), 2u);
+}
+
+TEST(Metrics, UtilizationReflectsCommittedResources) {
+  const Scenario s = test::two_bs_scenario(2);
+  Allocation a(2);
+  a.assign(UeId{0}, BsId{0});
+  const RunMetrics m = evaluate(s, a);
+  // BS 0: 4 CRUs of 200 total (2 services × 100); BS 1 idle.
+  const double bs0_cru = 4.0 / 200.0;
+  EXPECT_NEAR(m.mean_cru_utilization, bs0_cru / 2.0, 1e-12);
+  const double bs0_rrb =
+      static_cast<double>(s.link(UeId{0}, BsId{0}).n_rrbs) / 55.0;
+  EXPECT_NEAR(m.mean_rrb_utilization, bs0_rrb / 2.0, 1e-12);
+}
+
+TEST(Metrics, EmptyAllocationIsAllZeros) {
+  const Scenario s = test::two_bs_scenario(3);
+  const RunMetrics m = evaluate(s, Allocation(3));
+  EXPECT_DOUBLE_EQ(m.total_profit, 0.0);
+  EXPECT_EQ(m.served, 0u);
+  EXPECT_DOUBLE_EQ(m.mean_cru_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_rrb_utilization, 0.0);
+  EXPECT_GT(m.forwarded_traffic_mbps, 0.0);
+}
+
+TEST(Metrics, PerSpProfitSumsToTotal) {
+  const Scenario s = test::two_bs_scenario(4);
+  Allocation a(4);
+  a.assign(UeId{0}, BsId{0});
+  a.assign(UeId{1}, BsId{1});
+  a.assign(UeId{2}, BsId{0});
+  const RunMetrics m = evaluate(s, a);
+  double sum = 0.0;
+  for (double p : m.per_sp_profit) sum += p;
+  EXPECT_NEAR(sum, m.total_profit, 1e-9);
+}
+
+}  // namespace
+}  // namespace dmra

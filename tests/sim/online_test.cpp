@@ -1,0 +1,143 @@
+#include "sim/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/nonco.hpp"
+#include "core/dmra_allocator.hpp"
+#include "util/require.hpp"
+
+namespace dmra {
+namespace {
+
+OnlineConfig small_config() {
+  OnlineConfig cfg;
+  cfg.scenario.num_ues = 80;
+  cfg.epochs = 8;
+  cfg.lifetime_min_epochs = 2;
+  cfg.lifetime_max_epochs = 3;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Online, RunsAllEpochsAndAccounts) {
+  const DmraAllocator algo;
+  OnlineSimulator sim(small_config(), algo);
+  const OnlineResult r = sim.run();
+  ASSERT_EQ(r.epochs.size(), 8u);
+  double profit = 0.0;
+  std::size_t served = 0, cloud = 0;
+  for (const EpochStats& e : r.epochs) {
+    EXPECT_EQ(e.arrivals, 80u);
+    EXPECT_EQ(e.served + e.cloud, e.arrivals);
+    profit += e.profit;
+    served += e.served;
+    cloud += e.cloud;
+  }
+  EXPECT_DOUBLE_EQ(r.cumulative_profit, profit);
+  EXPECT_EQ(r.total_served, served);
+  EXPECT_EQ(r.total_cloud, cloud);
+}
+
+TEST(Online, Deterministic) {
+  const DmraAllocator algo;
+  const OnlineResult a = OnlineSimulator(small_config(), algo).run();
+  const OnlineResult b = OnlineSimulator(small_config(), algo).run();
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    EXPECT_EQ(a.epochs[i].served, b.epochs[i].served);
+    EXPECT_DOUBLE_EQ(a.epochs[i].profit, b.epochs[i].profit);
+  }
+}
+
+TEST(Online, ArrivalBatchesDifferAcrossEpochs) {
+  const DmraAllocator algo;
+  OnlineSimulator sim(small_config(), algo);
+  const EpochStats e0 = sim.step();
+  const EpochStats e1 = sim.step();
+  // Same batch size, but independent draws → profits differ.
+  EXPECT_NE(e0.profit, e1.profit);
+}
+
+TEST(Online, ResourcesConserved) {
+  // After every epoch, remaining + held-by-active equals the original
+  // capacity, for every BS and service.
+  OnlineConfig cfg = small_config();
+  cfg.scenario.num_ues = 200;  // enough load to commit plenty
+  const DmraAllocator algo;
+  OnlineSimulator sim(cfg, algo);
+  const Scenario base = generate_scenario(cfg.scenario, cfg.seed);
+
+  for (int e = 0; e < 6; ++e) {
+    sim.step();
+    std::vector<std::uint64_t> rrb_total(base.num_bss());
+    for (std::size_t i = 0; i < base.num_bss(); ++i)
+      rrb_total[i] = sim.remaining_rrbs(BsId{static_cast<std::uint32_t>(i)});
+    // remaining never exceeds capacity (no double release)...
+    for (std::size_t i = 0; i < base.num_bss(); ++i) {
+      const BsId bs{static_cast<std::uint32_t>(i)};
+      EXPECT_LE(sim.remaining_rrbs(bs), base.bs(bs).num_rrbs);
+      for (std::size_t j = 0; j < base.num_services(); ++j) {
+        const ServiceId svc{static_cast<std::uint32_t>(j)};
+        EXPECT_LE(sim.remaining_crus(bs, svc), base.bs(bs).cru_capacity[j]);
+      }
+    }
+  }
+}
+
+TEST(Online, DeparturesFreeResources) {
+  OnlineConfig cfg = small_config();
+  cfg.scenario.num_ues = 300;
+  cfg.lifetime_min_epochs = 1;
+  cfg.lifetime_max_epochs = 1;  // everything departs after one epoch
+  const DmraAllocator algo;
+  OnlineSimulator sim(cfg, algo);
+  const EpochStats e0 = sim.step();
+  EXPECT_GT(e0.active_tasks, 0u);
+  const EpochStats e1 = sim.step();
+  // With 1-epoch lifetimes the previous batch fully departed: the active
+  // count equals just this epoch's admissions.
+  EXPECT_EQ(e1.active_tasks, e1.served);
+}
+
+TEST(Online, SteadyStateUtilizationStabilizes) {
+  OnlineConfig cfg = small_config();
+  cfg.scenario.num_ues = 260;
+  cfg.epochs = 12;
+  cfg.lifetime_min_epochs = 4;
+  cfg.lifetime_max_epochs = 4;
+  const DmraAllocator algo;
+  const OnlineResult r = OnlineSimulator(cfg, algo).run();
+  // Warm-up grows utilization; afterwards it stays within a band.
+  EXPECT_GT(r.epochs[4].mean_rrb_utilization, r.epochs[0].mean_rrb_utilization);
+  const double late_a = r.epochs[9].mean_rrb_utilization;
+  const double late_b = r.epochs[11].mean_rrb_utilization;
+  EXPECT_NEAR(late_a, late_b, 0.15);
+}
+
+TEST(Online, WorksWithAnyAllocator) {
+  const NonCoAllocator nonco;
+  OnlineConfig cfg = small_config();
+  cfg.epochs = 4;
+  const OnlineResult r = OnlineSimulator(cfg, nonco).run();
+  EXPECT_EQ(r.epochs.size(), 4u);
+  EXPECT_GT(r.total_served, 0u);
+}
+
+TEST(Online, TableHasOneRowPerEpoch) {
+  const DmraAllocator algo;
+  const OnlineResult r = OnlineSimulator(small_config(), algo).run();
+  EXPECT_EQ(r.to_table().num_rows(), r.epochs.size());
+}
+
+TEST(Online, LifetimeContracts) {
+  OnlineConfig cfg = small_config();
+  cfg.lifetime_min_epochs = 0;
+  const DmraAllocator algo;
+  EXPECT_THROW(OnlineSimulator(cfg, algo), ContractViolation);
+  cfg.lifetime_min_epochs = 5;
+  cfg.lifetime_max_epochs = 4;
+  EXPECT_THROW(OnlineSimulator(cfg, algo), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmra

@@ -1,0 +1,95 @@
+#include "sim/qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/dmra_allocator.hpp"
+#include "util/require.hpp"
+#include "workload/generator.hpp"
+
+namespace dmra {
+namespace {
+
+TEST(Latency, EdgeProxyGrowsWithDistance) {
+  const LatencyModel m;
+  EXPECT_DOUBLE_EQ(edge_latency_ms(m, 0.0), m.edge_base_ms);
+  EXPECT_DOUBLE_EQ(edge_latency_ms(m, 1000.0), m.edge_base_ms + m.per_km_ms);
+  EXPECT_LT(edge_latency_ms(m, 100.0), edge_latency_ms(m, 400.0));
+}
+
+TEST(Latency, CloudAlwaysWorseThanAnyEdgeInCoverage) {
+  const LatencyModel m;
+  EXPECT_GT(cloud_latency_ms(m), edge_latency_ms(m, 500.0));
+}
+
+TEST(Jain, KnownValues) {
+  const std::vector<double> equal{3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(jain_index(equal), 1.0);
+  const std::vector<double> solo{5.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(solo), 0.2);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+}
+
+TEST(Jain, ScaleInvariant) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{10.0, 20.0, 30.0};
+  EXPECT_NEAR(jain_index(a), jain_index(b), 1e-12);
+}
+
+TEST(Jain, Contracts) {
+  EXPECT_THROW(jain_index(std::vector<double>{}), ContractViolation);
+  EXPECT_THROW(jain_index(std::vector<double>{-1.0, 1.0}), ContractViolation);
+}
+
+TEST(Qos, HandComputedScenario) {
+  const Scenario s = test::two_bs_scenario(2);
+  Allocation a(2);
+  a.assign(UeId{0}, BsId{0});  // served; UE 1 → cloud
+  const LatencyModel m;
+  const QosMetrics q = evaluate_qos(s, a, m);
+  const double d = s.link(UeId{0}, BsId{0}).distance_m;
+  const double edge = edge_latency_ms(m, d);
+  const double cloud = cloud_latency_ms(m);
+  ASSERT_EQ(q.per_ue_latency_ms.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.per_ue_latency_ms[0], edge);
+  EXPECT_DOUBLE_EQ(q.per_ue_latency_ms[1], cloud);
+  EXPECT_DOUBLE_EQ(q.mean_latency_ms, (edge + cloud) / 2.0);
+  EXPECT_DOUBLE_EQ(q.mean_edge_latency_ms, edge);
+}
+
+TEST(Qos, P95TracksTheCloudTail) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 1600;  // overload → a real cloud tail
+  const Scenario s = generate_scenario(cfg, 3);
+  const QosMetrics q = evaluate_qos(s, DmraAllocator().allocate(s));
+  const LatencyModel m;
+  EXPECT_GT(q.p95_latency_ms, q.mean_edge_latency_ms);
+  EXPECT_LE(q.p95_latency_ms, cloud_latency_ms(m) + 1e-9);
+}
+
+TEST(Qos, ServingAtTheEdgeBeatsCloudOnMeanLatency) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 600;
+  const Scenario s = generate_scenario(cfg, 5);
+  const QosMetrics served = evaluate_qos(s, DmraAllocator().allocate(s));
+  const QosMetrics nothing = evaluate_qos(s, Allocation(s.num_ues()));
+  EXPECT_LT(served.mean_latency_ms, nothing.mean_latency_ms);
+  EXPECT_DOUBLE_EQ(nothing.mean_latency_ms, cloud_latency_ms(LatencyModel{}));
+}
+
+TEST(Qos, FairnessIndicesInUnitInterval) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 700;
+  const Scenario s = generate_scenario(cfg, 7);
+  const QosMetrics q = evaluate_qos(s, DmraAllocator().allocate(s));
+  EXPECT_GT(q.jain_sp_profit, 0.0);
+  EXPECT_LE(q.jain_sp_profit, 1.0);
+  EXPECT_GT(q.jain_ue_latency, 0.0);
+  EXPECT_LE(q.jain_ue_latency, 1.0);
+  // Five symmetric SPs under uniform demand → close to perfect fairness.
+  EXPECT_GT(q.jain_sp_profit, 0.9);
+}
+
+}  // namespace
+}  // namespace dmra

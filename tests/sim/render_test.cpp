@@ -1,0 +1,115 @@
+#include "sim/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../test_util.hpp"
+#include "core/dmra_allocator.hpp"
+#include "util/require.hpp"
+#include "workload/generator.hpp"
+
+namespace dmra {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> lines;
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Render, DeploymentHasExpectedDimensions) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 200;
+  const Scenario s = generate_scenario(cfg, 1);
+  RenderOptions opts;
+  opts.cols = 40;
+  opts.rows = 10;
+  opts.legend = false;
+  const auto lines = lines_of(render_deployment(s, opts));
+  ASSERT_EQ(lines.size(), 12u);  // top border + 10 rows + bottom border
+  for (const std::string& line : lines) EXPECT_EQ(line.size(), 42u);
+}
+
+TEST(Render, EveryBsAppearsAsItsSpLetter) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 50;
+  const Scenario s = generate_scenario(cfg, 2);
+  const std::string map = render_deployment(s);
+  for (char sp_letter : {'A', 'B', 'C', 'D', 'E'})
+    EXPECT_NE(map.find(sp_letter), std::string::npos) << sp_letter;
+}
+
+TEST(Render, DenseCellsUseHeavierGlyphs) {
+  // All UEs in one corner → exactly one heavy cell, everything else blank.
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {1200, 1200});
+  for (int i = 0; i < 30; ++i) ms.add_ue(sp, {2.0, 2.0}, ServiceId{0});
+  const Scenario s = ms.build();
+  RenderOptions opts;
+  opts.legend = false;
+  const std::string map = render_deployment(s, opts);
+  EXPECT_NE(map.find('@'), std::string::npos);
+}
+
+TEST(Render, UtilizationShowsIdleAndBusyBuckets) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0}, 100, /*rrbs=*/2);    // will saturate
+  ms.add_bs(sp, {400, 0});                   // stays idle
+  ms.add_ue(sp, {10, 0}, ServiceId{0}, 4, 6e6);
+  ms.add_ue(sp, {12, 0}, ServiceId{0}, 4, 6e6);
+  const Scenario s = ms.build();
+  Allocation a(2);
+  a.assign(UeId{0}, BsId{0});  // 1 RRB of 2 → bucket '5'
+  RenderOptions opts;
+  opts.legend = false;
+  const std::string map = render_utilization(s, a, opts);
+  EXPECT_NE(map.find('5'), std::string::npos);  // half-loaded BS
+  EXPECT_NE(map.find('0'), std::string::npos);  // idle BS
+}
+
+TEST(Render, CloudForwardedUesShadeTheMap) {
+  test::MiniScenario ms;
+  const SpId sp = ms.add_sp();
+  ms.add_bs(sp, {0, 0});
+  for (int i = 0; i < 10; ++i) ms.add_ue(sp, {1100.0, 1100.0}, ServiceId{0});
+  const Scenario s = ms.build();
+  const Allocation all_cloud(10);
+  RenderOptions opts;
+  opts.legend = false;
+  const std::string map = render_utilization(s, all_cloud, opts);
+  EXPECT_NE(map.find('@'), std::string::npos);  // the stranded cluster
+}
+
+TEST(Render, LegendToggle) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 20;
+  const Scenario s = generate_scenario(cfg, 3);
+  RenderOptions with, without;
+  without.legend = false;
+  EXPECT_NE(render_deployment(s, with).find("UE density"), std::string::npos);
+  EXPECT_EQ(render_deployment(s, without).find("UE density"), std::string::npos);
+}
+
+TEST(Render, TinyGridsRejected) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 10;
+  const Scenario s = generate_scenario(cfg, 1);
+  RenderOptions opts;
+  opts.cols = 2;
+  EXPECT_THROW(render_deployment(s, opts), ContractViolation);
+}
+
+TEST(Render, AllocationSizeMismatchRejected) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 10;
+  const Scenario s = generate_scenario(cfg, 1);
+  EXPECT_THROW(render_utilization(s, Allocation(3)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmra

@@ -1,0 +1,92 @@
+#include "topology/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "util/require.hpp"
+
+namespace dmra {
+namespace {
+
+const Rect kArea{0, 0, 1200, 1200};
+
+TEST(Placement, RegularGridPaperLayout) {
+  Rng rng(1);
+  const auto pts = place_bss(PlacementMethod::kRegularGrid, kArea, 25, 300.0, rng);
+  ASSERT_EQ(pts.size(), 25u);
+  // 5×5 at 300 m inter-site distance: adjacent sites are exactly 300 m apart.
+  EXPECT_DOUBLE_EQ(distance_m(pts[0], pts[1]), 300.0);
+  EXPECT_DOUBLE_EQ(distance_m(pts[0], pts[5]), 300.0);
+  // All sites inside the deployment area.
+  for (const Point& p : pts) EXPECT_TRUE(kArea.contains(p));
+}
+
+TEST(Placement, RegularGridNonSquareCountDropsTail) {
+  Rng rng(1);
+  const auto pts = place_bss(PlacementMethod::kRegularGrid, kArea, 7, 300.0, rng);
+  EXPECT_EQ(pts.size(), 7u);
+}
+
+TEST(Placement, RegularGridIgnoresRng) {
+  Rng rng1(1), rng2(999);
+  const auto a = place_bss(PlacementMethod::kRegularGrid, kArea, 25, 300.0, rng1);
+  const auto b = place_bss(PlacementMethod::kRegularGrid, kArea, 25, 300.0, rng2);
+  EXPECT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Placement, RandomInsideAreaAndSeeded) {
+  Rng rng1(5), rng2(5), rng3(6);
+  const auto a = place_bss(PlacementMethod::kRandom, kArea, 25, 300.0, rng1);
+  const auto b = place_bss(PlacementMethod::kRandom, kArea, 25, 300.0, rng2);
+  const auto c = place_bss(PlacementMethod::kRandom, kArea, 25, 300.0, rng3);
+  ASSERT_EQ(a.size(), 25u);
+  for (const Point& p : a) EXPECT_TRUE(kArea.contains(p));
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  EXPECT_NE(a.front(), c.front());
+}
+
+TEST(Ownership, RoundRobinInterleavesNeighbours) {
+  Rng rng(1);
+  const auto owners = assign_owners(OwnershipPolicy::kRoundRobin, 25, 5, rng);
+  ASSERT_EQ(owners.size(), 25u);
+  for (std::size_t i = 0; i + 1 < owners.size(); ++i) EXPECT_NE(owners[i], owners[i + 1]);
+  EXPECT_EQ(owners[0], (SpId{0}));
+  EXPECT_EQ(owners[6], (SpId{1}));
+}
+
+TEST(Ownership, BothPoliciesGiveEqualShares) {
+  Rng rng(7);
+  for (auto policy : {OwnershipPolicy::kRoundRobin, OwnershipPolicy::kShuffled}) {
+    const auto owners = assign_owners(policy, 25, 5, rng);
+    std::map<std::uint32_t, int> counts;
+    for (SpId sp : owners) counts[sp.value]++;
+    ASSERT_EQ(counts.size(), 5u);
+    for (const auto& [sp, n] : counts) EXPECT_EQ(n, 5);
+  }
+}
+
+TEST(Ownership, ShuffledIsSeededPermutationOfRoundRobin) {
+  Rng rng1(9), rng2(9);
+  const auto a = assign_owners(OwnershipPolicy::kShuffled, 25, 5, rng1);
+  const auto b = assign_owners(OwnershipPolicy::kShuffled, 25, 5, rng2);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+}
+
+TEST(Placement, Names) {
+  EXPECT_STREQ(placement_name(PlacementMethod::kRegularGrid), "regular");
+  EXPECT_STREQ(placement_name(PlacementMethod::kRandom), "random");
+}
+
+TEST(Placement, Contracts) {
+  Rng rng(1);
+  EXPECT_THROW(place_bss(PlacementMethod::kRandom, kArea, 0, 300.0, rng),
+               ContractViolation);
+  EXPECT_THROW(assign_owners(OwnershipPolicy::kRoundRobin, 0, 5, rng), ContractViolation);
+  EXPECT_THROW(assign_owners(OwnershipPolicy::kRoundRobin, 5, 0, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dmra

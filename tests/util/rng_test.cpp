@@ -1,0 +1,226 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace dmra {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NamedStreamsAreIndependentOfEachOther) {
+  Rng a("topology", 7);
+  Rng b("workload", 7);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NamedStreamIsDeterministic) {
+  Rng a("stream", 123), b("stream", 123);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ChildStreamsDoNotPerturbParent) {
+  Rng parent(9);
+  Rng reference(9);
+  (void)parent.child("x");  // creating a child must not advance the parent
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(parent(), reference());
+}
+
+TEST(Rng, ChildrenWithDifferentNamesDiffer) {
+  Rng parent(9);
+  Rng c1 = parent.child("a");
+  Rng c2 = parent.child("b");
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (c1() == c2()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) counts[static_cast<std::size_t>(rng.uniform_int(0, 7))]++;
+  for (int c : counts) {
+    EXPECT_GT(c, n / 8 - n / 80);  // within ±10% of expectation
+    EXPECT_LT(c, n / 8 + n / 80);
+  }
+}
+
+TEST(Rng, UniformIntRejectsBadRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), ContractViolation);
+}
+
+TEST(Rng, UniformRealBoundsAndSpread) {
+  Rng rng(17);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(0.0, 1.0);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(Rng, UniformRealCustomRange) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.uniform_real(2e6, 6e6);
+    EXPECT_GE(v, 2e6);
+    EXPECT_LT(v, 6e6);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliRejectsBadProbability) {
+  Rng rng(1);
+  EXPECT_THROW(rng.bernoulli(-0.1), ContractViolation);
+  EXPECT_THROW(rng.bernoulli(1.1), ContractViolation);
+}
+
+TEST(Rng, IndexBoundsAndContract) {
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) EXPECT_LT(rng.index(7), 7u);
+  EXPECT_THROW(rng.index(0), ContractViolation);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(41);
+  std::vector<int> v(32);
+  for (int i = 0; i < 32; ++i) v[static_cast<std::size_t>(i)] = i;
+  const std::vector<int> orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+TEST(Rng, SerialCorrelationIsSmall) {
+  // Lag-1 autocorrelation of uniform draws should be near zero.
+  Rng rng(47);
+  const int n = 50000;
+  double prev = rng.uniform_real(0.0, 1.0);
+  double sum_xy = 0.0, sum_x = 0.0, sum_x2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double cur = rng.uniform_real(0.0, 1.0);
+    sum_xy += prev * cur;
+    sum_x += prev;
+    sum_x2 += prev * prev;
+    prev = cur;
+  }
+  const double mean = sum_x / n;
+  const double var = sum_x2 / n - mean * mean;
+  const double cov = sum_xy / n - mean * mean;
+  EXPECT_LT(std::abs(cov / var), 0.02);
+}
+
+TEST(Rng, GaussianQuantilesMatchTheNormal) {
+  Rng rng(53);
+  const int n = 40000;
+  int within_1sigma = 0, within_2sigma = 0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.gaussian(0.0, 1.0);
+    if (std::abs(z) < 1.0) ++within_1sigma;
+    if (std::abs(z) < 2.0) ++within_2sigma;
+  }
+  EXPECT_NEAR(static_cast<double>(within_1sigma) / n, 0.6827, 0.01);
+  EXPECT_NEAR(static_cast<double>(within_2sigma) / n, 0.9545, 0.01);
+}
+
+TEST(Rng, ChiSquareUniformityOverBuckets) {
+  Rng rng(59);
+  constexpr int kBuckets = 16;
+  const int n = 64000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < n; ++i) counts[rng.index(kBuckets)]++;
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(n) / kBuckets;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  // 99.9th percentile of chi² with 15 dof ≈ 37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Splitmix, KnownFirstValueAdvancesState) {
+  std::uint64_t s = 0;
+  const std::uint64_t v1 = splitmix64_next(s);
+  const std::uint64_t v2 = splitmix64_next(s);
+  EXPECT_NE(v1, v2);
+  EXPECT_NE(s, 0u);
+}
+
+TEST(HashName, StableAndDiscriminating) {
+  EXPECT_EQ(hash_name("abc"), hash_name("abc"));
+  EXPECT_NE(hash_name("abc"), hash_name("abd"));
+  EXPECT_NE(hash_name(""), hash_name("a"));
+}
+
+}  // namespace
+}  // namespace dmra

@@ -1,0 +1,165 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace dmra {
+namespace {
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, StderrShrinksWithSamples) {
+  RunningStats a, b;
+  for (int i = 0; i < 10; ++i) a.add(i % 2 ? 1.0 : -1.0);
+  for (int i = 0; i < 1000; ++i) b.add(i % 2 ? 1.0 : -1.0);
+  EXPECT_GT(a.stderr_mean(), b.stderr_mean());
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats whole, left, right;
+  const double xs[] = {1.5, -2.0, 3.25, 0.0, 9.5, -1.25, 4.0};
+  for (int i = 0; i < 7; ++i) {
+    whole.add(xs[i]);
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // merging empty changes nothing
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // merging into empty copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Summarize, FullSummary) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Summarize, EmptyIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.75), 7.5);
+}
+
+TEST(Percentile, Contracts) {
+  EXPECT_THROW(percentile({}, 0.5), ContractViolation);
+  EXPECT_THROW(percentile({1.0}, 1.5), ContractViolation);
+}
+
+TEST(Welch, KnownSeparatedSamples) {
+  // Two clearly separated samples: significant, positive t.
+  RunningStats a, b;
+  for (double x : {10.0, 11.0, 9.0, 10.5, 9.5}) a.add(x);
+  for (double x : {5.0, 5.5, 4.5, 5.2, 4.8}) b.add(x);
+  const WelchResult r = welch_t_test(a, b);
+  EXPECT_GT(r.t, 4.0);
+  EXPECT_TRUE(r.significant_95);
+  // Antisymmetric in the arguments.
+  const WelchResult flipped = welch_t_test(b, a);
+  EXPECT_NEAR(flipped.t, -r.t, 1e-12);
+}
+
+TEST(Welch, OverlappingSamplesNotSignificant) {
+  RunningStats a, b;
+  for (double x : {10.0, 12.0, 8.0, 11.0, 9.0}) a.add(x);
+  for (double x : {9.5, 11.5, 8.5, 10.5, 10.0}) b.add(x);
+  EXPECT_FALSE(welch_t_test(a, b).significant_95);
+}
+
+TEST(Welch, HandComputedStatistic) {
+  // means 3 and 1, variances 1 and 1, n = 4 each → t = 2/sqrt(0.5), df = 6.
+  const WelchResult r = welch_t_test(3.0, 1.0, 4, 1.0, 1.0, 4);
+  EXPECT_NEAR(r.t, 2.0 / std::sqrt(0.5), 1e-12);
+  EXPECT_NEAR(r.df, 6.0, 1e-9);
+  EXPECT_TRUE(r.significant_95);  // critical at df=6 is 2.447 < 2.83
+}
+
+TEST(Welch, DegenerateConstantSamples) {
+  const WelchResult same = welch_t_test(2.0, 0.0, 3, 2.0, 0.0, 3);
+  EXPECT_FALSE(same.significant_95);
+  const WelchResult differ = welch_t_test(2.0, 0.0, 3, 1.0, 0.0, 3);
+  EXPECT_TRUE(differ.significant_95);
+  EXPECT_TRUE(std::isinf(differ.t));
+}
+
+TEST(Welch, Contracts) {
+  EXPECT_THROW(welch_t_test(0.0, 1.0, 1, 0.0, 1.0, 5), ContractViolation);
+  EXPECT_THROW(welch_t_test(0.0, -1.0, 5, 0.0, 1.0, 5), ContractViolation);
+}
+
+TEST(TCritical, TableValuesAndAsymptote) {
+  EXPECT_NEAR(t_critical_95(1.0), 12.706, 1e-9);
+  EXPECT_NEAR(t_critical_95(6.0), 2.447, 1e-9);
+  EXPECT_NEAR(t_critical_95(29.0), 2.045, 1e-9);
+  EXPECT_NEAR(t_critical_95(1e6), 1.96, 1e-9);
+  // Monotone decreasing.
+  EXPECT_GT(t_critical_95(2.0), t_critical_95(10.0));
+  EXPECT_GT(t_critical_95(10.0), t_critical_95(100.0));
+  EXPECT_THROW(t_critical_95(0.0), ContractViolation);
+}
+
+TEST(Ci95, ZeroForTinySamplesAndScalesWithStderr) {
+  RunningStats s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(ci95_halfwidth(s), 0.0);
+  s.add(3.0);
+  EXPECT_NEAR(ci95_halfwidth(s), 1.96 * s.stderr_mean(), 1e-12);
+  EXPECT_GT(ci95_halfwidth(s), 0.0);
+}
+
+}  // namespace
+}  // namespace dmra

@@ -1,0 +1,82 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace dmra {
+namespace {
+
+TEST(Table, AlignedOutputPadsColumns) {
+  Table t({"a", "long-header"});
+  t.add_row({"wide-cell", "x"});
+  const std::string out = t.to_aligned();
+  // Header line, separator, one row.
+  std::istringstream is(out);
+  std::string header, sep, row;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, row);
+  EXPECT_NE(header.find("long-header"), std::string::npos);
+  EXPECT_NE(row.find("wide-cell"), std::string::npos);
+  // Second column starts at the same offset in header and row.
+  EXPECT_EQ(header.find("long-header"), row.find('x'));
+  EXPECT_GE(sep.size(), header.size() - 2);
+}
+
+TEST(Table, RowWidthMismatchIsContractViolation) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, Counts) {
+  Table t({"x", "y"});
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"v"});
+  t.add_row({"a,b"});
+  t.add_row({"say \"hi\""});
+  t.add_row({"line\nbreak"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(Fmt, FixedDigits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.005, 1), "-1.0");
+}
+
+TEST(FmtPm, CombinesMeanAndHalfwidth) {
+  EXPECT_EQ(fmt_pm(10.0, 0.5), "10.00 ± 0.50");
+}
+
+TEST(Table, PrintWritesAlignedForm) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_aligned());
+}
+
+}  // namespace
+}  // namespace dmra

@@ -1,0 +1,227 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/require.hpp"
+
+namespace dmra {
+namespace {
+
+TEST(Generator, PaperDefaultsProduceThePaperTopology) {
+  const Scenario s = generate_scenario(ScenarioConfig{}, 1);
+  EXPECT_EQ(s.num_sps(), 5u);
+  EXPECT_EQ(s.num_bss(), 25u);
+  EXPECT_EQ(s.num_services(), 6u);
+  EXPECT_EQ(s.num_ues(), 500u);
+  for (const BaseStation& b : s.bss()) EXPECT_EQ(b.num_rrbs, 55u);  // 10 MHz / 180 kHz
+}
+
+TEST(Generator, AllDrawnValuesRespectConfiguredRanges) {
+  const ScenarioConfig cfg;
+  const Scenario s = generate_scenario(cfg, 3);
+  for (const BaseStation& b : s.bss()) {
+    for (std::uint32_t c : b.cru_capacity) {
+      EXPECT_GE(c, cfg.cru_capacity_min);
+      EXPECT_LE(c, cfg.cru_capacity_max);
+    }
+    EXPECT_TRUE(cfg.area().contains(b.position));
+  }
+  for (const UserEquipment& u : s.ues()) {
+    EXPECT_GE(u.cru_demand, cfg.cru_demand_min);
+    EXPECT_LE(u.cru_demand, cfg.cru_demand_max);
+    EXPECT_GE(u.rate_demand_bps, cfg.rate_demand_min_bps);
+    EXPECT_LT(u.rate_demand_bps, cfg.rate_demand_max_bps);
+    EXPECT_TRUE(cfg.area().contains(u.position));
+    EXPECT_LT(u.sp.idx(), cfg.num_sps);
+    EXPECT_LT(u.service.idx(), cfg.num_services);
+  }
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const ScenarioConfig cfg;
+  const Scenario a = generate_scenario(cfg, 42);
+  const Scenario b = generate_scenario(cfg, 42);
+  ASSERT_EQ(a.num_ues(), b.num_ues());
+  for (std::size_t i = 0; i < a.num_ues(); ++i) {
+    const UeId u{static_cast<std::uint32_t>(i)};
+    EXPECT_EQ(a.ue(u).position, b.ue(u).position);
+    EXPECT_EQ(a.ue(u).cru_demand, b.ue(u).cru_demand);
+    EXPECT_EQ(a.ue(u).service, b.ue(u).service);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const ScenarioConfig cfg;
+  const Scenario a = generate_scenario(cfg, 1);
+  const Scenario b = generate_scenario(cfg, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.num_ues() && !any_diff; ++i) {
+    const UeId u{static_cast<std::uint32_t>(i)};
+    if (!(a.ue(u).position == b.ue(u).position)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, UeCountDoesNotPerturbTopology) {
+  ScenarioConfig small, large;
+  small.num_ues = 100;
+  large.num_ues = 1000;
+  const Scenario a = generate_scenario(small, 7);
+  const Scenario b = generate_scenario(large, 7);
+  for (std::size_t i = 0; i < a.num_bss(); ++i) {
+    const BsId bs{static_cast<std::uint32_t>(i)};
+    EXPECT_EQ(a.bs(bs).position, b.bs(bs).position);
+    EXPECT_EQ(a.bs(bs).cru_capacity, b.bs(bs).cru_capacity);
+  }
+}
+
+TEST(Generator, ServiceSubsetHosting) {
+  ScenarioConfig cfg;
+  cfg.num_services = 10;
+  cfg.services_per_bs = 4;
+  const Scenario s = generate_scenario(cfg, 5);
+  for (const BaseStation& b : s.bss()) {
+    std::size_t hosted = 0;
+    for (std::uint32_t c : b.cru_capacity)
+      if (c > 0) ++hosted;
+    EXPECT_EQ(hosted, 4u);
+  }
+}
+
+TEST(Generator, RandomPlacementStaysInArea) {
+  ScenarioConfig cfg;
+  cfg.placement = PlacementMethod::kRandom;
+  const Scenario s = generate_scenario(cfg, 11);
+  for (const BaseStation& b : s.bss()) EXPECT_TRUE(cfg.area().contains(b.position));
+}
+
+TEST(Generator, RoundRobinOwnershipSpreadsSps) {
+  const Scenario s = generate_scenario(ScenarioConfig{}, 1);
+  std::set<std::uint32_t> sps;
+  for (const BaseStation& b : s.bss()) sps.insert(b.sp.value);
+  EXPECT_EQ(sps.size(), 5u);
+}
+
+TEST(Generator, InterferenceDerivationPopulatesChannel) {
+  ScenarioConfig cfg;
+  cfg.interference_activity_factor = 0.05;
+  const Scenario with = generate_scenario(cfg, 3);
+  const Scenario without = generate_scenario(ScenarioConfig{}, 3);
+  EXPECT_GT(with.channel().interference_psd_mw_hz, 0.0);
+  EXPECT_DOUBLE_EQ(without.channel().interference_psd_mw_hz, 0.0);
+  // Interference lowers every link's SINR.
+  EXPECT_LT(with.link(UeId{0}, BsId{0}).sinr, without.link(UeId{0}, BsId{0}).sinr);
+}
+
+TEST(Generator, MostUesSeeSeveralCandidates) {
+  const Scenario s = generate_scenario(ScenarioConfig{}, 9);
+  std::size_t multi = 0;
+  for (std::size_t i = 0; i < s.num_ues(); ++i)
+    if (s.coverage_count(UeId{static_cast<std::uint32_t>(i)}) >= 2) ++multi;
+  // The densely-deployed premise: nearly everyone sees ≥ 2 BSs.
+  EXPECT_GT(multi, s.num_ues() * 9 / 10);
+}
+
+TEST(Generator, HotspotsClusterThePopulation) {
+  ScenarioConfig uniform;
+  uniform.num_ues = 2000;
+  ScenarioConfig hotspots = uniform;
+  hotspots.ue_distribution = UeDistribution::kHotspots;
+  hotspots.num_hotspots = 2;
+  hotspots.hotspot_sigma_m = 80.0;
+  hotspots.hotspot_fraction = 1.0;
+
+  // Mean pairwise-ish spread proxy: mean distance to the area center.
+  auto spread = [](const Scenario& s) {
+    const Point c{600.0, 600.0};
+    double mean_sq = 0.0;
+    Point centroid{0.0, 0.0};
+    for (const UserEquipment& u : s.ues()) {
+      centroid.x += u.position.x / static_cast<double>(s.num_ues());
+      centroid.y += u.position.y / static_cast<double>(s.num_ues());
+    }
+    (void)c;
+    for (const UserEquipment& u : s.ues()) mean_sq += distance_sq(u.position, centroid);
+    return mean_sq / static_cast<double>(s.num_ues());
+  };
+  const double su = spread(generate_scenario(uniform, 3));
+  const double sh = spread(generate_scenario(hotspots, 3));
+  EXPECT_LT(sh, su * 0.7);  // clustered population is markedly tighter
+}
+
+TEST(Generator, HotspotPositionsStayInArea) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 1000;
+  cfg.ue_distribution = UeDistribution::kHotspots;
+  cfg.hotspot_sigma_m = 400.0;  // wide clusters → clamping exercised
+  const Scenario s = generate_scenario(cfg, 5);
+  for (const UserEquipment& u : s.ues()) EXPECT_TRUE(cfg.area().contains(u.position));
+}
+
+TEST(Generator, HotspotFractionZeroIsUniformishSpread) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 500;
+  cfg.ue_distribution = UeDistribution::kHotspots;
+  cfg.hotspot_fraction = 0.0;  // everyone falls back to the uniform draw
+  const Scenario s = generate_scenario(cfg, 7);
+  int quadrants[4] = {0, 0, 0, 0};
+  for (const UserEquipment& u : s.ues())
+    quadrants[(u.position.x > 600 ? 1 : 0) + (u.position.y > 600 ? 2 : 0)]++;
+  for (int q : quadrants) EXPECT_GT(q, 60);
+}
+
+TEST(Generator, ZipfSkewsServicePopularity) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 3000;
+  cfg.service_popularity = ServicePopularity::kZipf;
+  cfg.zipf_s = 1.2;
+  const Scenario s = generate_scenario(cfg, 9);
+  std::vector<int> counts(cfg.num_services, 0);
+  for (const UserEquipment& u : s.ues()) counts[u.service.idx()]++;
+  // Rank 0 clearly dominates and popularity decreases overall.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[3]);
+  EXPECT_GT(counts[0], 2 * counts[5]);
+}
+
+TEST(Generator, UniformPopularityUnchangedByZipfKnob) {
+  // The uniform branch must keep the historical draw sequence.
+  ScenarioConfig a, b;
+  a.num_ues = b.num_ues = 100;
+  b.zipf_s = 3.0;  // irrelevant while popularity stays uniform
+  const Scenario sa = generate_scenario(a, 11);
+  const Scenario sb = generate_scenario(b, 11);
+  for (std::size_t i = 0; i < sa.num_ues(); ++i) {
+    const UeId u{static_cast<std::uint32_t>(i)};
+    EXPECT_EQ(sa.ue(u).service, sb.ue(u).service);
+    EXPECT_EQ(sa.ue(u).position, sb.ue(u).position);
+  }
+}
+
+TEST(Generator, ConfigContracts) {
+  {
+    ScenarioConfig cfg;
+    cfg.num_ues = 0;
+    EXPECT_THROW(generate_scenario(cfg, 1), ContractViolation);
+  }
+  {
+    ScenarioConfig cfg;
+    cfg.services_per_bs = 9;  // > num_services
+    EXPECT_THROW(generate_scenario(cfg, 1), ContractViolation);
+  }
+  {
+    ScenarioConfig cfg;
+    cfg.cru_demand_min = 0;
+    EXPECT_THROW(generate_scenario(cfg, 1), ContractViolation);
+  }
+  {
+    ScenarioConfig cfg;
+    cfg.cru_capacity_min = 200;  // > max
+    EXPECT_THROW(generate_scenario(cfg, 1), ContractViolation);
+  }
+}
+
+}  // namespace
+}  // namespace dmra

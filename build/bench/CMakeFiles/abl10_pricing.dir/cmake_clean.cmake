@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl10_pricing.dir/abl_pricing.cpp.o"
+  "CMakeFiles/abl10_pricing.dir/abl_pricing.cpp.o.d"
+  "abl10_pricing"
+  "abl10_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl10_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

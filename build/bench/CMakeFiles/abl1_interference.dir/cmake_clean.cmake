@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl1_interference.dir/abl_interference.cpp.o"
+  "CMakeFiles/abl1_interference.dir/abl_interference.cpp.o.d"
+  "abl1_interference"
+  "abl1_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl1_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

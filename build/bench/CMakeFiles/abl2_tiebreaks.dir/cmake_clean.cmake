@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_tiebreaks.dir/abl_tiebreaks.cpp.o"
+  "CMakeFiles/abl2_tiebreaks.dir/abl_tiebreaks.cpp.o.d"
+  "abl2_tiebreaks"
+  "abl2_tiebreaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_tiebreaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

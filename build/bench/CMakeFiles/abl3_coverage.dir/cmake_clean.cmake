@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl3_coverage.dir/abl_coverage.cpp.o"
+  "CMakeFiles/abl3_coverage.dir/abl_coverage.cpp.o.d"
+  "abl3_coverage"
+  "abl3_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl3_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl4_nonco_semantics.dir/abl_nonco_semantics.cpp.o"
+  "CMakeFiles/abl4_nonco_semantics.dir/abl_nonco_semantics.cpp.o.d"
+  "abl4_nonco_semantics"
+  "abl4_nonco_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl4_nonco_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

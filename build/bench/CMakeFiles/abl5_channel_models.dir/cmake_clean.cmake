@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl5_channel_models.dir/abl_channel_models.cpp.o"
+  "CMakeFiles/abl5_channel_models.dir/abl_channel_models.cpp.o.d"
+  "abl5_channel_models"
+  "abl5_channel_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl5_channel_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

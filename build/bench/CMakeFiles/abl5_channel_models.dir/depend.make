@@ -1,0 +1,2 @@
+# Empty dependencies file for abl5_channel_models.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl6_online.dir/abl_online.cpp.o"
+  "CMakeFiles/abl6_online.dir/abl_online.cpp.o.d"
+  "abl6_online"
+  "abl6_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl6_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl7_mobility.dir/abl_mobility.cpp.o"
+  "CMakeFiles/abl7_mobility.dir/abl_mobility.cpp.o.d"
+  "abl7_mobility"
+  "abl7_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl7_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

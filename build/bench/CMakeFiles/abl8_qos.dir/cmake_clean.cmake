@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl8_qos.dir/abl_qos.cpp.o"
+  "CMakeFiles/abl8_qos.dir/abl_qos.cpp.o.d"
+  "abl8_qos"
+  "abl8_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl8_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl9_hotspots.dir/abl_hotspots.cpp.o"
+  "CMakeFiles/abl9_hotspots.dir/abl_hotspots.cpp.o.d"
+  "abl9_hotspots"
+  "abl9_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl9_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

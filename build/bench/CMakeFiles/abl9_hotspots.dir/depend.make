@@ -1,0 +1,2 @@
+# Empty dependencies file for abl9_hotspots.
+# This may be replaced when dependencies are built.

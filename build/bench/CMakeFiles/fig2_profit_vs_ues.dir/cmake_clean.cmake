@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_profit_vs_ues.dir/fig_profit_vs_ues.cpp.o"
+  "CMakeFiles/fig2_profit_vs_ues.dir/fig_profit_vs_ues.cpp.o.d"
+  "fig2_profit_vs_ues"
+  "fig2_profit_vs_ues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_profit_vs_ues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

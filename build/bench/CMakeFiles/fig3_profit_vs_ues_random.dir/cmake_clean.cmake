@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_profit_vs_ues_random.dir/fig_profit_vs_ues.cpp.o"
+  "CMakeFiles/fig3_profit_vs_ues_random.dir/fig_profit_vs_ues.cpp.o.d"
+  "fig3_profit_vs_ues_random"
+  "fig3_profit_vs_ues_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_profit_vs_ues_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_profit_vs_ues_random.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_profit_vs_ues_iota11.dir/fig_profit_vs_ues.cpp.o"
+  "CMakeFiles/fig4_profit_vs_ues_iota11.dir/fig_profit_vs_ues.cpp.o.d"
+  "fig4_profit_vs_ues_iota11"
+  "fig4_profit_vs_ues_iota11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_profit_vs_ues_iota11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

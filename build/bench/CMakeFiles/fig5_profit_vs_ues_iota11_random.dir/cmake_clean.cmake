@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_profit_vs_ues_iota11_random.dir/fig_profit_vs_ues.cpp.o"
+  "CMakeFiles/fig5_profit_vs_ues_iota11_random.dir/fig_profit_vs_ues.cpp.o.d"
+  "fig5_profit_vs_ues_iota11_random"
+  "fig5_profit_vs_ues_iota11_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_profit_vs_ues_iota11_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_profit_vs_ues_iota11_random.
+# This may be replaced when dependencies are built.

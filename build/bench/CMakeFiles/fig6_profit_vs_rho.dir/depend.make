@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_profit_vs_rho.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_forwarded_load_vs_rho.dir/fig_rho_sweep.cpp.o"
+  "CMakeFiles/fig7_forwarded_load_vs_rho.dir/fig_rho_sweep.cpp.o.d"
+  "fig7_forwarded_load_vs_rho"
+  "fig7_forwarded_load_vs_rho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_forwarded_load_vs_rho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

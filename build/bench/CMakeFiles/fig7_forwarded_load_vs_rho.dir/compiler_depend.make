@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_forwarded_load_vs_rho.
+# This may be replaced when dependencies are built.

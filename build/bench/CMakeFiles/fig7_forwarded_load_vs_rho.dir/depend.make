@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_forwarded_load_vs_rho.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig_all.cpp" "bench/CMakeFiles/fig_all.dir/fig_all.cpp.o" "gcc" "bench/CMakeFiles/fig_all.dir/fig_all.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matching/CMakeFiles/dmra_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dmra_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/dmra_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dmra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dmra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/dmra_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dmra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dmra_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dmra_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/dmra_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/dmra_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/dmra_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dmra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_all.dir/fig_all.cpp.o"
+  "CMakeFiles/fig_all.dir/fig_all.cpp.o.d"
+  "fig_all"
+  "fig_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

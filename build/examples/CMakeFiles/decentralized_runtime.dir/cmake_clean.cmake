@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentralized_runtime.dir/decentralized_runtime.cpp.o"
+  "CMakeFiles/decentralized_runtime.dir/decentralized_runtime.cpp.o.d"
+  "decentralized_runtime"
+  "decentralized_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentralized_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_map.dir/deployment_map.cpp.o"
+  "CMakeFiles/deployment_map.dir/deployment_map.cpp.o.d"
+  "deployment_map"
+  "deployment_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_handover.dir/mobility_handover.cpp.o"
+  "CMakeFiles/mobility_handover.dir/mobility_handover.cpp.o.d"
+  "mobility_handover"
+  "mobility_handover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sp_marketplace.dir/multi_sp_marketplace.cpp.o"
+  "CMakeFiles/multi_sp_marketplace.dir/multi_sp_marketplace.cpp.o.d"
+  "multi_sp_marketplace"
+  "multi_sp_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sp_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geometry")
+subdirs("radio")
+subdirs("mec")
+subdirs("topology")
+subdirs("workload")
+subdirs("matching")
+subdirs("net")
+subdirs("core")
+subdirs("baselines")
+subdirs("sim")
+subdirs("mobility")
+subdirs("market")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dcsp.cpp" "src/baselines/CMakeFiles/dmra_baselines.dir/dcsp.cpp.o" "gcc" "src/baselines/CMakeFiles/dmra_baselines.dir/dcsp.cpp.o.d"
+  "/root/repo/src/baselines/exact.cpp" "src/baselines/CMakeFiles/dmra_baselines.dir/exact.cpp.o" "gcc" "src/baselines/CMakeFiles/dmra_baselines.dir/exact.cpp.o.d"
+  "/root/repo/src/baselines/greedy.cpp" "src/baselines/CMakeFiles/dmra_baselines.dir/greedy.cpp.o" "gcc" "src/baselines/CMakeFiles/dmra_baselines.dir/greedy.cpp.o.d"
+  "/root/repo/src/baselines/nonco.cpp" "src/baselines/CMakeFiles/dmra_baselines.dir/nonco.cpp.o" "gcc" "src/baselines/CMakeFiles/dmra_baselines.dir/nonco.cpp.o.d"
+  "/root/repo/src/baselines/random_alloc.cpp" "src/baselines/CMakeFiles/dmra_baselines.dir/random_alloc.cpp.o" "gcc" "src/baselines/CMakeFiles/dmra_baselines.dir/random_alloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dmra_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/dmra_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/dmra_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/dmra_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

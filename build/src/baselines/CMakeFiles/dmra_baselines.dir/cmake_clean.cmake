@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmra_baselines.dir/dcsp.cpp.o"
+  "CMakeFiles/dmra_baselines.dir/dcsp.cpp.o.d"
+  "CMakeFiles/dmra_baselines.dir/exact.cpp.o"
+  "CMakeFiles/dmra_baselines.dir/exact.cpp.o.d"
+  "CMakeFiles/dmra_baselines.dir/greedy.cpp.o"
+  "CMakeFiles/dmra_baselines.dir/greedy.cpp.o.d"
+  "CMakeFiles/dmra_baselines.dir/nonco.cpp.o"
+  "CMakeFiles/dmra_baselines.dir/nonco.cpp.o.d"
+  "CMakeFiles/dmra_baselines.dir/random_alloc.cpp.o"
+  "CMakeFiles/dmra_baselines.dir/random_alloc.cpp.o.d"
+  "libdmra_baselines.a"
+  "libdmra_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmra_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

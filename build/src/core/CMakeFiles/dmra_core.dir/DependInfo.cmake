@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/decentralized.cpp" "src/core/CMakeFiles/dmra_core.dir/decentralized.cpp.o" "gcc" "src/core/CMakeFiles/dmra_core.dir/decentralized.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/core/CMakeFiles/dmra_core.dir/incremental.cpp.o" "gcc" "src/core/CMakeFiles/dmra_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/core/preference.cpp" "src/core/CMakeFiles/dmra_core.dir/preference.cpp.o" "gcc" "src/core/CMakeFiles/dmra_core.dir/preference.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/dmra_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/dmra_core.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dmra_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/dmra_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dmra_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/dmra_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/dmra_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

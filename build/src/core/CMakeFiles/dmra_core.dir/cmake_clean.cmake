@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmra_core.dir/decentralized.cpp.o"
+  "CMakeFiles/dmra_core.dir/decentralized.cpp.o.d"
+  "CMakeFiles/dmra_core.dir/incremental.cpp.o"
+  "CMakeFiles/dmra_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/dmra_core.dir/preference.cpp.o"
+  "CMakeFiles/dmra_core.dir/preference.cpp.o.d"
+  "CMakeFiles/dmra_core.dir/solver.cpp.o"
+  "CMakeFiles/dmra_core.dir/solver.cpp.o.d"
+  "libdmra_core.a"
+  "libdmra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmra_geometry.dir/geometry.cpp.o"
+  "CMakeFiles/dmra_geometry.dir/geometry.cpp.o.d"
+  "libdmra_geometry.a"
+  "libdmra_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmra_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmra_market.dir/adaptive_pricing.cpp.o"
+  "CMakeFiles/dmra_market.dir/adaptive_pricing.cpp.o.d"
+  "libdmra_market.a"
+  "libdmra_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmra_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmra_matching.dir/deferred_acceptance.cpp.o"
+  "CMakeFiles/dmra_matching.dir/deferred_acceptance.cpp.o.d"
+  "CMakeFiles/dmra_matching.dir/stability.cpp.o"
+  "CMakeFiles/dmra_matching.dir/stability.cpp.o.d"
+  "libdmra_matching.a"
+  "libdmra_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmra_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mec/allocation.cpp" "src/mec/CMakeFiles/dmra_mec.dir/allocation.cpp.o" "gcc" "src/mec/CMakeFiles/dmra_mec.dir/allocation.cpp.o.d"
+  "/root/repo/src/mec/pricing.cpp" "src/mec/CMakeFiles/dmra_mec.dir/pricing.cpp.o" "gcc" "src/mec/CMakeFiles/dmra_mec.dir/pricing.cpp.o.d"
+  "/root/repo/src/mec/resources.cpp" "src/mec/CMakeFiles/dmra_mec.dir/resources.cpp.o" "gcc" "src/mec/CMakeFiles/dmra_mec.dir/resources.cpp.o.d"
+  "/root/repo/src/mec/scenario.cpp" "src/mec/CMakeFiles/dmra_mec.dir/scenario.cpp.o" "gcc" "src/mec/CMakeFiles/dmra_mec.dir/scenario.cpp.o.d"
+  "/root/repo/src/mec/scenario_io.cpp" "src/mec/CMakeFiles/dmra_mec.dir/scenario_io.cpp.o" "gcc" "src/mec/CMakeFiles/dmra_mec.dir/scenario_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dmra_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/dmra_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/dmra_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmra_mec.dir/allocation.cpp.o"
+  "CMakeFiles/dmra_mec.dir/allocation.cpp.o.d"
+  "CMakeFiles/dmra_mec.dir/pricing.cpp.o"
+  "CMakeFiles/dmra_mec.dir/pricing.cpp.o.d"
+  "CMakeFiles/dmra_mec.dir/resources.cpp.o"
+  "CMakeFiles/dmra_mec.dir/resources.cpp.o.d"
+  "CMakeFiles/dmra_mec.dir/scenario.cpp.o"
+  "CMakeFiles/dmra_mec.dir/scenario.cpp.o.d"
+  "CMakeFiles/dmra_mec.dir/scenario_io.cpp.o"
+  "CMakeFiles/dmra_mec.dir/scenario_io.cpp.o.d"
+  "libdmra_mec.a"
+  "libdmra_mec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmra_mec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmra_mobility.dir/handover.cpp.o"
+  "CMakeFiles/dmra_mobility.dir/handover.cpp.o.d"
+  "CMakeFiles/dmra_mobility.dir/models.cpp.o"
+  "CMakeFiles/dmra_mobility.dir/models.cpp.o.d"
+  "libdmra_mobility.a"
+  "libdmra_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmra_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

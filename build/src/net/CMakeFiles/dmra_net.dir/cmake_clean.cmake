@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmra_net.dir/stats.cpp.o"
+  "CMakeFiles/dmra_net.dir/stats.cpp.o.d"
+  "libdmra_net.a"
+  "libdmra_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmra_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

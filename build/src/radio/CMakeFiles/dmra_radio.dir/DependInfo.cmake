@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/channel.cpp" "src/radio/CMakeFiles/dmra_radio.dir/channel.cpp.o" "gcc" "src/radio/CMakeFiles/dmra_radio.dir/channel.cpp.o.d"
+  "/root/repo/src/radio/ofdma.cpp" "src/radio/CMakeFiles/dmra_radio.dir/ofdma.cpp.o" "gcc" "src/radio/CMakeFiles/dmra_radio.dir/ofdma.cpp.o.d"
+  "/root/repo/src/radio/pathloss.cpp" "src/radio/CMakeFiles/dmra_radio.dir/pathloss.cpp.o" "gcc" "src/radio/CMakeFiles/dmra_radio.dir/pathloss.cpp.o.d"
+  "/root/repo/src/radio/units.cpp" "src/radio/CMakeFiles/dmra_radio.dir/units.cpp.o" "gcc" "src/radio/CMakeFiles/dmra_radio.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dmra_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/dmra_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

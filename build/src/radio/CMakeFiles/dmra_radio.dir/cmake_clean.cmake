@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmra_radio.dir/channel.cpp.o"
+  "CMakeFiles/dmra_radio.dir/channel.cpp.o.d"
+  "CMakeFiles/dmra_radio.dir/ofdma.cpp.o"
+  "CMakeFiles/dmra_radio.dir/ofdma.cpp.o.d"
+  "CMakeFiles/dmra_radio.dir/pathloss.cpp.o"
+  "CMakeFiles/dmra_radio.dir/pathloss.cpp.o.d"
+  "CMakeFiles/dmra_radio.dir/units.cpp.o"
+  "CMakeFiles/dmra_radio.dir/units.cpp.o.d"
+  "libdmra_radio.a"
+  "libdmra_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmra_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/dmra_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/dmra_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/feasibility.cpp" "src/sim/CMakeFiles/dmra_sim.dir/feasibility.cpp.o" "gcc" "src/sim/CMakeFiles/dmra_sim.dir/feasibility.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/dmra_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/dmra_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/online.cpp" "src/sim/CMakeFiles/dmra_sim.dir/online.cpp.o" "gcc" "src/sim/CMakeFiles/dmra_sim.dir/online.cpp.o.d"
+  "/root/repo/src/sim/qos.cpp" "src/sim/CMakeFiles/dmra_sim.dir/qos.cpp.o" "gcc" "src/sim/CMakeFiles/dmra_sim.dir/qos.cpp.o.d"
+  "/root/repo/src/sim/render.cpp" "src/sim/CMakeFiles/dmra_sim.dir/render.cpp.o" "gcc" "src/sim/CMakeFiles/dmra_sim.dir/render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dmra_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/dmra_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dmra_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dmra_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/dmra_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/dmra_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmra_sim.dir/experiment.cpp.o"
+  "CMakeFiles/dmra_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/dmra_sim.dir/feasibility.cpp.o"
+  "CMakeFiles/dmra_sim.dir/feasibility.cpp.o.d"
+  "CMakeFiles/dmra_sim.dir/metrics.cpp.o"
+  "CMakeFiles/dmra_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/dmra_sim.dir/online.cpp.o"
+  "CMakeFiles/dmra_sim.dir/online.cpp.o.d"
+  "CMakeFiles/dmra_sim.dir/qos.cpp.o"
+  "CMakeFiles/dmra_sim.dir/qos.cpp.o.d"
+  "CMakeFiles/dmra_sim.dir/render.cpp.o"
+  "CMakeFiles/dmra_sim.dir/render.cpp.o.d"
+  "libdmra_sim.a"
+  "libdmra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

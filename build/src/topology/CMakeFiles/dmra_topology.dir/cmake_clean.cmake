@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmra_topology.dir/placement.cpp.o"
+  "CMakeFiles/dmra_topology.dir/placement.cpp.o.d"
+  "libdmra_topology.a"
+  "libdmra_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmra_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmra_util.dir/cli.cpp.o"
+  "CMakeFiles/dmra_util.dir/cli.cpp.o.d"
+  "CMakeFiles/dmra_util.dir/json.cpp.o"
+  "CMakeFiles/dmra_util.dir/json.cpp.o.d"
+  "CMakeFiles/dmra_util.dir/log.cpp.o"
+  "CMakeFiles/dmra_util.dir/log.cpp.o.d"
+  "CMakeFiles/dmra_util.dir/rng.cpp.o"
+  "CMakeFiles/dmra_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dmra_util.dir/stats.cpp.o"
+  "CMakeFiles/dmra_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dmra_util.dir/table.cpp.o"
+  "CMakeFiles/dmra_util.dir/table.cpp.o.d"
+  "libdmra_util.a"
+  "libdmra_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmra_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmra_workload.dir/generator.cpp.o"
+  "CMakeFiles/dmra_workload.dir/generator.cpp.o.d"
+  "libdmra_workload.a"
+  "libdmra_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmra_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/decentralized_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/decentralized_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/incremental_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/incremental_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/lossy_network_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/lossy_network_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/partial_solver_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/partial_solver_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/preference_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/preference_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/solver_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/solver_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mec_test.dir/mec/allocation_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec/allocation_test.cpp.o.d"
+  "CMakeFiles/mec_test.dir/mec/pricing_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec/pricing_test.cpp.o.d"
+  "CMakeFiles/mec_test.dir/mec/resources_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec/resources_test.cpp.o.d"
+  "CMakeFiles/mec_test.dir/mec/scenario_io_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec/scenario_io_test.cpp.o.d"
+  "CMakeFiles/mec_test.dir/mec/scenario_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec/scenario_test.cpp.o.d"
+  "mec_test"
+  "mec_test.pdb"
+  "mec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,6 +4,7 @@
 #include <map>
 #include <tuple>
 
+#include "mec/audit.hpp"
 #include "mec/resources.hpp"
 
 namespace dmra {
@@ -83,6 +84,8 @@ Allocation DcspAllocator::allocate(const Scenario& scenario) const {
         done[u.idx()] = true;
       }
     }
+    if (DMRA_AUDIT_ACTIVE())
+      audit::report_state_round("baselines/dcsp", round, scenario, alloc, state);
   }
   return alloc;
 }

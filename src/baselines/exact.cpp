@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mec/audit.hpp"
 #include "mec/resources.hpp"
 #include "util/require.hpp"
 
@@ -19,6 +20,7 @@ struct SearchCtx {
   /// upper_bound[u] = best possible profit from UEs u..end, capacities
   /// ignored; admissible bound for pruning.
   std::vector<double> suffix_bound;
+  std::size_t incumbents = 0;  ///< audit round counter (improvements found)
 };
 
 void search(SearchCtx& ctx, std::size_t ui) {
@@ -26,6 +28,12 @@ void search(SearchCtx& ctx, std::size_t ui) {
     if (ctx.current_profit > ctx.best_profit) {
       ctx.best_profit = ctx.current_profit;
       ctx.best = ctx.current;
+      // Auditing every search node would blow up the exponential walk;
+      // incumbent improvements are rare and exercise the commit/release
+      // pairing along the whole path from the root.
+      if (DMRA_AUDIT_ACTIVE())
+        audit::report_state_round("baselines/exact", ctx.incumbents++, ctx.scenario,
+                                  ctx.current, ctx.state);
     }
     return;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <tuple>
 
+#include "mec/audit.hpp"
 #include "mec/resources.hpp"
 
 namespace dmra {
@@ -32,6 +33,8 @@ Allocation GreedyProfitAllocator::allocate(const Scenario& scenario) const {
     alloc.assign(p.u, p.i);
     assigned[p.u.idx()] = true;
   }
+  if (DMRA_AUDIT_ACTIVE())
+    audit::report_state_round("baselines/greedy", 0, scenario, alloc, state);
   return alloc;
 }
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <tuple>
 
+#include "mec/audit.hpp"
 #include "mec/resources.hpp"
 
 namespace dmra {
@@ -74,6 +75,8 @@ Allocation NonCoAllocator::allocate(const Scenario& scenario) const {
       }
     }
     std::sort(pending.begin(), pending.end());
+    if (DMRA_AUDIT_ACTIVE())
+      audit::report_state_round("baselines/nonco", round, scenario, alloc, state);
   }
   return alloc;
 }

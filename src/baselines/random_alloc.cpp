@@ -1,5 +1,6 @@
 #include "baselines/random_alloc.hpp"
 
+#include "mec/audit.hpp"
 #include "mec/resources.hpp"
 #include "util/rng.hpp"
 
@@ -25,6 +26,8 @@ Allocation RandomAllocator::allocate(const Scenario& scenario) const {
     state.commit(u, pick);
     alloc.assign(u, pick);
   }
+  if (DMRA_AUDIT_ACTIVE())
+    audit::report_state_round("baselines/random", 0, scenario, alloc, state);
   return alloc;
 }
 

@@ -1,0 +1,96 @@
+#include "check/invariant_auditor.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace dmra::check {
+
+namespace {
+
+/// Tolerance for the monotonic-profit comparison: profits are sums of
+/// doubles, so permit rounding noise but not a real regression.
+constexpr double kProfitSlack = 1e-9;
+
+}  // namespace
+
+void InvariantAuditor::record(const std::string& context, FeasibilityReport report) {
+  if (report.ok) return;
+  findings_.merge(report);
+  if (!options_.throw_on_violation) return;
+  std::ostringstream os;
+  os << "invariant audit failed (" << context << "):";
+  for (const std::string& line : findings_.violations) os << "\n  " << line;
+  throw AuditFailure(os.str(), findings_);
+}
+
+void InvariantAuditor::on_round(const audit::RoundContext& ctx) {
+  DMRA_REQUIRE(ctx.scenario != nullptr);
+  DMRA_REQUIRE(ctx.allocation != nullptr);
+  ++rounds_audited_;
+
+  FeasibilityReport combined;
+  if (options_.check_partial_feasibility)
+    combined.merge(check_feasibility(*ctx.scenario, *ctx.allocation));
+  if (options_.check_ledger && !ctx.ledger.rrbs.empty())
+    combined.merge(check_ledger_consistency(*ctx.scenario, *ctx.allocation,
+                                            ctx.ledger.crus, ctx.ledger.rrbs));
+
+  if (options_.check_monotonic_profit) {
+    const double profit = total_profit(*ctx.scenario, *ctx.allocation);
+    auto [it, inserted] = profit_baselines_.try_emplace(std::string(ctx.source));
+    ProfitBaseline& base = it->second;
+    // The baseline only carries over within one run: same scenario,
+    // consecutive rounds. Anything else (new run, new epoch) resets it.
+    const bool continues =
+        !inserted && base.scenario == ctx.scenario && ctx.round == base.round + 1;
+    if (continues && profit + kProfitSlack < base.profit) {
+      std::ostringstream os;
+      os << ctx.source << " round " << ctx.round << ": total profit decreased from "
+         << base.profit << " to " << profit << " (monotonic-profit)";
+      combined.ok = false;
+      combined.violations.push_back(os.str());
+    }
+    base = {ctx.scenario, ctx.round, profit};
+  }
+
+  std::ostringstream context;
+  context << ctx.source << ", round " << ctx.round;
+  record(context.str(), std::move(combined));
+}
+
+FeasibilityReport InvariantAuditor::audit_final(const Scenario& scenario,
+                                                const Allocation& alloc) {
+  FeasibilityReport report = check_feasibility(scenario, alloc);
+  record("final allocation", report);
+  return report;
+}
+
+void InvariantAuditor::reset() {
+  findings_ = {};
+  rounds_audited_ = 0;
+  profit_baselines_.clear();
+}
+
+Allocation AuditedAllocator::allocate(const Scenario& scenario) const {
+  InvariantAuditor auditor(options_);
+  audit::ScopedAuditObserver guard(&auditor);
+  Allocation alloc = inner_->allocate(scenario);
+  auditor.audit_final(scenario, alloc);
+  return alloc;
+}
+
+AllocatorPtr wrap_audited(AllocatorPtr inner, AuditorOptions options) {
+  return std::make_unique<AuditedAllocator>(std::move(inner), options);
+}
+
+namespace detail {
+
+audit::Observer* env_auditor_factory() {
+  static InvariantAuditor auditor;  // process lifetime, throwing
+  return &auditor;
+}
+
+}  // namespace detail
+
+}  // namespace dmra::check

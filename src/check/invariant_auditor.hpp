@@ -1,0 +1,125 @@
+// The runtime invariant auditor: a from-scratch cross-check of allocator
+// behavior, run every proposal round through the mec/audit.hpp hooks and
+// once more on the final allocation.
+//
+// Invariant catalogue (see docs/CORRECTNESS.md for the Eq. mapping):
+//  * partial-feasibility — after every round the allocation built so far
+//    satisfies Eq. 12–16 (capacity, hosting, RRB budget, association,
+//    profitability);
+//  * ledger-consistency — the allocator's internal CRU/RRB ledger equals
+//    capacity minus a from-scratch recount of the partial allocation; a
+//    ledger below the recount is a double commit (the no-double-RRB
+//    invariant), above it is a leak / unpaired release;
+//  * monotonic-profit — within one run, total SP profit (Eq. 11) never
+//    decreases round over round: DMRA and every baseline only ever add
+//    strictly profitable pairs (Eq. 16), so a dip means lost assignments
+//    or corrupted accounting.
+//
+// Use it one of three ways:
+//  * wrap any Allocator in AuditedAllocator (audits rounds + final);
+//  * install an InvariantAuditor with audit::ScopedAuditObserver around
+//    hand-rolled runs;
+//  * set DMRA_AUDIT=1 in the environment — any binary that links this
+//    header's registrar gets a process-wide throwing auditor.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "mec/allocator.hpp"
+#include "mec/audit.hpp"
+#include "sim/feasibility.hpp"
+
+namespace dmra::check {
+
+/// Thrown when an invariant is violated and the auditor is configured to
+/// throw (the default). Carries the full violation report.
+class AuditFailure : public std::runtime_error {
+ public:
+  AuditFailure(const std::string& what, FeasibilityReport report)
+      : std::runtime_error(what), report_(std::move(report)) {}
+  const FeasibilityReport& report() const { return report_; }
+
+ private:
+  FeasibilityReport report_;
+};
+
+struct AuditorOptions {
+  /// Throw AuditFailure on the first violated invariant. When false the
+  /// auditor only accumulates findings() — used by negative tests.
+  bool throw_on_violation = true;
+  bool check_partial_feasibility = true;
+  bool check_ledger = true;
+  bool check_monotonic_profit = true;
+};
+
+class InvariantAuditor final : public audit::Observer {
+ public:
+  explicit InvariantAuditor(AuditorOptions options = {}) : options_(options) {}
+
+  /// Cross-check one round report (see file comment for the invariants).
+  void on_round(const audit::RoundContext& ctx) override;
+
+  /// Validate a complete allocation (Eq. 12–16). Returns the report and
+  /// accumulates it into findings().
+  FeasibilityReport audit_final(const Scenario& scenario, const Allocation& alloc);
+
+  /// Everything found so far, across rounds and final audits.
+  const FeasibilityReport& findings() const { return findings_; }
+  std::size_t rounds_audited() const { return rounds_audited_; }
+
+  /// Forget findings and per-run monotonic-profit baselines.
+  void reset();
+
+ private:
+  struct ProfitBaseline {
+    const Scenario* scenario = nullptr;
+    std::size_t round = 0;
+    double profit = 0.0;
+  };
+
+  void record(const std::string& context, FeasibilityReport report);
+
+  AuditorOptions options_;
+  FeasibilityReport findings_;
+  std::size_t rounds_audited_ = 0;
+  std::map<std::string, ProfitBaseline, std::less<>> profit_baselines_;
+};
+
+/// Wraps any Allocator: installs a fresh InvariantAuditor for the
+/// duration of allocate(), so every instrumented proposal round is
+/// cross-checked, then audits the final allocation. Throws AuditFailure
+/// (by default) if the wrapped allocator ever violates an invariant.
+class AuditedAllocator final : public Allocator {
+ public:
+  explicit AuditedAllocator(AllocatorPtr inner, AuditorOptions options = {})
+      : inner_(std::move(inner)), options_(options) {}
+
+  std::string name() const override { return inner_->name(); }
+  Allocation allocate(const Scenario& scenario) const override;
+
+ private:
+  AllocatorPtr inner_;
+  AuditorOptions options_;
+};
+
+/// Convenience: std::make_unique<AuditedAllocator>(std::move(inner)).
+AllocatorPtr wrap_audited(AllocatorPtr inner, AuditorOptions options = {});
+
+namespace detail {
+/// Factory behind the DMRA_AUDIT=1 environment flag: a process-lifetime
+/// throwing auditor.
+audit::Observer* env_auditor_factory();
+
+struct EnvAuditorRegistrar {
+  EnvAuditorRegistrar() { audit::set_env_observer_factory(&env_auditor_factory); }
+};
+/// One instance program-wide (inline); constructing it registers the
+/// factory before main() in any binary that includes this header.
+inline EnvAuditorRegistrar env_auditor_registrar{};
+}  // namespace detail
+
+}  // namespace dmra::check

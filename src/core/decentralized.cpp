@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <variant>
 
+#include "mec/audit.hpp"
 #include "net/bus.hpp"
 #include "util/require.hpp"
 
@@ -255,6 +256,28 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     }
     bus.deliver();
     result.dmra.rejections += sent_this_round - accepted_this_round;
+
+    // Cross-check every BS agent's local ledger against a from-scratch
+    // recount of the partial allocation (the agents never see each other's
+    // state, so on a reliable bus drift here means a protocol bug). On a
+    // lossy bus a BS rightfully holds resources for accepts the UE never
+    // received until rebroadcasts heal it, and a re-proposing UE can land
+    // on a worse BS, so mid-run only partial feasibility is an invariant:
+    // skip the ledger snapshot and the cross-round profit chain.
+    if (DMRA_AUDIT_ACTIVE()) {
+      audit::RoundContext ctx;
+      ctx.scenario = &scenario;
+      ctx.allocation = &result.dmra.allocation;
+      if (!lossy) {
+        ctx.ledger = audit::snapshot_ledger(
+            scenario,
+            [&](BsId i, ServiceId j) { return bs_agents[i.idx()].resources.crus[j.idx()]; },
+            [&](BsId i) { return bs_agents[i.idx()].resources.rrbs; });
+      }
+      ctx.round = lossy ? 0 : result.dmra.rounds - 1;
+      ctx.source = lossy ? "core/decentralized-lossy" : "core/decentralized";
+      audit::observer()->on_round(ctx);
+    }
 
     // ---- SP relay phase (down): forward decisions to the UEs.
     for (SpAgent& sp : sp_agents) {

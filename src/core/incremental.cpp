@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mec/audit.hpp"
 #include "mec/resources.hpp"
 #include "util/require.hpp"
 
@@ -54,6 +55,10 @@ IncrementalResult solve_incremental_dmra(const Scenario& scenario,
     }
   }
   result.kept = allocation.num_served();
+  // Audit the carry-over + hysteresis state before the rematch: catches a
+  // kept assignment that is no longer feasible or an unpaired release.
+  if (DMRA_AUDIT_ACTIVE())
+    audit::report_state_round("core/incremental", 0, scenario, allocation, state);
 
   // Phase 3: match everyone displaced or never-assigned.
   result.rematch = solve_dmra_partial(scenario, config.dmra, state, allocation, matched);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "mec/audit.hpp"
 #include "mec/resources.hpp"
 #include "util/log.hpp"
 #include "util/require.hpp"
@@ -97,6 +98,9 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
       }
     }
     result.rejections += sent_this_round - accepted_this_round;
+    if (DMRA_AUDIT_ACTIVE())
+      audit::report_state_round("core/solver", result.rounds - 1, scenario, allocation,
+                                state);
     DMRA_DEBUG("dmra round " << result.rounds << ": " << sent_this_round << " proposals, "
                              << accepted_this_round << " accepted");
   }

@@ -1,0 +1,66 @@
+#include "mec/audit.hpp"
+
+#include <cstdlib>
+
+#include "mec/resources.hpp"
+
+namespace dmra::audit {
+
+namespace {
+
+Observer* g_observer = nullptr;
+Observer* (*g_env_factory)() = nullptr;
+bool g_env_checked = false;
+
+/// One-shot: honor DMRA_AUDIT=1 in the environment by installing the
+/// registered default auditor (registered by src/check when linked in).
+void maybe_install_from_env() {
+  if (g_env_checked) return;
+  g_env_checked = true;
+  if (g_observer != nullptr || g_env_factory == nullptr) return;
+  const char* value = std::getenv("DMRA_AUDIT");
+  if (value == nullptr || value[0] == '\0') return;
+  if (value[0] == '0' && value[1] == '\0') return;
+  g_observer = g_env_factory();
+}
+
+}  // namespace
+
+bool enabled() {
+#if defined(DMRA_AUDIT_ENABLED) && DMRA_AUDIT_ENABLED
+  maybe_install_from_env();
+  return g_observer != nullptr;
+#else
+  return false;
+#endif
+}
+
+Observer* observer() {
+  maybe_install_from_env();
+  return g_observer;
+}
+
+Observer* set_observer(Observer* obs) {
+  Observer* previous = g_observer;
+  g_observer = obs;
+  return previous;
+}
+
+void set_env_observer_factory(Observer* (*factory)()) { g_env_factory = factory; }
+
+void report_state_round(std::string_view source, std::size_t round,
+                        const Scenario& scenario, const Allocation& allocation,
+                        const ResourceState& state) {
+  if (!enabled()) return;
+  RoundContext ctx;
+  ctx.scenario = &scenario;
+  ctx.allocation = &allocation;
+  ctx.ledger = snapshot_ledger(
+      scenario, [&](BsId i, ServiceId j) { return state.remaining_crus(i, j); },
+      [&](BsId i) { return state.remaining_rrbs(i); });
+  ctx.round = round;
+  ctx.source = source;
+  observer()->on_round(ctx);
+}
+
+}  // namespace dmra::audit

@@ -1,0 +1,130 @@
+// Per-round audit hooks — the seam between allocators and the invariant
+// auditor (src/check).
+//
+// Allocators that keep an internal resource ledger report it here at the
+// end of every proposal round, together with the partial allocation built
+// so far. An installed Observer (normally check/invariant_auditor.hpp)
+// recounts everything from scratch and cross-checks; with no observer
+// installed the hook site is a single relaxed pointer test, cheap enough
+// to keep in release builds. The hook sites themselves compile out when
+// the DMRA_AUDIT CMake option is OFF.
+//
+// Two gates, per the correctness-tooling design (docs/CORRECTNESS.md):
+//  * compile-time — DMRA_AUDIT_ENABLED (CMake option DMRA_AUDIT);
+//  * run-time — an Observer installed via ScopedAuditObserver, or the
+//    DMRA_AUDIT=1 environment variable, which installs a process-wide
+//    throwing auditor on first use so any binary can run audited without
+//    code changes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "mec/allocation.hpp"
+#include "mec/scenario.hpp"
+
+namespace dmra::audit {
+
+/// An allocator's own view of remaining resources, flattened the same way
+/// ResourceState stores it: crus[i * num_services + j], rrbs[i].
+struct LedgerSnapshot {
+  std::vector<std::uint32_t> crus;
+  std::vector<std::uint32_t> rrbs;
+};
+
+/// Everything an observer needs to re-derive the truth for one round.
+struct RoundContext {
+  const Scenario* scenario = nullptr;
+  /// The (partial) allocation after this round's commits.
+  const Allocation* allocation = nullptr;
+  /// The producer's internal ledger after this round's commits.
+  LedgerSnapshot ledger;
+  /// Round counter within the producing run; 0 resets per-run state
+  /// (e.g. the monotonic-profit baseline) in stateful observers.
+  std::size_t round = 0;
+  /// Instrumentation site, e.g. "core/solver", "baselines/greedy".
+  std::string_view source;
+};
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  /// Called after each proposal round of an instrumented allocator.
+  /// Implementations may throw to abort the run (the default auditor
+  /// throws AuditFailure).
+  virtual void on_round(const RoundContext& ctx) = 0;
+};
+
+/// True iff hook sites are compiled in AND an observer is installed
+/// (installing one lazily from the DMRA_AUDIT env var on first query).
+/// Producers must guard snapshot construction with this.
+bool enabled();
+
+/// The installed observer, or nullptr.
+Observer* observer();
+
+/// Install `obs` (nullptr uninstalls). Returns the previous observer.
+/// Not thread-safe; install before spawning instrumented work.
+Observer* set_observer(Observer* obs);
+
+/// Register the factory the DMRA_AUDIT=1 env path uses to build its
+/// process-wide auditor. src/check registers its InvariantAuditor from
+/// an inline registrar in check/invariant_auditor.hpp, so any binary
+/// that includes that header gets env-var support automatically.
+void set_env_observer_factory(Observer* (*factory)());
+
+/// RAII installation for the duration of a scope (tests, AuditedAllocator).
+class ScopedAuditObserver {
+ public:
+  explicit ScopedAuditObserver(Observer* obs) : previous_(set_observer(obs)) {}
+  ~ScopedAuditObserver() { set_observer(previous_); }
+  ScopedAuditObserver(const ScopedAuditObserver&) = delete;
+  ScopedAuditObserver& operator=(const ScopedAuditObserver&) = delete;
+
+ private:
+  Observer* previous_;
+};
+
+/// Convenience for producers: build a LedgerSnapshot by querying
+/// remaining resources through callables (avoids exposing internals).
+template <typename CruFn, typename RrbFn>
+LedgerSnapshot snapshot_ledger(const Scenario& scenario, CruFn&& crus, RrbFn&& rrbs) {
+  LedgerSnapshot snap;
+  const std::size_t nb = scenario.num_bss();
+  const std::size_t ns = scenario.num_services();
+  snap.crus.resize(nb * ns);
+  snap.rrbs.resize(nb);
+  for (std::size_t i = 0; i < nb; ++i) {
+    const BsId bs{static_cast<std::uint32_t>(i)};
+    snap.rrbs[i] = rrbs(bs);
+    for (std::size_t j = 0; j < ns; ++j)
+      snap.crus[i * ns + j] = crus(bs, ServiceId{static_cast<std::uint32_t>(j)});
+  }
+  return snap;
+}
+
+}  // namespace dmra::audit
+
+namespace dmra {
+class ResourceState;
+
+namespace audit {
+/// One-call round report for ResourceState-backed allocators: snapshots
+/// the ledger and forwards to the installed observer. No-op when
+/// disabled, but call sites should still guard with DMRA_AUDIT_ACTIVE()
+/// so the call compiles out entirely under -DDMRA_AUDIT=OFF.
+void report_state_round(std::string_view source, std::size_t round,
+                        const Scenario& scenario, const Allocation& allocation,
+                        const ResourceState& state);
+}  // namespace audit
+}  // namespace dmra
+
+// Hook-site gate: `if (DMRA_AUDIT_ACTIVE()) { build context; report }`.
+// Compiles to `if (false)` when auditing is configured out, so the
+// snapshot construction in the body is dead-stripped.
+#if defined(DMRA_AUDIT_ENABLED) && DMRA_AUDIT_ENABLED
+#define DMRA_AUDIT_ACTIVE() (::dmra::audit::enabled())
+#else
+#define DMRA_AUDIT_ACTIVE() (false)
+#endif

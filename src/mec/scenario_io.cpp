@@ -3,6 +3,14 @@
 #include "util/json.hpp"
 #include "util/require.hpp"
 
+// GCC 12's -Wmaybe-uninitialized cannot see through std::variant's move
+// machinery and flags moved-from JsonValue temporaries in the *_to_json
+// builders below (PR105593-family false positive; every path is
+// initialized). Clang and newer GCCs compile this TU clean.
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ <= 12
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 namespace dmra {
 
 namespace {

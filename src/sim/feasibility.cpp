@@ -1,18 +1,77 @@
 #include "sim/feasibility.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <ostream>
 #include <sstream>
 
 #include "util/require.hpp"
 
 namespace dmra {
 
+namespace {
+
+/// A violation pending ordering: BS-level lines carry ue == kBsLevel so a
+/// stable sort by (bs, ue) puts them after that BS's per-UE lines.
+struct PendingViolation {
+  std::uint64_t bs = 0;
+  std::uint64_t ue = 0;
+  std::string line;
+};
+
+constexpr std::uint64_t kBsLevel = std::numeric_limits<std::uint64_t>::max();
+
+class ViolationCollector {
+ public:
+  void add(std::uint64_t bs, std::uint64_t ue, std::string line) {
+    pending_.push_back({bs, ue, std::move(line)});
+  }
+
+  /// Sorted, deterministic report: by BS id, then UE id, then insertion
+  /// order (stable) for multiple violations of the same pair.
+  FeasibilityReport finish() {
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const PendingViolation& a, const PendingViolation& b) {
+                       if (a.bs != b.bs) return a.bs < b.bs;
+                       return a.ue < b.ue;
+                     });
+    FeasibilityReport report;
+    report.ok = pending_.empty();
+    report.violations.reserve(pending_.size());
+    for (PendingViolation& v : pending_) report.violations.push_back(std::move(v.line));
+    return report;
+  }
+
+ private:
+  std::vector<PendingViolation> pending_;
+};
+
+std::string pair_tag(UeId u, BsId i) {
+  std::ostringstream tag;
+  tag << "bs " << i.value << " ue " << u.value << ": ";
+  return tag.str();
+}
+
+}  // namespace
+
+void FeasibilityReport::merge(FeasibilityReport other) {
+  ok = ok && other.ok;
+  violations.insert(violations.end(), std::make_move_iterator(other.violations.begin()),
+                    std::make_move_iterator(other.violations.end()));
+}
+
+std::ostream& operator<<(std::ostream& os, const FeasibilityReport& report) {
+  if (report.ok) return os << "feasible";
+  for (std::size_t n = 0; n < report.violations.size(); ++n) {
+    if (n > 0) os << '\n';
+    os << report.violations[n];
+  }
+  return os;
+}
+
 FeasibilityReport check_feasibility(const Scenario& scenario, const Allocation& alloc) {
   DMRA_REQUIRE(alloc.num_ues() == scenario.num_ues());
-  FeasibilityReport report;
-  auto violate = [&](const std::string& line) {
-    report.ok = false;
-    report.violations.push_back(line);
-  };
+  ViolationCollector collector;
 
   // Tally demand per (BS, service) and per BS.
   std::vector<std::uint64_t> cru_used(scenario.num_bss() * scenario.num_services(), 0);
@@ -26,15 +85,15 @@ FeasibilityReport check_feasibility(const Scenario& scenario, const Allocation& 
     const UserEquipment& e = scenario.ue(u);
     const BaseStation& b = scenario.bs(i);
     const LinkStats& l = scenario.link(u, i);
-    std::ostringstream tag;
-    tag << "ue " << u.value << " @ bs " << i.value << ": ";
+    const std::string tag = pair_tag(u, i);
 
-    if (!l.in_coverage) violate(tag.str() + "out of coverage");
+    if (!l.in_coverage) collector.add(i.value, u.value, tag + "out of coverage");
     if (!b.hosts(e.service))
-      violate(tag.str() + "BS does not host the requested service (Eq. 13)");
-    if (l.n_rrbs == 0) violate(tag.str() + "link cannot carry the demanded rate");
+      collector.add(i.value, u.value, tag + "BS does not host the requested service (Eq. 13)");
+    if (l.n_rrbs == 0)
+      collector.add(i.value, u.value, tag + "link cannot carry the demanded rate");
     if (scenario.pricing().m_k <= scenario.price(u, i) + scenario.pricing().m_k_o)
-      violate(tag.str() + "pair is unprofitable for the SP (Eq. 16)");
+      collector.add(i.value, u.value, tag + "pair is unprofitable for the SP (Eq. 16)");
 
     cru_used[i.idx() * scenario.num_services() + e.service.idx()] += e.cru_demand;
     rrb_used[i.idx()] += l.n_rrbs;
@@ -49,17 +108,70 @@ FeasibilityReport check_feasibility(const Scenario& scenario, const Allocation& 
         std::ostringstream os;
         os << "bs " << bi << " service " << j << ": CRU demand " << used
            << " exceeds capacity " << b.cru_capacity[j] << " (Eq. 12)";
-        violate(os.str());
+        collector.add(i.value, kBsLevel, os.str());
       }
     }
     if (rrb_used[bi] > b.num_rrbs) {
       std::ostringstream os;
       os << "bs " << bi << ": RRB demand " << rrb_used[bi] << " exceeds budget "
          << b.num_rrbs << " (Eq. 14)";
-      violate(os.str());
+      collector.add(i.value, kBsLevel, os.str());
     }
   }
-  return report;
+  return collector.finish();
+}
+
+FeasibilityReport check_ledger_consistency(const Scenario& scenario,
+                                           const Allocation& alloc,
+                                           std::span<const std::uint32_t> crus,
+                                           std::span<const std::uint32_t> rrbs) {
+  DMRA_REQUIRE(alloc.num_ues() == scenario.num_ues());
+  DMRA_REQUIRE(crus.size() == scenario.num_bss() * scenario.num_services());
+  DMRA_REQUIRE(rrbs.size() == scenario.num_bss());
+  ViolationCollector collector;
+
+  const std::size_t ns = scenario.num_services();
+  std::vector<std::uint64_t> cru_used(scenario.num_bss() * ns, 0);
+  std::vector<std::uint64_t> rrb_used(scenario.num_bss(), 0);
+  for (std::size_t ui = 0; ui < scenario.num_ues(); ++ui) {
+    const UeId u{static_cast<std::uint32_t>(ui)};
+    const auto assigned = alloc.bs_of(u);
+    if (!assigned) continue;
+    const UserEquipment& e = scenario.ue(u);
+    cru_used[assigned->idx() * ns + e.service.idx()] += e.cru_demand;
+    rrb_used[assigned->idx()] += scenario.link(u, *assigned).n_rrbs;
+  }
+
+  for (std::size_t bi = 0; bi < scenario.num_bss(); ++bi) {
+    const BsId i{static_cast<std::uint32_t>(bi)};
+    const BaseStation& b = scenario.bs(i);
+    for (std::size_t j = 0; j < ns; ++j) {
+      // Signed: a drifted ledger can claim more remaining than capacity.
+      const std::int64_t expected =
+          static_cast<std::int64_t>(b.cru_capacity[j]) -
+          static_cast<std::int64_t>(cru_used[bi * ns + j]);
+      const auto reported = static_cast<std::int64_t>(crus[bi * ns + j]);
+      if (reported != expected) {
+        std::ostringstream os;
+        os << "bs " << bi << " service " << j << ": ledger reports " << reported
+           << " CRUs remaining, recount expects " << expected
+           << (reported < expected ? " (double commit)" : " (leak / unpaired release)");
+        collector.add(i.value, kBsLevel, os.str());
+      }
+    }
+    const std::int64_t expected_rrbs = static_cast<std::int64_t>(b.num_rrbs) -
+                                       static_cast<std::int64_t>(rrb_used[bi]);
+    const auto reported_rrbs = static_cast<std::int64_t>(rrbs[bi]);
+    if (reported_rrbs != expected_rrbs) {
+      std::ostringstream os;
+      os << "bs " << bi << ": ledger reports " << reported_rrbs
+         << " RRBs remaining, recount expects " << expected_rrbs
+         << (reported_rrbs < expected_rrbs ? " (double-counted RRBs)"
+                                           : " (leak / unpaired release)");
+      collector.add(i.value, kBsLevel, os.str());
+    }
+  }
+  return collector.finish();
 }
 
 }  // namespace dmra

@@ -1,8 +1,16 @@
 // From-scratch validation of an allocation against the TPM constraints
 // (paper Eq. 12–16). Independent of any allocator's internal ledger, so
 // it catches allocator bugs rather than inheriting them.
+//
+// Reports are exhaustive and deterministic: every violated constraint
+// instance is listed, sorted by BS id then UE id (BS-level aggregate
+// lines sort after that BS's per-UE lines), so two audits of the same
+// allocation diff cleanly.
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -13,9 +21,17 @@ namespace dmra {
 
 struct FeasibilityReport {
   bool ok = true;
-  /// One human-readable line per violated constraint instance.
+  /// One human-readable line per violated constraint instance, sorted by
+  /// (BS id, UE id); lines about a BS as a whole follow its per-UE lines.
   std::vector<std::string> violations;
+
+  /// Merge another report into this one (used by the invariant auditor to
+  /// combine constraint and ledger checks). Keeps both line sets' order.
+  void merge(FeasibilityReport other);
 };
+
+/// "feasible" or one violation line per output line.
+std::ostream& operator<<(std::ostream& os, const FeasibilityReport& report);
 
 /// Checks, for every BS and UE:
 ///  * Eq. 12 — per-(BS, service) CRU demand within capacity;
@@ -25,5 +41,16 @@ struct FeasibilityReport {
 ///  * Eq. 16 — every realized pair is strictly profitable for the SP;
 ///  * coverage — the serving BS covers the UE (implicit in the model).
 FeasibilityReport check_feasibility(const Scenario& scenario, const Allocation& alloc);
+
+/// Cross-check an allocator-internal resource ledger against a
+/// from-scratch recount of `alloc`. `crus` is flattened
+/// [bs * num_services + service] and `rrbs` is per-BS, the same layout as
+/// ResourceState / audit::LedgerSnapshot. Catches ledger drift in both
+/// directions: a ledger below the recount means a double commit (e.g. the
+/// same RRBs deducted twice); above means a leak / unpaired release.
+FeasibilityReport check_ledger_consistency(const Scenario& scenario,
+                                           const Allocation& alloc,
+                                           std::span<const std::uint32_t> crus,
+                                           std::span<const std::uint32_t> rrbs);
 
 }  // namespace dmra

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mec/audit.hpp"
 #include "sim/metrics.hpp"
 #include "util/require.hpp"
 
@@ -79,6 +80,40 @@ EpochStats OnlineSimulator::step() {
         static_cast<std::int64_t>(config_.lifetime_min_epochs),
         static_cast<std::int64_t>(config_.lifetime_max_epochs)));
     active_.push_back({epoch_ + lifetime, *bs, ue.service, ue.cru_demand, n});
+  }
+
+  if (DMRA_AUDIT_ACTIVE()) {
+    // Ledger-consistency: the live ledger must equal the epoch scenario's
+    // residual capacities minus this epoch's commits. Round is always 0 —
+    // each epoch is its own run (epoch profits are not monotone).
+    audit::RoundContext ctx;
+    ctx.scenario = &scenario;
+    ctx.allocation = &alloc;
+    ctx.ledger = audit::snapshot_ledger(
+        scenario, [&](BsId i, ServiceId j) { return crus_[i.idx()][j.idx()]; },
+        [&](BsId i) { return rrbs_[i.idx()]; });
+    ctx.round = 0;
+    ctx.source = "sim/online";
+    audit::observer()->on_round(ctx);
+
+    // Conservation: base capacity minus the resources held by live tasks
+    // must equal the ledger — drift means a departure was released twice
+    // or never released.
+    for (std::size_t i = 0; i < rrbs_.size(); ++i) {
+      const BaseStation& b = base_.bs(BsId{static_cast<std::uint32_t>(i)});
+      std::uint64_t held_rrbs = 0;
+      std::vector<std::uint64_t> held_crus(base_.num_services(), 0);
+      for (const ActiveTask& t : active_) {
+        if (t.bs.idx() != i) continue;
+        held_rrbs += t.rrbs;
+        held_crus[t.service.idx()] += t.crus;
+      }
+      DMRA_REQUIRE_MSG(rrbs_[i] + held_rrbs == b.num_rrbs,
+                       "online RRB ledger out of conservation with active tasks");
+      for (std::size_t j = 0; j < base_.num_services(); ++j)
+        DMRA_REQUIRE_MSG(crus_[i][j] + held_crus[j] == b.cru_capacity[j],
+                         "online CRU ledger out of conservation with active tasks");
+    }
   }
 
   EpochStats stats;

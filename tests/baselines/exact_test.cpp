@@ -77,7 +77,9 @@ TEST_P(ExactDominance, ExactIsAnUpperBound) {
   const double greedy = total_profit(s, GreedyProfitAllocator().allocate(s));
   EXPECT_GE(best, dmra - 1e-9);
   EXPECT_GE(best, greedy - 1e-9);
-  if (best > 0) EXPECT_GT(dmra, 0.5 * best);  // sanity: DMRA is not garbage
+  if (best > 0) {
+    EXPECT_GT(dmra, 0.5 * best);  // sanity: DMRA is not garbage
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExactDominance, ::testing::Range(1, 9));

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Grep-gate for patterns that have bitten this codebase's domain before:
+#
+#   1. raw C rand()/srand()      — unseeded, global, non-reproducible
+#   2. std::random_device        — nondeterministic; breaks replayable runs
+#   3. std::mt19937 / minstd     — bypasses the named-stream Rng (util/rng.hpp)
+#   4. float                     — money/profit/rate arithmetic must be double;
+#                                  this repo is float-free by policy
+#
+# Comments and doc text are exempt: each file is scanned with // and /* */
+# comments stripped, so writing "unlike rand()" in a comment is fine.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+# Strip // line comments and /* ... */ block comments (handles multi-line
+# blocks; does not try to be clever about comment markers inside string
+# literals, which do not occur in this codebase).
+strip_comments() {
+  sed -e 's://.*$::' "$1" | awk '
+    BEGIN { inblock = 0 }
+    {
+      line = $0
+      out = ""
+      while (length(line) > 0) {
+        if (inblock) {
+          close_at = index(line, "*/")
+          if (close_at == 0) { line = ""; break }
+          line = substr(line, close_at + 2)
+          inblock = 0
+        } else {
+          open_at = index(line, "/*")
+          if (open_at == 0) { out = out line; line = ""; break }
+          out = out substr(line, 1, open_at - 1)
+          line = substr(line, open_at + 2)
+          inblock = 1
+        }
+      }
+      print out
+    }'
+}
+
+fail=0
+report() {  # report <file> <pattern> <message>
+  local hits
+  hits=$(strip_comments "$1" | grep -nE "$2")
+  if [ -n "$hits" ]; then
+    fail=1
+    while IFS= read -r hit; do
+      echo "BANNED: $1:${hit%%:*}: $3"
+      echo "    ${hit#*:}"
+    done <<< "$hits"
+  fi
+}
+
+while IFS= read -r f; do
+  report "$f" '(^|[^[:alnum:]_:.])s?rand[[:space:]]*\(' \
+    "raw C rand()/srand() — use the seeded named-stream dmra::Rng"
+  report "$f" 'std::random_device' \
+    "std::random_device is nondeterministic — seed dmra::Rng explicitly"
+  report "$f" 'std::(mt19937|minstd_rand|default_random_engine)' \
+    "raw <random> engine — use dmra::Rng (util/rng.hpp) so streams are named and seeded"
+  report "$f" '(^|[^[:alnum:]_])float([^[:alnum:]_]|$)' \
+    "float arithmetic — money/profit/rate math must use double"
+done < <(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' 'bench/**/*.cpp' 'examples/**/*.cpp')
+
+if [ "$fail" -eq 0 ]; then
+  echo "banned-pattern scan clean"
+fi
+exit "$fail"

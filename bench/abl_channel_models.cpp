@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   cli.add_flag("ues", "800", "number of UEs");
   cli.add_flag("seeds", "5", "seeds per configuration");
   cli.add_flag("shadowing", "0,4,8", "shadowing sigmas (dB) to sweep");
+  dmra_bench::add_jobs_flag(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -24,28 +25,38 @@ int main(int argc, char** argv) {
   }
   const auto num_ues = static_cast<std::size_t>(cli.get_int("ues"));
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
 
   std::cout << "== A5: path-loss model x shadowing ablation (" << num_ues
             << " UEs, iota=2) ==\n\n";
+  struct SeedValues {
+    double p_dmra, p_dcsp, p_nonco, served;
+  };
   dmra::Table table({"model", "shadow (dB)", "DMRA", "DCSP", "NonCo", "DMRA served"});
 
   for (const auto model :
        {dmra::PathlossModel::kPaperEq18, dmra::PathlossModel::kLteMacro,
         dmra::PathlossModel::kFreeSpace, dmra::PathlossModel::kTwoRay}) {
     for (const double sigma : cli.get_double_list("shadowing")) {
-      dmra::RunningStats p_dmra, p_dcsp, p_nonco, served;
-      for (std::uint64_t seed : seeds) {
+      const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
         dmra::ScenarioConfig cfg = dmra_bench::paper_config();
         cfg.num_ues = num_ues;
         cfg.channel.pathloss_model = model;
         cfg.channel.shadowing_sigma_db = sigma;
-        cfg.channel.shadowing_seed = seed;
-        const dmra::Scenario s = dmra::generate_scenario(cfg, seed);
+        cfg.channel.shadowing_seed = seeds[si];
+        const dmra::Scenario s = dmra::generate_scenario(cfg, seeds[si]);
         const dmra::RunMetrics md = dmra::evaluate(s, dmra::DmraAllocator().allocate(s));
-        p_dmra.add(md.total_profit);
-        served.add(static_cast<double>(md.served));
-        p_dcsp.add(dmra::total_profit(s, dmra::DcspAllocator().allocate(s)));
-        p_nonco.add(dmra::total_profit(s, dmra::NonCoAllocator().allocate(s)));
+        return SeedValues{md.total_profit,
+                          dmra::total_profit(s, dmra::DcspAllocator().allocate(s)),
+                          dmra::total_profit(s, dmra::NonCoAllocator().allocate(s)),
+                          static_cast<double>(md.served)};
+      });
+      dmra::RunningStats p_dmra, p_dcsp, p_nonco, served;
+      for (const SeedValues& v : per_seed) {  // seed order: jobs-invariant
+        p_dmra.add(v.p_dmra);
+        p_dcsp.add(v.p_dcsp);
+        p_nonco.add(v.p_nonco);
+        served.add(v.served);
       }
       table.add_row({dmra::pathloss_model_name(model), dmra::fmt(sigma, 0),
                      dmra::fmt(p_dmra.mean()), dmra::fmt(p_dcsp.mean()),

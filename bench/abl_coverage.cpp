@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   cli.add_flag("radius", "300,400,500,600,800", "coverage radii (m) to sweep");
   cli.add_flag("ues", "800", "number of UEs");
   cli.add_flag("seeds", "5", "seeds per configuration");
+  dmra_bench::add_jobs_flag(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -23,19 +24,22 @@ int main(int argc, char** argv) {
   }
   const auto num_ues = static_cast<std::size_t>(cli.get_int("ues"));
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
 
   std::cout << "== A3: coverage-radius ablation (" << num_ues
             << " UEs, iota=2, regular placement) ==\n\n";
 
+  struct SeedValues {
+    double f_u, uncovered, p_dmra, p_dcsp, p_nonco;
+  };
   dmra::Table table({"radius (m)", "mean f_u", "uncovered UEs", "DMRA profit",
                      "DCSP profit", "NonCo profit"});
   for (const double radius : cli.get_double_list("radius")) {
-    dmra::RunningStats f_u, uncovered, p_dmra, p_dcsp, p_nonco;
-    for (std::uint64_t seed : seeds) {
+    const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
       dmra::ScenarioConfig cfg = dmra_bench::paper_config();
       cfg.num_ues = num_ues;
       cfg.coverage_radius_m = radius;
-      const dmra::Scenario scenario = dmra::generate_scenario(cfg, seed);
+      const dmra::Scenario scenario = dmra::generate_scenario(cfg, seeds[si]);
 
       double fu_sum = 0.0;
       std::size_t none = 0;
@@ -44,12 +48,19 @@ int main(int argc, char** argv) {
         fu_sum += static_cast<double>(n);
         if (n == 0) ++none;
       }
-      f_u.add(fu_sum / static_cast<double>(scenario.num_ues()));
-      uncovered.add(static_cast<double>(none));
-
-      p_dmra.add(dmra::total_profit(scenario, dmra::DmraAllocator().allocate(scenario)));
-      p_dcsp.add(dmra::total_profit(scenario, dmra::DcspAllocator().allocate(scenario)));
-      p_nonco.add(dmra::total_profit(scenario, dmra::NonCoAllocator().allocate(scenario)));
+      return SeedValues{
+          fu_sum / static_cast<double>(scenario.num_ues()), static_cast<double>(none),
+          dmra::total_profit(scenario, dmra::DmraAllocator().allocate(scenario)),
+          dmra::total_profit(scenario, dmra::DcspAllocator().allocate(scenario)),
+          dmra::total_profit(scenario, dmra::NonCoAllocator().allocate(scenario))};
+    });
+    dmra::RunningStats f_u, uncovered, p_dmra, p_dcsp, p_nonco;
+    for (const SeedValues& v : per_seed) {  // seed order: jobs-invariant
+      f_u.add(v.f_u);
+      uncovered.add(v.uncovered);
+      p_dmra.add(v.p_dmra);
+      p_dcsp.add(v.p_dcsp);
+      p_nonco.add(v.p_nonco);
     }
     table.add_row({dmra::fmt(radius, 0), dmra::fmt(f_u.mean(), 1),
                    dmra::fmt(uncovered.mean(), 1), dmra::fmt(p_dmra.mean()),

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   dmra::Cli cli;
   cli.add_flag("ues", "800", "number of UEs");
   cli.add_flag("seeds", "5", "seeds per configuration");
+  dmra_bench::add_jobs_flag(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   }
   const auto num_ues = static_cast<std::size_t>(cli.get_int("ues"));
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
 
   struct Variant {
     const char* label;
@@ -40,21 +42,30 @@ int main(int argc, char** argv) {
   std::cout << "== A9: demand-skew ablation (" << num_ues << " UEs, iota=2) ==\n\n";
   dmra::Table table({"workload", "DMRA profit", "DCSP profit", "NonCo profit",
                      "DMRA served", "DMRA fwd (Mbps)"});
+  struct SeedValues {
+    double p_dmra, p_dcsp, p_nonco, served, fwd;
+  };
   for (const Variant& v : variants) {
-    dmra::RunningStats p_dmra, p_dcsp, p_nonco, served, fwd;
-    for (std::uint64_t seed : seeds) {
+    const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
       dmra::ScenarioConfig cfg = dmra_bench::paper_config();
       cfg.num_ues = num_ues;
       cfg.ue_distribution = v.dist;
       cfg.service_popularity = v.pop;
       cfg.zipf_s = 1.0;
-      const dmra::Scenario s = dmra::generate_scenario(cfg, seed);
+      const dmra::Scenario s = dmra::generate_scenario(cfg, seeds[si]);
       const dmra::RunMetrics m = dmra::evaluate(s, dmra::DmraAllocator().allocate(s));
-      p_dmra.add(m.total_profit);
-      served.add(static_cast<double>(m.served));
-      fwd.add(m.forwarded_traffic_mbps);
-      p_dcsp.add(dmra::total_profit(s, dmra::DcspAllocator().allocate(s)));
-      p_nonco.add(dmra::total_profit(s, dmra::NonCoAllocator().allocate(s)));
+      return SeedValues{m.total_profit,
+                        dmra::total_profit(s, dmra::DcspAllocator().allocate(s)),
+                        dmra::total_profit(s, dmra::NonCoAllocator().allocate(s)),
+                        static_cast<double>(m.served), m.forwarded_traffic_mbps};
+    });
+    dmra::RunningStats p_dmra, p_dcsp, p_nonco, served, fwd;
+    for (const SeedValues& sv : per_seed) {  // seed order: jobs-invariant
+      p_dmra.add(sv.p_dmra);
+      p_dcsp.add(sv.p_dcsp);
+      p_nonco.add(sv.p_nonco);
+      served.add(sv.served);
+      fwd.add(sv.fwd);
     }
     table.add_row({v.label, dmra::fmt(p_dmra.mean()), dmra::fmt(p_dcsp.mean()),
                    dmra::fmt(p_nonco.mean()), dmra::fmt(served.mean(), 0),

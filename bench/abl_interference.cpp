@@ -9,6 +9,7 @@
 // shows how the paper's conclusion depends on the radio regime.
 
 #include <iostream>
+#include <utility>
 
 #include "bench_common.hpp"
 
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   cli.add_flag("ues", "800", "number of UEs");
   cli.add_flag("seeds", "5", "seeds per configuration");
   cli.add_flag("activity", "0,0.001,0.005,0.02", "interference activity factors to sweep");
+  dmra_bench::add_jobs_flag(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -28,6 +30,7 @@ int main(int argc, char** argv) {
   }
   const auto num_ues = static_cast<std::size_t>(cli.get_int("ues"));
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
 
   std::cout << "== A1: channel-model ablation (" << num_ues << " UEs, iota=2) ==\n\n";
 
@@ -35,19 +38,21 @@ int main(int argc, char** argv) {
                      "DMRA served", "NonCo served"});
   for (const bool psd : {false, true}) {
     for (const double activity : cli.get_double_list("activity")) {
-      dmra::RunningStats profit_dmra, profit_nonco, served_dmra, served_nonco;
-      for (std::uint64_t seed : seeds) {
+      const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
         dmra::ScenarioConfig cfg = dmra_bench::paper_config();
         cfg.num_ues = num_ues;
         cfg.interference_activity_factor = activity;
         cfg.channel.noise_model =
             psd ? dmra::NoiseModel::kPsd : dmra::NoiseModel::kTotalPerRrb;
-        const dmra::Scenario scenario = dmra::generate_scenario(cfg, seed);
+        const dmra::Scenario scenario = dmra::generate_scenario(cfg, seeds[si]);
 
         const dmra::DmraAllocator dmra_algo;
         const dmra::NonCoAllocator nonco;
-        const dmra::RunMetrics md = dmra::evaluate(scenario, dmra_algo.allocate(scenario));
-        const dmra::RunMetrics mn = dmra::evaluate(scenario, nonco.allocate(scenario));
+        return std::make_pair(dmra::evaluate(scenario, dmra_algo.allocate(scenario)),
+                              dmra::evaluate(scenario, nonco.allocate(scenario)));
+      });
+      dmra::RunningStats profit_dmra, profit_nonco, served_dmra, served_nonco;
+      for (const auto& [md, mn] : per_seed) {  // seed order: jobs-invariant
         profit_dmra.add(md.total_profit);
         profit_nonco.add(mn.total_profit);
         served_dmra.add(static_cast<double>(md.served));

@@ -4,6 +4,7 @@
 // time" premise and what periodic re-allocation costs.
 
 #include <iostream>
+#include <utility>
 
 #include "bench_common.hpp"
 
@@ -14,6 +15,7 @@ int main(int argc, char** argv) {
   cli.add_flag("steps", "12", "re-allocation steps");
   cli.add_flag("dt", "2", "seconds per step");
   cli.add_flag("seeds", "5", "seeds per configuration");
+  dmra_bench::add_jobs_flag(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -24,20 +26,23 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
   const dmra::DmraAllocator algo;
 
   std::cout << "== A7: handover churn vs UE speed (random waypoint, DMRA re-run every "
             << cli.get_double("dt") << " s) ==\n\n";
   dmra::Table table({"speed (m/s)", "handover rate", "edge->cloud/step", "mean profit",
                      "profit stddev"});
+  struct SeedValues {
+    double rate, churn, profit_mean, profit_sd;
+  };
   for (const double speed : cli.get_double_list("speeds")) {
-    dmra::RunningStats rate, churn, profit_mean, profit_sd;
-    for (std::uint64_t seed : seeds) {
+    const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
       dmra::HandoverConfig cfg;
       cfg.scenario.num_ues = static_cast<std::size_t>(cli.get_int("ues"));
       cfg.steps = static_cast<std::size_t>(cli.get_int("steps"));
       cfg.step_duration_s = cli.get_double("dt");
-      cfg.seed = seed;
+      cfg.seed = seeds[si];
       if (speed <= 0.0) {
         cfg.mobility = dmra::MobilityKind::kStatic;
       } else {
@@ -46,16 +51,22 @@ int main(int argc, char** argv) {
         cfg.waypoint.speed_max_mps = speed * 1.5;
       }
       const dmra::HandoverResult r = dmra::run_handover_study(cfg, algo);
-      rate.add(r.handover_rate);
       dmra::RunningStats per_step_profit;
       double cloud_churn = 0.0;
       for (const dmra::HandoverStepStats& s : r.steps) {
         per_step_profit.add(s.profit);
         cloud_churn += static_cast<double>(s.edge_to_cloud);
       }
-      churn.add(cloud_churn / static_cast<double>(r.steps.size()));
-      profit_mean.add(per_step_profit.mean());
-      profit_sd.add(per_step_profit.stddev());
+      return SeedValues{r.handover_rate,
+                        cloud_churn / static_cast<double>(r.steps.size()),
+                        per_step_profit.mean(), per_step_profit.stddev()};
+    });
+    dmra::RunningStats rate, churn, profit_mean, profit_sd;
+    for (const SeedValues& v : per_seed) {  // seed order: jobs-invariant
+      rate.add(v.rate);
+      churn.add(v.churn);
+      profit_mean.add(v.profit_mean);
+      profit_sd.add(v.profit_sd);
     }
     table.add_row({dmra::fmt(speed, 0), dmra::fmt(rate.mean(), 3),
                    dmra::fmt(churn.mean(), 1), dmra::fmt(profit_mean.mean()),
@@ -82,21 +93,24 @@ int main(int argc, char** argv) {
       {"incremental (eager)", dmra::ReallocationPolicy::kIncremental, 0.1},
   };
   for (const PolicyRow& row : rows) {
-    dmra::RunningStats rate, profit;
-    for (std::uint64_t seed : seeds) {
+    const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
       dmra::HandoverConfig cfg;
       cfg.scenario.num_ues = static_cast<std::size_t>(cli.get_int("ues"));
       cfg.steps = static_cast<std::size_t>(cli.get_int("steps"));
       cfg.step_duration_s = cli.get_double("dt");
-      cfg.seed = seed;
+      cfg.seed = seeds[si];
       cfg.mobility = dmra::MobilityKind::kRandomWaypoint;
       cfg.waypoint.speed_min_mps = 7.5;
       cfg.waypoint.speed_max_mps = 22.5;
       cfg.policy = row.policy;
       cfg.incremental.hysteresis_margin = row.margin;
       const dmra::HandoverResult r = dmra::run_handover_study(cfg, algo);
-      rate.add(r.handover_rate);
-      profit.add(r.mean_profit);
+      return std::make_pair(r.handover_rate, r.mean_profit);
+    });
+    dmra::RunningStats rate, profit;
+    for (const auto& [r, p] : per_seed) {  // seed order: jobs-invariant
+      rate.add(r);
+      profit.add(p);
     }
     policy_table.add_row({row.label,
                           row.margin > 1e17 ? "inf" : dmra::fmt(row.margin, 1),

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   dmra::Cli cli;
   cli.add_flag("ues", "400,700,1000", "UE counts to sweep");
   cli.add_flag("seeds", "10", "seeds per configuration");
+  dmra_bench::add_jobs_flag(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -21,22 +22,32 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
 
   std::cout << "== A4: NonCo semantics ablation (regular placement) ==\n\n";
+  struct SeedValues {
+    double dmra_p, oneshot_p, iter_p;
+  };
   dmra::Table table({"iota", "UEs", "DMRA", "NonCo (one-shot)", "NonCo (iterative)",
                      "DMRA lead vs iter"});
   for (const double iota : {2.0, 1.1}) {
     for (const double ues : cli.get_double_list("ues")) {
-      dmra::RunningStats dmra_p, oneshot_p, iter_p;
-      for (std::uint64_t seed : seeds) {
+      const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
         dmra::ScenarioConfig cfg = dmra_bench::paper_config();
         cfg.num_ues = static_cast<std::size_t>(ues);
         cfg.pricing.iota = iota;
-        const dmra::Scenario s = dmra::generate_scenario(cfg, seed);
-        dmra_p.add(dmra::total_profit(s, dmra::DmraAllocator().allocate(s)));
-        oneshot_p.add(dmra::total_profit(s, dmra::NonCoAllocator().allocate(s)));
-        iter_p.add(dmra::total_profit(
-            s, dmra::NonCoAllocator(dmra::NonCoAllocator::Mode::kIterative).allocate(s)));
+        const dmra::Scenario s = dmra::generate_scenario(cfg, seeds[si]);
+        return SeedValues{
+            dmra::total_profit(s, dmra::DmraAllocator().allocate(s)),
+            dmra::total_profit(s, dmra::NonCoAllocator().allocate(s)),
+            dmra::total_profit(
+                s, dmra::NonCoAllocator(dmra::NonCoAllocator::Mode::kIterative).allocate(s))};
+      });
+      dmra::RunningStats dmra_p, oneshot_p, iter_p;
+      for (const SeedValues& v : per_seed) {  // seed order: jobs-invariant
+        dmra_p.add(v.dmra_p);
+        oneshot_p.add(v.oneshot_p);
+        iter_p.add(v.iter_p);
       }
       table.add_row({dmra::fmt(iota, 1), dmra::fmt(ues, 0), dmra::fmt(dmra_p.mean()),
                      dmra::fmt(oneshot_p.mean()), dmra::fmt(iter_p.mean()),

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   cli.add_flag("batch", "120,200,280,360", "arrival batch sizes to sweep");
   cli.add_flag("epochs", "16", "epochs per run");
   cli.add_flag("seeds", "5", "seeds per configuration");
+  dmra_bench::add_jobs_flag(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
   }
   const auto epochs = static_cast<std::size_t>(cli.get_int("epochs"));
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
 
   std::cout << "== A6: online arrival-rate sweep (steady-state means over the last "
             << epochs / 2 << " epochs) ==\n\n";
@@ -62,17 +64,27 @@ int main(int argc, char** argv) {
     algos.push_back({"DMRA", std::make_unique<dmra::DmraAllocator>()});
     algos.push_back({"DCSP", std::make_unique<dmra::DcspAllocator>()});
     algos.push_back({"NonCo", std::make_unique<dmra::NonCoAllocator>()});
+    struct SeedValues {
+      double profit, served, fwd, util;
+    };
     for (const Algo& algo : algos) {
-      dmra::RunningStats profit, served, fwd, util;
-      for (std::uint64_t seed : seeds) {
+      const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
         const dmra::OnlineResult r =
-            run_online(static_cast<std::size_t>(batch), *algo.ptr, seed, epochs);
-        profit.add(steady_mean(r, [](const dmra::EpochStats& e) { return e.profit; }));
-        served.add(steady_mean(
-            r, [](const dmra::EpochStats& e) { return static_cast<double>(e.served); }));
-        fwd.add(steady_mean(r, [](const dmra::EpochStats& e) { return e.forwarded_mbps; }));
-        util.add(steady_mean(
-            r, [](const dmra::EpochStats& e) { return e.mean_rrb_utilization; }));
+            run_online(static_cast<std::size_t>(batch), *algo.ptr, seeds[si], epochs);
+        return SeedValues{
+            steady_mean(r, [](const dmra::EpochStats& e) { return e.profit; }),
+            steady_mean(
+                r, [](const dmra::EpochStats& e) { return static_cast<double>(e.served); }),
+            steady_mean(r, [](const dmra::EpochStats& e) { return e.forwarded_mbps; }),
+            steady_mean(
+                r, [](const dmra::EpochStats& e) { return e.mean_rrb_utilization; })};
+      });
+      dmra::RunningStats profit, served, fwd, util;
+      for (const SeedValues& v : per_seed) {  // seed order: jobs-invariant
+        profit.add(v.profit);
+        served.add(v.served);
+        fwd.add(v.fwd);
+        util.add(v.util);
       }
       table.add_row({dmra::fmt(batch, 0), algo.label, dmra::fmt(profit.mean()),
                      dmra::fmt(served.mean(), 0), dmra::fmt(fwd.mean()),

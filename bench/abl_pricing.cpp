@@ -12,6 +12,9 @@ int main(int argc, char** argv) {
   cli.add_flag("rounds", "12", "pricing adaptation rounds");
   cli.add_flag("target", "0.75", "target RRB utilization");
   cli.add_flag("seed", "3", "scenario seed");
+  // Accepted for interface uniformity with the other benches; this
+  // single-seed study has no replication axis to fan out, so it is inert.
+  dmra_bench::add_jobs_flag(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);

@@ -9,6 +9,7 @@ int main(int argc, char** argv) {
   dmra::Cli cli;
   cli.add_flag("ues", "600,1200", "UE counts to sweep");
   cli.add_flag("seeds", "5", "seeds per configuration");
+  dmra_bench::add_jobs_flag(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
   const dmra::LatencyModel latency;
 
   std::cout << "== A8: QoS view — latency proxy & fairness (iota=2, regular placement) ==\n"
@@ -30,12 +32,14 @@ int main(int argc, char** argv) {
   for (const double ues : cli.get_double_list("ues")) {
     std::vector<dmra::AllocatorPtr> algos = dmra_bench::paper_allocators({});
     for (const auto& algo : algos) {
-      dmra::RunningStats mean_lat, p95, edge_lat, jain_sp, jain_ue;
-      for (std::uint64_t seed : seeds) {
+      const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
         dmra::ScenarioConfig cfg = dmra_bench::paper_config();
         cfg.num_ues = static_cast<std::size_t>(ues);
-        const dmra::Scenario s = dmra::generate_scenario(cfg, seed);
-        const dmra::QosMetrics q = dmra::evaluate_qos(s, algo->allocate(s), latency);
+        const dmra::Scenario s = dmra::generate_scenario(cfg, seeds[si]);
+        return dmra::evaluate_qos(s, algo->allocate(s), latency);
+      });
+      dmra::RunningStats mean_lat, p95, edge_lat, jain_sp, jain_ue;
+      for (const dmra::QosMetrics& q : per_seed) {  // seed order: jobs-invariant
         mean_lat.add(q.mean_latency_ms);
         p95.add(q.p95_latency_ms);
         edge_lat.add(q.mean_edge_latency_ms);

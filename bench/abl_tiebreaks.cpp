@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   cli.add_flag("ues", "800,1000", "UE counts to sweep");
   cli.add_flag("seeds", "10", "seeds per configuration");
   cli.add_flag("rho", "100", "baseline rho");
+  dmra_bench::add_jobs_flag(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -39,18 +40,21 @@ int main(int argc, char** argv) {
   };
 
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
   std::cout << "== A2: DMRA tie-break ablation (iota=2, regular placement) ==\n\n";
 
   dmra::Table table({"UEs", "variant", "total profit", "served", "same-SP ratio"});
   for (const double ues : cli.get_double_list("ues")) {
     for (const Variant& v : variants) {
-      dmra::RunningStats profit, served, same_sp;
-      for (std::uint64_t seed : seeds) {
+      const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
         dmra::ScenarioConfig cfg = dmra_bench::paper_config();
         cfg.num_ues = static_cast<std::size_t>(ues);
-        const dmra::Scenario scenario = dmra::generate_scenario(cfg, seed);
+        const dmra::Scenario scenario = dmra::generate_scenario(cfg, seeds[si]);
         const dmra::DmraAllocator algo(v.config);
-        const dmra::RunMetrics m = dmra::evaluate(scenario, algo.allocate(scenario));
+        return dmra::evaluate(scenario, algo.allocate(scenario));
+      });
+      dmra::RunningStats profit, served, same_sp;
+      for (const dmra::RunMetrics& m : per_seed) {  // seed order: jobs-invariant
         profit.add(m.total_profit);
         served.add(static_cast<double>(m.served));
         same_sp.add(m.same_sp_ratio);

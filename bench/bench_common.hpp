@@ -16,6 +16,20 @@ namespace dmra_bench {
 /// placement, and UE count per figure.
 inline dmra::ScenarioConfig paper_config() { return dmra::ScenarioConfig{}; }
 
+/// Every bench takes --jobs: worker threads for the per-seed replication
+/// fan-out (0 = hardware concurrency, 1 = serial). Results are identical
+/// for every value — parallelism only changes wall-clock.
+inline void add_jobs_flag(dmra::Cli& cli) {
+  cli.add_flag("jobs", "0",
+               "worker threads for per-seed replication (0 = hardware concurrency)");
+}
+
+/// The --jobs value as run_experiment / parallel_map expect it.
+inline std::size_t jobs_from(const dmra::Cli& cli) {
+  const std::int64_t v = cli.get_int("jobs");
+  return v <= 0 ? 0 : static_cast<std::size_t>(v);
+}
+
 /// The roster of Figs. 2–5: DMRA vs DCSP vs NonCo.
 inline std::vector<dmra::AllocatorPtr> paper_allocators(const dmra::DmraConfig& cfg) {
   std::vector<dmra::AllocatorPtr> algos;

@@ -21,9 +21,11 @@ struct FigureSpec {
   bool rho_sweep;  // Figs. 6/7 sweep rho at 1000 UEs
 };
 
-dmra::ExperimentResult run_figure(const FigureSpec& fig, std::size_t seeds) {
+dmra::ExperimentResult run_figure(const FigureSpec& fig, std::size_t seeds,
+                                  std::size_t jobs) {
   dmra::ExperimentSpec spec;
   spec.seeds = dmra::default_seeds(seeds);
+  spec.jobs = jobs;
   if (!fig.rho_sweep) {
     spec.title = "Fig. " + std::to_string(fig.number) +
                  ": total profit of SPs vs. number of UEs (iota=" + dmra::fmt(fig.iota, 1) +
@@ -75,6 +77,7 @@ int main(int argc, char** argv) {
   dmra::Cli cli;
   cli.add_flag("out", "results", "output directory for .dat/.gp/.csv artifacts");
   cli.add_flag("seeds", "10", "seeds per sweep point");
+  dmra_bench::add_jobs_flag(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -87,6 +90,7 @@ int main(int argc, char** argv) {
   const std::filesystem::path out_dir = cli.get_string("out");
   std::filesystem::create_directories(out_dir);
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds"));
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
 
   const std::vector<FigureSpec> figures = {
       {2, 2.0, true, false},  {3, 2.0, false, false}, {4, 1.1, true, false},
@@ -97,7 +101,7 @@ int main(int argc, char** argv) {
   summary << "# Reproduction run (" << seeds << " seeds per point)\n\n";
 
   for (const FigureSpec& fig : figures) {
-    const dmra::ExperimentResult result = run_figure(fig, seeds);
+    const dmra::ExperimentResult result = run_figure(fig, seeds, jobs);
     const std::string stem = "fig" + std::to_string(fig.number);
     write_file(out_dir / (stem + ".dat"), result.to_dat());
     write_file(out_dir / (stem + ".gp"), result.to_gnuplot(stem + ".dat"));

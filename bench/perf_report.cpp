@@ -1,0 +1,158 @@
+// Tracked performance baseline: times the three hot paths this repo
+// optimizes — scenario construction, one decentralized DMRA run, and a
+// full replicated experiment — at three scales each, and emits the
+// numbers as BENCH_core.json so regressions show up in review diffs.
+//
+//   ./build/bench/perf_report [--out BENCH_core.json] [--quick] [--jobs N]
+//
+// Methodology (see docs/PERFORMANCE.md): each probe is run `reps` times
+// after one untimed warm-up; we report the MINIMUM wall time (least noise
+// on a shared machine) plus the protocol's round/message counts, which
+// must not change when only the implementation gets faster.
+
+#include <sys/resource.h>
+
+// Same PR105593-family false positive documented in mec/scenario_io.cpp:
+// GCC 12's -Wmaybe-uninitialized flags moved-from JsonValue temporaries.
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ <= 12
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Best-of-`reps` wall time of `fn`, in milliseconds (one untimed warm-up).
+template <typename Fn>
+double time_ms(std::size_t reps, Fn&& fn) {
+  fn();  // warm-up: page in code and data, fill allocator caches
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const std::chrono::duration<double, std::milli> dt = Clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+/// Peak resident set size of this process so far, in MiB.
+double peak_rss_mib() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+dmra::ScenarioConfig config_at(std::size_t ues) {
+  dmra::ScenarioConfig cfg = dmra_bench::paper_config();
+  cfg.num_ues = ues;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dmra::Cli cli;
+  cli.add_flag("out", "BENCH_core.json", "output path for the JSON report");
+  cli.add_flag("quick", "false", "CI smoke mode: fewer reps, smaller scales");
+  cli.add_flag("reps", "0", "timed repetitions per probe (0 = 5, or 2 with --quick)");
+  dmra_bench::add_jobs_flag(cli);
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+  const bool quick = cli.get_bool("quick");
+  const std::size_t reps = cli.get_int("reps") > 0
+                               ? static_cast<std::size_t>(cli.get_int("reps"))
+                               : (quick ? 2 : 5);
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  const std::vector<std::size_t> scales =
+      quick ? std::vector<std::size_t>{250, 500, 1000}
+            : std::vector<std::size_t>{500, 1000, 2000};
+  constexpr std::uint64_t kSeed = 1;
+
+  dmra::JsonArray scenario_rows, decentralized_rows, experiment_rows;
+
+  for (const std::size_t ues : scales) {
+    const dmra::ScenarioConfig cfg = config_at(ues);
+
+    // Probe 1: scenario construction (placement + sparse link build).
+    const double build_ms =
+        time_ms(reps, [&] { dmra::generate_scenario(cfg, kSeed); });
+    dmra::JsonObject scenario_row;
+    scenario_row["ues"] = static_cast<std::uint64_t>(ues);
+    scenario_row["wall_ms"] = build_ms;
+    scenario_rows.push_back(std::move(scenario_row));
+
+    // Probe 2: one decentralized DMRA run (message-passing hot path).
+    // Rounds/messages are semantic outputs: they must stay identical across
+    // performance-only changes, so the report tracks them next to the time.
+    const dmra::Scenario scenario = dmra::generate_scenario(cfg, kSeed);
+    dmra::DecentralizedResult last{};
+    const double run_ms =
+        time_ms(reps, [&] { last = dmra::run_decentralized_dmra(scenario); });
+    dmra::JsonObject dec_row;
+    dec_row["ues"] = static_cast<std::uint64_t>(ues);
+    dec_row["wall_ms"] = run_ms;
+    dec_row["rounds"] = last.bus.rounds;
+    dec_row["messages_sent"] = last.bus.messages_sent;
+    dec_row["matching_rounds"] = static_cast<std::uint64_t>(last.dmra.rounds);
+    decentralized_rows.push_back(std::move(dec_row));
+    std::cout << "decentralized " << ues << " UEs: " << dmra::fmt(run_ms, 2)
+              << " ms, " << dmra::to_string(last.bus) << '\n';
+
+    // Probe 3: a full experiment (replications fanned across --jobs).
+    dmra::ExperimentSpec spec;
+    spec.title = "perf probe";
+    spec.x_label = "UEs";
+    spec.xs = {static_cast<double>(ues)};
+    spec.seeds = dmra::default_seeds(quick ? 4 : 8);
+    spec.jobs = jobs;
+    spec.make_config = [&](double x) { return config_at(static_cast<std::size_t>(x)); };
+    spec.make_allocators = [](double) { return dmra_bench::paper_allocators({}); };
+    const double exp_ms = time_ms(quick ? 1 : 2, [&] { dmra::run_experiment(spec); });
+    dmra::JsonObject exp_row;
+    exp_row["ues"] = static_cast<std::uint64_t>(ues);
+    exp_row["seeds"] = static_cast<std::uint64_t>(spec.seeds.size());
+    exp_row["wall_ms"] = exp_ms;
+    experiment_rows.push_back(std::move(exp_row));
+  }
+
+  dmra::JsonObject root;
+  root["schema"] = "dmra-perf-report/1";
+  root["quick"] = quick;
+  root["reps"] = static_cast<std::uint64_t>(reps);
+  root["jobs_flag"] = static_cast<std::uint64_t>(jobs);
+  root["hardware_threads"] =
+      static_cast<std::uint64_t>(dmra::ThreadPool::hardware_concurrency());
+  root["scenario_build"] = std::move(scenario_rows);
+  root["decentralized_run"] = std::move(decentralized_rows);
+  root["experiment"] = std::move(experiment_rows);
+  root["peak_rss_mib"] = peak_rss_mib();
+  const dmra::JsonValue report{std::move(root)};
+
+  const std::string out_path = cli.get_string("out");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << '\n';
+    return 1;
+  }
+  out << report.dump(2) << '\n';
+  std::cout << report.dump(2) << "\n(report written to " << out_path << ")\n";
+  return 0;
+}

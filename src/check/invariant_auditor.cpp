@@ -87,7 +87,10 @@ AllocatorPtr wrap_audited(AllocatorPtr inner, AuditorOptions options) {
 namespace detail {
 
 audit::Observer* env_auditor_factory() {
-  static InvariantAuditor auditor;  // process lifetime, throwing
+  // Thread lifetime, throwing: the observer slot is thread-local, so each
+  // worker that trips the DMRA_AUDIT=1 path gets its own auditor and the
+  // per-run state (profit baselines, findings) is never shared.
+  thread_local InvariantAuditor auditor;
   return &auditor;
 }
 

@@ -110,8 +110,9 @@ class AuditedAllocator final : public Allocator {
 AllocatorPtr wrap_audited(AllocatorPtr inner, AuditorOptions options = {});
 
 namespace detail {
-/// Factory behind the DMRA_AUDIT=1 environment flag: a process-lifetime
-/// throwing auditor.
+/// Factory behind the DMRA_AUDIT=1 environment flag: a thread-lifetime
+/// throwing auditor (one per thread that runs instrumented work — the
+/// observer slot in mec/audit is thread-local).
 audit::Observer* env_auditor_factory();
 
 struct EnvAuditorRegistrar {

@@ -1,7 +1,6 @@
 #include "core/decentralized.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 #include <variant>
 
 #include "mec/audit.hpp"
@@ -11,6 +10,35 @@
 namespace dmra {
 
 namespace {
+
+// ---- Resource snapshots ----------------------------------------------------
+
+/// Append-only store of the resource levels BSs have broadcast. A
+/// broadcast publishes ONE snapshot and fans out a {BsId, index} message
+/// to every covered UE, so the per-round messaging cost is O(audience)
+/// trivially-copyable envelopes instead of O(audience) heap-allocated
+/// CRU vectors. Indices are monotonically increasing, so they double as
+/// the epoch stamp: a UE slot holding a larger index is strictly newer.
+class SnapshotArena {
+ public:
+  explicit SnapshotArena(std::size_t num_services) : stride_(num_services) {}
+
+  std::uint32_t publish(const BsLocalResources& r) {
+    crus_.insert(crus_.end(), r.crus.begin(), r.crus.end());
+    rrbs_.push_back(r.rrbs);
+    return static_cast<std::uint32_t>(rrbs_.size() - 1);
+  }
+
+  std::uint32_t crus(std::uint32_t snapshot, std::size_t service) const {
+    return crus_[snapshot * stride_ + service];
+  }
+  std::uint32_t rrbs(std::uint32_t snapshot) const { return rrbs_[snapshot]; }
+
+ private:
+  std::size_t stride_;
+  std::vector<std::uint32_t> crus_;  // stride_ words per snapshot
+  std::vector<std::uint32_t> rrbs_;
+};
 
 // ---- Message types -------------------------------------------------------
 
@@ -34,10 +62,11 @@ struct MsgDecision {
   bool accept;
 };
 
-/// BS → covered UEs: remaining resources after this round.
+/// BS → covered UEs: remaining resources after this round, as an index
+/// into the snapshot arena the BS published at send time.
 struct MsgResourceUpdate {
   BsId bs;
-  BsLocalResources resources;
+  std::uint32_t snapshot;
 };
 
 using Payload = std::variant<MsgOffloadRequest, MsgPropose, MsgDecision, MsgResourceUpdate>;
@@ -45,35 +74,56 @@ using Bus = MessageBus<Payload>;
 
 // ---- Agents ---------------------------------------------------------------
 
-/// ResourceView over whatever the BSs last broadcast to this UE. For a
-/// candidate never heard from (possible only on a lossy network — the
-/// reliable bootstrap covers everyone), the UE falls back to the BS's
-/// static capacity: an optimistic prior it is allowed to hold, and the
-/// safe one — a pessimistic prior would make choose_proposal erase a
-/// live candidate permanently.
+/// ResourceView over whatever the BSs last broadcast to this UE, stored
+/// as one snapshot index per candidate BS (flat array parallel to the
+/// UE's sorted candidate list — no per-UE hash map). For a candidate
+/// never heard from (possible only on a lossy network — the reliable
+/// bootstrap covers everyone), the UE falls back to the BS's static
+/// capacity: an optimistic prior it is allowed to hold, and the safe
+/// one — a pessimistic prior would make choose_proposal erase a live
+/// candidate permanently.
 class BroadcastView final : public ResourceView {
  public:
-  void attach(const Scenario& scenario) { scenario_ = &scenario; }
+  void attach(const Scenario& scenario, UeId ue, const SnapshotArena& arena) {
+    scenario_ = &scenario;
+    arena_ = &arena;
+    cands_ = scenario.candidates(ue);
+    slots_.assign(cands_.size(), kUnknown);
+  }
 
   std::uint32_t remaining_crus(BsId i, ServiceId j) const override {
     DMRA_REQUIRE(scenario_ != nullptr);
-    const auto it = known_.find(i.value);
-    if (it == known_.end()) return scenario_->bs(i).cru_capacity[j.idx()];
-    return it->second.crus[j.idx()];
+    const std::uint32_t snapshot = slot(i);
+    if (snapshot == kUnknown) return scenario_->bs(i).cru_capacity[j.idx()];
+    return arena_->crus(snapshot, j.idx());
   }
   std::uint32_t remaining_rrbs(BsId i) const override {
     DMRA_REQUIRE(scenario_ != nullptr);
-    const auto it = known_.find(i.value);
-    if (it == known_.end()) return scenario_->bs(i).num_rrbs;
-    return it->second.rrbs;
+    const std::uint32_t snapshot = slot(i);
+    if (snapshot == kUnknown) return scenario_->bs(i).num_rrbs;
+    return arena_->rrbs(snapshot);
   }
-  void update(BsId i, BsLocalResources resources) {
-    known_[i.value] = std::move(resources);
+  void update(BsId i, std::uint32_t snapshot) {
+    const auto it = std::lower_bound(cands_.begin(), cands_.end(), i);
+    // Broadcasts from covering-but-non-candidate BSs carry no information
+    // this UE will ever query; the proposal logic only reads candidates.
+    if (it == cands_.end() || *it != i) return;
+    slots_[static_cast<std::size_t>(it - cands_.begin())] = snapshot;
   }
 
  private:
+  static constexpr std::uint32_t kUnknown = 0xffffffffu;
+
+  std::uint32_t slot(BsId i) const {
+    const auto it = std::lower_bound(cands_.begin(), cands_.end(), i);
+    if (it == cands_.end() || *it != i) return kUnknown;
+    return slots_[static_cast<std::size_t>(it - cands_.begin())];
+  }
+
   const Scenario* scenario_ = nullptr;
-  std::unordered_map<std::uint32_t, BsLocalResources> known_;
+  const SnapshotArena* arena_ = nullptr;
+  std::span<const BsId> cands_;
+  std::vector<std::uint32_t> slots_;
 };
 
 struct UeAgent {
@@ -115,6 +165,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
   const std::size_t nb = scenario.num_bss();
   const std::size_t nk = scenario.num_sps();
 
+  SnapshotArena arena(scenario.num_services());
   std::vector<UeAgent> ue_agents(nu);
   std::vector<SpAgent> sp_agents(nk);
   std::vector<BsAgent> bs_agents(nb);
@@ -128,7 +179,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     a.ue = UeId{static_cast<std::uint32_t>(ui)};
     a.address = bus.register_agent();
     a.sp_address = sp_agents[scenario.ue(a.ue).sp.idx()].address;
-    a.view.attach(scenario);
+    a.view.attach(scenario, a.ue, arena);
     const auto cands = scenario.candidates(a.ue);
     a.b_u.assign(cands.begin(), cands.end());
     if (a.b_u.empty()) a.at_cloud = true;
@@ -145,18 +196,16 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
       if (scenario.link(u.ue, a.bs).in_coverage) a.covered_ues.push_back(u.address);
   }
 
-  // Reverse maps for routing.
-  std::vector<std::size_t> agent_to_ue(bus.num_agents(), nu);
-  for (std::size_t ui = 0; ui < nu; ++ui) agent_to_ue[ue_agents[ui].address.idx()] = ui;
-
   DecentralizedResult result;
   result.dmra.allocation = Allocation(nu);
 
   // ---- Bootstrap: every BS broadcasts its initial resource levels so UEs
   // have a complete view of their candidates before the first proposal.
-  for (BsAgent& b : bs_agents)
+  for (BsAgent& b : bs_agents) {
+    const std::uint32_t snapshot = arena.publish(b.resources);
     for (AgentId ue_addr : b.covered_ues)
-      bus.send(b.address, ue_addr, MsgResourceUpdate{b.bs, b.resources});
+      bus.send(b.address, ue_addr, MsgResourceUpdate{b.bs, snapshot});
+  }
   bus.deliver();
 
   // On a lossy network a round can lose every proposal it carried, so the
@@ -170,7 +219,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     for (UeAgent& a : ue_agents) {
       for (auto& env : bus.take_inbox(a.address)) {
         if (auto* upd = std::get_if<MsgResourceUpdate>(&env.payload)) {
-          a.view.update(upd->bs, std::move(upd->resources));
+          a.view.update(upd->bs, upd->snapshot);
         } else if (auto* dec = std::get_if<MsgDecision>(&env.payload)) {
           if (dec->accept) {
             a.matched = true;
@@ -250,8 +299,9 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
       // Broadcast the new resource levels to everyone in coverage; on a
       // lossy network, rebroadcast every round so dropped updates heal.
       if (!fresh.empty() || !reacks.empty() || lossy) {
+        const std::uint32_t snapshot = arena.publish(b.resources);
         for (AgentId ue_addr : b.covered_ues)
-          bus.send(b.address, ue_addr, MsgResourceUpdate{b.bs, b.resources});
+          bus.send(b.address, ue_addr, MsgResourceUpdate{b.bs, snapshot});
       }
     }
     bus.deliver();

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
 #include <tuple>
 
 #include "util/require.hpp"
@@ -85,6 +84,15 @@ BsPrefKey pref_key(const Scenario& scenario, BsId i, const ProposalInfo& p,
                    config.use_footprint ? footprint : 0, p.ue.value};
 }
 
+/// A proposal with its preference key and RRB demand computed exactly
+/// once — the min/sort below only compare precomputed keys instead of
+/// re-deriving them (link lookup + SP check) inside every comparator call.
+struct KeyedProposal {
+  BsPrefKey key;
+  UeId ue;
+  std::uint32_t n_rrbs;
+};
+
 }  // namespace
 
 std::vector<UeId> bs_select(const Scenario& scenario, BsId i,
@@ -92,55 +100,48 @@ std::vector<UeId> bs_select(const Scenario& scenario, BsId i,
                             const BsLocalResources& local, const DmraConfig& config) {
   DMRA_REQUIRE(local.crus.size() == scenario.num_services());
 
-  // Group by requested service (Alg. 1 line 13); map gives service order.
-  std::map<ServiceId, std::vector<ProposalInfo>> by_service;
+  // Group by requested service (Alg. 1 line 13), buckets in ServiceId
+  // order — the same iteration order the previous std::map grouping gave.
+  std::vector<std::vector<KeyedProposal>> by_service(scenario.num_services());
   for (const ProposalInfo& p : proposals) {
-    DMRA_REQUIRE_MSG(scenario.link(p.ue, i).in_coverage, "proposal from uncovered UE");
-    by_service[scenario.ue(p.ue).service].push_back(p);
+    const LinkStats& l = scenario.link(p.ue, i);
+    DMRA_REQUIRE_MSG(l.in_coverage, "proposal from uncovered UE");
+    by_service[scenario.ue(p.ue).service.idx()].push_back(
+        KeyedProposal{pref_key(scenario, i, p, config), p.ue, l.n_rrbs});
   }
 
   // Per service: one winner (lines 14–21). Same-SP UEs form the preferred
   // pool; the BsPrefKey ordering already puts every same-SP proposer ahead
   // of every cross-SP one, so a straight min implements the pool split.
-  std::vector<ProposalInfo> winners;
-  for (auto& [service, cands] : by_service) {
-    const UserEquipment& first = scenario.ue(cands.front().ue);
-    (void)first;
-    // Skip proposals the BS can no longer honour (CRU view at round start).
-    std::vector<ProposalInfo> feasible;
-    for (const ProposalInfo& p : cands) {
-      const UserEquipment& e = scenario.ue(p.ue);
-      if (local.crus[service.idx()] >= e.cru_demand &&
-          local.rrbs >= scenario.link(p.ue, i).n_rrbs) {
-        feasible.push_back(p);
-      }
+  std::vector<KeyedProposal> winners;
+  for (std::size_t j = 0; j < by_service.size(); ++j) {
+    const std::vector<KeyedProposal>& cands = by_service[j];
+    // Pick the best proposal the BS can still honour (CRU view at round
+    // start) in one pass — no feasible-subset copy.
+    const KeyedProposal* best = nullptr;
+    for (const KeyedProposal& p : cands) {
+      if (local.crus[j] < scenario.ue(p.ue).cru_demand || local.rrbs < p.n_rrbs) continue;
+      if (best == nullptr || p.key < best->key) best = &p;
     }
-    if (feasible.empty()) continue;
-    const auto best = std::min_element(
-        feasible.begin(), feasible.end(), [&](const ProposalInfo& a, const ProposalInfo& b) {
-          return pref_key(scenario, i, a, config) < pref_key(scenario, i, b, config);
-        });
-    winners.push_back(*best);
+    if (best != nullptr) winners.push_back(*best);
   }
 
   // Radio trim (lines 22–25): if the winners' aggregate RRB demand
   // overshoots the budget, drop the least-preferred winners until it fits.
   std::uint64_t total_rrbs = 0;
-  for (const ProposalInfo& p : winners) total_rrbs += scenario.link(p.ue, i).n_rrbs;
+  for (const KeyedProposal& p : winners) total_rrbs += p.n_rrbs;
   if (total_rrbs > local.rrbs) {
     std::sort(winners.begin(), winners.end(),
-              [&](const ProposalInfo& a, const ProposalInfo& b) {
-                return pref_key(scenario, i, a, config) < pref_key(scenario, i, b, config);
-              });
+              [](const KeyedProposal& a, const KeyedProposal& b) { return a.key < b.key; });
     while (!winners.empty() && total_rrbs > local.rrbs) {
-      total_rrbs -= scenario.link(winners.back().ue, i).n_rrbs;
+      total_rrbs -= winners.back().n_rrbs;
       winners.pop_back();
     }
   }
 
   std::vector<UeId> accepted;
   accepted.reserve(winners.size());
-  for (const ProposalInfo& p : winners) accepted.push_back(p.ue);
+  for (const KeyedProposal& p : winners) accepted.push_back(p.ue);
   std::sort(accepted.begin(), accepted.end());
   return accepted;
 }

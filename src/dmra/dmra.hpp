@@ -56,6 +56,7 @@
 #include "sim/render.hpp"
 
 #include "topology/placement.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 
 #include "util/cli.hpp"

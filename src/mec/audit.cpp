@@ -8,9 +8,12 @@ namespace dmra::audit {
 
 namespace {
 
-Observer* g_observer = nullptr;
-Observer* (*g_env_factory)() = nullptr;
-bool g_env_checked = false;
+// The observer slot is thread-local: parallel workers (util/thread_pool)
+// each install — or env-install — their own observer, so instrumented
+// allocators running concurrently never share mutable auditor state.
+thread_local Observer* g_observer = nullptr;
+Observer* (*g_env_factory)() = nullptr;  // written once at static init
+thread_local bool g_env_checked = false;
 
 /// One-shot: honor DMRA_AUDIT=1 in the environment by installing the
 /// registered default auditor (registered by src/check when linked in).

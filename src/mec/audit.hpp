@@ -64,8 +64,10 @@ bool enabled();
 /// The installed observer, or nullptr.
 Observer* observer();
 
-/// Install `obs` (nullptr uninstalls). Returns the previous observer.
-/// Not thread-safe; install before spawning instrumented work.
+/// Install `obs` (nullptr uninstalls) for the CALLING THREAD and return
+/// the thread's previous observer. The slot is thread-local, so parallel
+/// workers running instrumented allocators each audit independently —
+/// install on the thread that runs the work.
 Observer* set_observer(Observer* obs);
 
 /// Register the factory the DMRA_AUDIT=1 env path uses to build its

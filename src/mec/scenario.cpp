@@ -2,10 +2,59 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "util/require.hpp"
 
 namespace dmra {
+
+const LinkStats Scenario::kNoLink{};
+
+namespace {
+
+/// Dense link storage caps out at this many (UE, BS) entries; larger
+/// deployments switch to the spatial-hash + CSR build (LinkBuild::kAuto).
+/// 2^16 entries ≈ 2.6 MB keeps every paper-scale scenario on the O(1)
+/// dense path while million-user deployments stay O(U·k̄) in memory.
+constexpr std::size_t kDenseLinkThreshold = std::size_t{1} << 16;
+
+/// Spatial hash over BS positions with cell size = coverage radius: every
+/// BS within the radius of a point lies in the point's 3×3 cell block.
+class BsGrid {
+ public:
+  BsGrid(const std::vector<BaseStation>& bss, double cell_m) : cell_m_(cell_m) {
+    for (std::uint32_t i = 0; i < bss.size(); ++i)
+      cells_[key(cell(bss[i].position.x), cell(bss[i].position.y))].push_back(i);
+  }
+
+  /// BS indices in the 3×3 block around `p`, ascending (callers rely on
+  /// CSR rows being sorted by BS id).
+  void neighbors(const Point& p, std::vector<std::uint32_t>& out) const {
+    out.clear();
+    const std::int64_t cx = cell(p.x), cy = cell(p.y);
+    for (std::int64_t dx = -1; dx <= 1; ++dx)
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const auto it = cells_.find(key(cx + dx, cy + dy));
+        if (it == cells_.end()) continue;
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+    std::sort(out.begin(), out.end());
+  }
+
+ private:
+  std::int64_t cell(double v) const {
+    return static_cast<std::int64_t>(std::floor(v / cell_m_));
+  }
+  static std::uint64_t key(std::int64_t cx, std::int64_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  }
+
+  double cell_m_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace
 
 Scenario::Scenario(ScenarioData data) : data_(std::move(data)) {
   validate();
@@ -56,42 +105,80 @@ void Scenario::validate() const {
 void Scenario::build_links() {
   const std::size_t nu = num_ues();
   const std::size_t nb = num_bss();
-  links_.resize(nu * nb);
+  dense_links_ = data_.link_build == LinkBuild::kDense ||
+                 (data_.link_build == LinkBuild::kAuto && nu * nb <= kDenseLinkThreshold);
   cand_offsets_.assign(nu + 1, 0);
+  candidates_.clear();
+  links_.clear();
+  link_cols_.clear();
+  link_offsets_.clear();
 
-  for (std::size_t ui = 0; ui < nu; ++ui) {
-    const UserEquipment& u = data_.ues[ui];
-    for (std::size_t bi = 0; bi < nb; ++bi) {
-      const BaseStation& b = data_.bss[bi];
-      LinkStats& l = links_[ui * nb + bi];
-      l.distance_m = distance_m(u.position, b.position);
-      l.in_coverage = l.distance_m <= data_.coverage_radius_m;
-      l.sinr = sinr(data_.channel, l.distance_m, data_.ofdma.rrb_bandwidth_hz,
-                    u.id.value, b.id.value);
-      l.rrb_rate_bps = rrb_rate_bps(data_.ofdma.rrb_bandwidth_hz, l.sinr);
-      if (l.in_coverage && l.rrb_rate_bps > 0.0) {
-        const std::uint32_t n = rrbs_needed(u.rate_demand_bps, l.rrb_rate_bps);
-        l.n_rrbs = n;
-      } else {
-        l.n_rrbs = 0;
-        l.in_coverage = false;
-      }
+  // Shared per-pair computation: only ever invoked for in-radius pairs,
+  // so the dense and sparse builds produce bit-identical stats. Pairs the
+  // radio cannot serve at all (zero rate) are kept but demoted to
+  // out-of-coverage, matching the historical dense semantics.
+  const auto compute_link = [&](const UserEquipment& u, const BaseStation& b,
+                                double distance) {
+    LinkStats l;
+    l.distance_m = distance;
+    l.in_coverage = true;
+    l.sinr = sinr(data_.channel, l.distance_m, data_.ofdma.rrb_bandwidth_hz, u.id.value,
+                  b.id.value);
+    l.rrb_rate_bps = rrb_rate_bps(data_.ofdma.rrb_bandwidth_hz, l.sinr);
+    if (l.rrb_rate_bps > 0.0) {
+      l.n_rrbs = rrbs_needed(u.rate_demand_bps, l.rrb_rate_bps);
+    } else {
+      l.n_rrbs = 0;
+      l.in_coverage = false;
     }
+    return l;
+  };
+  // Candidate rule: coverage + service hosted + radio demand individually
+  // satisfiable + enough capacity for the demand. Stored flat to keep
+  // Scenario cheap to copy around.
+  const auto is_candidate = [](const UserEquipment& u, const BaseStation& b,
+                               const LinkStats& l) {
+    return l.in_coverage && b.hosts(u.service) && l.n_rrbs <= b.num_rrbs &&
+           u.cru_demand <= b.cru_capacity[u.service.idx()];
+  };
+
+  if (dense_links_) {
+    links_.resize(nu * nb);
+    for (std::size_t ui = 0; ui < nu; ++ui) {
+      const UserEquipment& u = data_.ues[ui];
+      for (std::size_t bi = 0; bi < nb; ++bi) {
+        const BaseStation& b = data_.bss[bi];
+        const double d = distance_m(u.position, b.position);
+        if (d > data_.coverage_radius_m) continue;  // stays all-zero
+        const LinkStats l = compute_link(u, b, d);
+        links_[ui * nb + bi] = l;
+        if (is_candidate(u, b, l))
+          candidates_.push_back(BsId{static_cast<std::uint32_t>(bi)});
+      }
+      cand_offsets_[ui + 1] = candidates_.size();
+    }
+    return;
   }
 
-  // Candidate sets: coverage + service hosted + radio demand individually
-  // satisfiable. Stored flat to keep Scenario cheap to copy around.
-  candidates_.clear();
+  // Sparse build: hash BS positions into coverage-radius cells, then per
+  // UE examine only the 3×3 block — O(U·k̄) link computations and memory
+  // instead of O(U·B).
+  const BsGrid grid(data_.bss, data_.coverage_radius_m);
+  link_offsets_.assign(nu + 1, 0);
+  std::vector<std::uint32_t> nearby;
   for (std::size_t ui = 0; ui < nu; ++ui) {
     const UserEquipment& u = data_.ues[ui];
-    for (std::size_t bi = 0; bi < nb; ++bi) {
-      const LinkStats& l = links_[ui * nb + bi];
+    grid.neighbors(u.position, nearby);
+    for (const std::uint32_t bi : nearby) {
       const BaseStation& b = data_.bss[bi];
-      if (l.in_coverage && b.hosts(u.service) && l.n_rrbs <= b.num_rrbs &&
-          u.cru_demand <= b.cru_capacity[u.service.idx()]) {
-        candidates_.push_back(BsId{static_cast<std::uint32_t>(bi)});
-      }
+      const double d = distance_m(u.position, b.position);
+      if (d > data_.coverage_radius_m) continue;
+      const LinkStats l = compute_link(u, b, d);
+      links_.push_back(l);
+      link_cols_.push_back(bi);
+      if (is_candidate(u, b, l)) candidates_.push_back(BsId{bi});
     }
+    link_offsets_[ui + 1] = links_.size();
     cand_offsets_[ui + 1] = candidates_.size();
   }
 }

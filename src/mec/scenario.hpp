@@ -8,6 +8,7 @@
 // on the channel exactly.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -64,6 +65,15 @@ struct LinkStats {
   bool in_coverage = false;   ///< within the coverage radius
 };
 
+/// Link-matrix storage strategy (a construction detail, not serialized).
+/// Both strategies produce identical link stats, candidate sets, and
+/// coverage counts — tests/mec/scenario_test.cpp proves it per config.
+enum class LinkBuild {
+  kAuto,    ///< dense below a size threshold, sparse above
+  kDense,   ///< |U|×|B| matrix, O(1) lookup
+  kSparse,  ///< spatial-hash build + CSR rows of in-coverage links only
+};
+
 /// Plain-data inputs to Scenario construction. Generators (src/workload)
 /// fill this in; tests may craft it by hand.
 struct ScenarioData {
@@ -76,6 +86,7 @@ struct ScenarioData {
   PricingConfig pricing;
   /// A BS covers a UE iff their distance is at most this (see DESIGN.md).
   double coverage_radius_m = 500.0;
+  LinkBuild link_build = LinkBuild::kAuto;
 };
 
 /// Immutable problem instance with derived link matrix and candidate sets.
@@ -105,9 +116,16 @@ class Scenario {
   const PricingConfig& pricing() const { return data_.pricing; }
   double coverage_radius_m() const { return data_.coverage_radius_m; }
 
-  /// Precomputed link statistics for any (u, i) pair.
+  /// Precomputed link statistics for any (u, i) pair. Out-of-coverage
+  /// pairs yield the canonical zero stats (in_coverage = false,
+  /// n_rrbs = 0) under either storage strategy.
   const LinkStats& link(UeId u, BsId i) const {
-    return links_[u.idx() * num_bss() + i.idx()];
+    if (dense_links_) return links_[u.idx() * num_bss() + i.idx()];
+    const auto* begin = link_cols_.data() + link_offsets_[u.idx()];
+    const auto* end = link_cols_.data() + link_offsets_[u.idx() + 1];
+    const auto* it = std::lower_bound(begin, end, i.value);
+    if (it == end || *it != i.value) return kNoLink;
+    return links_[static_cast<std::size_t>(it - link_cols_.data())];
   }
 
   /// B_u of Alg. 1: BSs that cover u, host u's requested service, and whose
@@ -132,8 +150,16 @@ class Scenario {
   double pair_profit(UeId u, BsId i) const;
 
  private:
+  static const LinkStats kNoLink;  // all-zero, in_coverage = false
+
   ScenarioData data_;
-  std::vector<LinkStats> links_;          // |U| × |B| row-major
+  /// dense: |U| × |B| row-major. sparse: in-coverage entries only, CSR —
+  /// row u is links_[link_offsets_[u] .. link_offsets_[u+1]) with BS ids
+  /// (sorted ascending) in the parallel link_cols_.
+  bool dense_links_ = true;
+  std::vector<LinkStats> links_;
+  std::vector<std::uint32_t> link_cols_;
+  std::vector<std::size_t> link_offsets_;
   std::vector<BsId> candidates_;          // concatenated per-UE candidate lists
   std::vector<std::size_t> cand_offsets_; // |U| + 1 offsets into candidates_
 

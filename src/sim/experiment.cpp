@@ -6,6 +6,7 @@
 #include "sim/feasibility.hpp"
 #include "util/log.hpp"
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dmra {
 
@@ -31,34 +32,55 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   result.xs = spec.xs;
 
   for (double x : spec.xs) {
-    const std::vector<AllocatorPtr> allocators = spec.make_allocators(x);
-    DMRA_REQUIRE_MSG(!allocators.empty(), "make_allocators returned no algorithms");
+    // Fan the per-seed replications across workers. Every task gets its
+    // own scenario and allocator set (created here, on the coordinating
+    // thread — make_allocators need not be thread-safe), so seeds share
+    // no mutable state; the reduction happens below in seed order, which
+    // makes the result byte-identical to the serial loop for any jobs.
+    std::vector<std::vector<AllocatorPtr>> per_seed_algos;
+    per_seed_algos.reserve(spec.seeds.size());
+    for (std::size_t si = 0; si < spec.seeds.size(); ++si) {
+      per_seed_algos.push_back(spec.make_allocators(x));
+      DMRA_REQUIRE_MSG(!per_seed_algos.back().empty(),
+                       "make_allocators returned no algorithms");
+      DMRA_REQUIRE_MSG(per_seed_algos.back().size() == per_seed_algos.front().size(),
+                       "make_allocators must return the same roster on every call");
+    }
     if (result.algo_names.empty()) {
-      for (const auto& a : allocators) result.algo_names.push_back(a->name());
+      for (const auto& a : per_seed_algos.front()) result.algo_names.push_back(a->name());
     } else {
-      DMRA_REQUIRE_MSG(result.algo_names.size() == allocators.size(),
+      DMRA_REQUIRE_MSG(result.algo_names.size() == per_seed_algos.front().size(),
                        "algorithm set must be identical at every sweep point");
     }
+    const ScenarioConfig config = spec.make_config(x);
 
-    std::vector<RunningStats> stats(allocators.size());
-    for (std::uint64_t seed : spec.seeds) {
-      const Scenario scenario = generate_scenario(spec.make_config(x), seed);
-      for (std::size_t ai = 0; ai < allocators.size(); ++ai) {
-        const Allocation alloc = allocators[ai]->allocate(scenario);
-        if (spec.check_feasible) {
-          const FeasibilityReport report = check_feasibility(scenario, alloc);
-          DMRA_REQUIRE_MSG(report.ok, allocators[ai]->name() + " produced an infeasible " +
-                                          "allocation: " +
-                                          (report.violations.empty()
-                                               ? std::string("?")
-                                               : report.violations.front()));
-        }
-        stats[ai].add(metric(evaluate(scenario, alloc)));
-      }
-    }
+    const auto per_seed =
+        parallel_map(spec.jobs, spec.seeds.size(), [&](std::size_t si) {
+          const Scenario scenario = generate_scenario(config, spec.seeds[si]);
+          const std::vector<AllocatorPtr>& algos = per_seed_algos[si];
+          std::vector<double> values(algos.size());
+          for (std::size_t ai = 0; ai < algos.size(); ++ai) {
+            const Allocation alloc = algos[ai]->allocate(scenario);
+            if (spec.check_feasible) {
+              const FeasibilityReport report = check_feasibility(scenario, alloc);
+              DMRA_REQUIRE_MSG(report.ok,
+                               algos[ai]->name() + " produced an infeasible " +
+                                   "allocation: " +
+                                   (report.violations.empty()
+                                        ? std::string("?")
+                                        : report.violations.front()));
+            }
+            values[ai] = metric(evaluate(scenario, alloc));
+          }
+          return values;
+        });
+
+    std::vector<RunningStats> stats(result.algo_names.size());
+    for (const std::vector<double>& values : per_seed)
+      for (std::size_t ai = 0; ai < stats.size(); ++ai) stats[ai].add(values[ai]);
 
     std::vector<Summary> row;
-    row.reserve(allocators.size());
+    row.reserve(stats.size());
     for (const RunningStats& s : stats) {
       Summary sum;
       sum.count = s.count();

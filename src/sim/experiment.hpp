@@ -40,6 +40,12 @@ struct ExperimentSpec {
   /// Re-validate every allocation against Eq. 12–16; a violation throws.
   /// Leave on: it turns every bench run into a system test.
   bool check_feasible = true;
+
+  /// Worker threads for the per-seed replications of each sweep point.
+  /// 0 = hardware concurrency; 1 = serial. Results are byte-identical for
+  /// every value: each seed is an independent task whose metric values
+  /// are reduced on the collecting thread in seed order.
+  std::size_t jobs = 0;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,95 @@
+// Fixed-size worker pool for fan-out/fan-in parallelism.
+//
+// The pool exists for replication-style workloads (same computation over
+// many seeds): callers submit independent tasks and collect futures, so
+// exceptions thrown inside a task surface at the collection point exactly
+// like in serial code. Determinism is the caller's job — the pool makes
+// no ordering promises between tasks, so any order-sensitive reduction
+// must happen on the collecting thread, in task-index order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dmra {
+
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers (≥ 1 enforced).
+  explicit ThreadPool(std::size_t num_threads);
+  /// Drains the queue: already-submitted tasks finish before the join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Queue `fn` for execution; the future carries its result or exception.
+  template <typename Fn>
+  std::future<std::invoke_result_t<std::decay_t<Fn>>> submit(Fn&& fn) {
+    using Result = std::invoke_result_t<std::decay_t<Fn>>;
+    // shared_ptr because std::function requires a copyable callable.
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  /// std::thread::hardware_concurrency, clamped to ≥ 1 (the standard
+  /// allows it to return 0 when unknowable).
+  static std::size_t hardware_concurrency();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+/// Map fn over indices [0, n) with `jobs` workers, returning results in
+/// index order; jobs == 0 means hardware_concurrency(). jobs ≤ 1 (or
+/// n ≤ 1) runs inline on the calling thread — the serial path and the
+/// parallel path reduce identically, so results never depend on jobs.
+/// On task failure, the exception of the first failing index propagates
+/// (later tasks still finish — the pool drains before joining — but
+/// their exceptions stay in their abandoned futures).
+template <typename Fn>
+auto parallel_map(std::size_t jobs, std::size_t n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using Result = std::invoke_result_t<Fn&, std::size_t>;
+  if (jobs == 0) jobs = ThreadPool::hardware_concurrency();
+  std::vector<Result> results;
+  results.reserve(n);
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) results.push_back(fn(i));
+    return results;
+  }
+  ThreadPool pool(jobs < n ? jobs : n);
+  std::vector<std::future<Result>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    futures.push_back(pool.submit([&fn, i] { return fn(i); }));
+  // get() in index order: the first failing index wins, matching what the
+  // serial loop would have thrown first.
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+}  // namespace dmra

@@ -97,6 +97,7 @@ Scenario generate_scenario(const ScenarioConfig& cfg, std::uint64_t seed) {
   data.ofdma = cfg.ofdma;
   data.pricing = cfg.pricing;
   data.coverage_radius_m = cfg.coverage_radius_m;
+  data.link_build = cfg.link_build;
 
   for (std::size_t k = 0; k < cfg.num_sps; ++k)
     data.sps.push_back({SpId{static_cast<std::uint32_t>(k)}, "SP-" + std::to_string(k)});

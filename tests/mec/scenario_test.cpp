@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "../test_util.hpp"
 #include "util/require.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
 
 namespace dmra {
 namespace {
@@ -154,6 +158,80 @@ TEST(ScenarioValidation, RejectsPricingViolatingEq16) {
   ms.add_ue(sp, {0, 0}, ServiceId{0});
   ms.data().pricing.m_k = 2.0;  // cannot cover cross-SP price at 500 m
   EXPECT_THROW(ms.build(), ContractViolation);
+}
+
+// ---- sparse vs dense link storage ------------------------------------------
+
+/// Bitwise equality — the two strategies must agree to the last ulp, since
+/// algorithms branch on exact comparisons of these values.
+bool bit_equal(const LinkStats& a, const LinkStats& b) {
+  return std::memcmp(&a.distance_m, &b.distance_m, sizeof a.distance_m) == 0 &&
+         std::memcmp(&a.sinr, &b.sinr, sizeof a.sinr) == 0 &&
+         std::memcmp(&a.rrb_rate_bps, &b.rrb_rate_bps, sizeof a.rrb_rate_bps) == 0 &&
+         a.n_rrbs == b.n_rrbs && a.in_coverage == b.in_coverage;
+}
+
+void expect_equivalent(const Scenario& dense, const Scenario& sparse,
+                       const std::string& label) {
+  ASSERT_EQ(dense.num_ues(), sparse.num_ues()) << label;
+  ASSERT_EQ(dense.num_bss(), sparse.num_bss()) << label;
+  for (std::size_t ui = 0; ui < dense.num_ues(); ++ui) {
+    const UeId u{static_cast<std::uint32_t>(ui)};
+    ASSERT_EQ(dense.coverage_count(u), sparse.coverage_count(u)) << label;
+    const auto dc = dense.candidates(u);
+    const auto sc = sparse.candidates(u);
+    ASSERT_TRUE(std::equal(dc.begin(), dc.end(), sc.begin(), sc.end())) << label;
+    for (std::size_t bi = 0; bi < dense.num_bss(); ++bi) {
+      const BsId b{static_cast<std::uint32_t>(bi)};
+      ASSERT_TRUE(bit_equal(dense.link(u, b), sparse.link(u, b)))
+          << label << " ue=" << ui << " bs=" << bi;
+    }
+  }
+}
+
+TEST(ScenarioLinkBuild, SparseMatchesDenseAcrossRandomConfigs) {
+  // Property test: 25 random deployments, each built with both storage
+  // strategies from the same (config, seed), compared over every pair.
+  Rng rng("link-build-property", 7);
+  for (int trial = 0; trial < 25; ++trial) {
+    ScenarioConfig cfg;
+    cfg.num_sps = 1 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    cfg.bss_per_sp = 1 + static_cast<std::size_t>(rng.uniform_int(0, 5));
+    cfg.num_ues = 10 + static_cast<std::size_t>(rng.uniform_int(0, 190));
+    cfg.coverage_radius_m = 150.0 + 150.0 * rng.uniform_int(0, 3);
+    cfg.area_side_m = 600.0 + 300.0 * rng.uniform_int(0, 4);
+    cfg.placement = rng.uniform_int(0, 1) == 0 ? PlacementMethod::kRegularGrid
+                                               : PlacementMethod::kRandom;
+    const std::uint64_t seed = static_cast<std::uint64_t>(trial) + 1;
+    cfg.link_build = LinkBuild::kDense;
+    const Scenario dense = generate_scenario(cfg, seed);
+    cfg.link_build = LinkBuild::kSparse;
+    const Scenario sparse = generate_scenario(cfg, seed);
+    expect_equivalent(dense, sparse, "trial " + std::to_string(trial));
+  }
+}
+
+TEST(ScenarioLinkBuild, AllOutOfCoverageDegenerateScenario) {
+  // Degenerate case: a radius so small no BS covers any UE — every link
+  // must come back as the canonical zero stats under both strategies.
+  ScenarioConfig cfg;
+  cfg.num_ues = 40;
+  cfg.coverage_radius_m = 1e-3;
+  for (const LinkBuild build : {LinkBuild::kDense, LinkBuild::kSparse}) {
+    cfg.link_build = build;
+    const Scenario s = generate_scenario(cfg, 11);
+    for (std::size_t ui = 0; ui < s.num_ues(); ++ui) {
+      const UeId u{static_cast<std::uint32_t>(ui)};
+      EXPECT_TRUE(s.candidates(u).empty());
+      for (std::size_t bi = 0; bi < s.num_bss(); ++bi) {
+        const LinkStats& l = s.link(u, BsId{static_cast<std::uint32_t>(bi)});
+        EXPECT_FALSE(l.in_coverage);
+        EXPECT_EQ(l.n_rrbs, 0u);
+        EXPECT_EQ(l.sinr, 0.0);
+        EXPECT_EQ(l.rrb_rate_bps, 0.0);
+      }
+    }
+  }
 }
 
 }  // namespace

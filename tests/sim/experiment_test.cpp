@@ -158,5 +158,36 @@ TEST(Experiment, DefaultSeedsHelper) {
   EXPECT_EQ(seeds, (std::vector<std::uint64_t>{1, 2, 3, 4}));
 }
 
+TEST(Experiment, ParallelJobsAreByteIdenticalToSerial) {
+  // The tentpole determinism contract: fanning replications across worker
+  // threads must not change a single bit of the rendered output, because
+  // the per-seed metric values are reduced in seed order on one thread.
+  ExperimentSpec spec = tiny_spec();
+  spec.seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  spec.jobs = 1;
+  const ExperimentResult serial = run_experiment(spec);
+  const std::string serial_dat = serial.to_dat();
+  for (const std::size_t jobs : {2u, 8u, 0u}) {  // 0 = hardware concurrency
+    spec.jobs = jobs;
+    const ExperimentResult parallel = run_experiment(spec);
+    EXPECT_EQ(parallel.to_dat(), serial_dat) << "jobs=" << jobs;
+    for (std::size_t x = 0; x < serial.cells.size(); ++x)
+      for (std::size_t i = 0; i < serial.cells[x].size(); ++i) {
+        // Bitwise, not just EXPECT_DOUBLE_EQ-close.
+        EXPECT_EQ(parallel.cells[x][i].mean, serial.cells[x][i].mean);
+        EXPECT_EQ(parallel.cells[x][i].stddev, serial.cells[x][i].stddev);
+      }
+  }
+}
+
+TEST(Experiment, WorkerExceptionPropagatesToCaller) {
+  ExperimentSpec spec = tiny_spec();
+  spec.jobs = 4;
+  spec.metric = [](const RunMetrics&) -> double {
+    throw ContractViolation("metric failure inside worker");
+  };
+  EXPECT_THROW(run_experiment(spec), ContractViolation);
+}
+
 }  // namespace
 }  // namespace dmra

@@ -1,0 +1,98 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace dmra {
+namespace {
+
+TEST(ThreadPool, HardwareConcurrencyIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_concurrency(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureWithResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([&count] { count.fetch_add(1); }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);  // single worker: tasks queue up behind each other
+    for (int i = 0; i < 50; ++i) pool.submit([&count] { count.fetch_add(1); });
+  }  // destructor must run the backlog, not discard it
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ParallelMap, ResultsAreInIndexOrder) {
+  const auto square = [](std::size_t i) { return i * i; };
+  const auto out = parallel_map(4, 64, square);
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, ResultIndependentOfJobCount) {
+  // Ordering independence: the reduction contract the parallel experiment
+  // harness relies on — same results for any worker count.
+  const auto fn = [](std::size_t i) { return static_cast<double>(i) * 1.5 + 1.0; };
+  const auto serial = parallel_map(1, 33, fn);
+  for (const std::size_t jobs : {2u, 3u, 8u, 16u}) {
+    const auto parallel = parallel_map(jobs, 33, fn);
+    EXPECT_EQ(parallel, serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelMap, ZeroJobsMeansHardwareConcurrency) {
+  const auto fn = [](std::size_t i) { return i + 7; };
+  EXPECT_EQ(parallel_map(0, 10, fn), parallel_map(1, 10, fn));
+}
+
+TEST(ParallelMap, EmptyRangeYieldsEmptyVector) {
+  EXPECT_TRUE(parallel_map(4, 0, [](std::size_t i) { return i; }).empty());
+}
+
+TEST(ParallelMap, FirstFailingIndexPropagates) {
+  const auto fn = [](std::size_t i) -> int {
+    if (i == 5) throw std::invalid_argument("index 5");
+    return static_cast<int>(i);
+  };
+  for (const std::size_t jobs : {1u, 4u}) {
+    try {
+      parallel_map(jobs, 20, fn);
+      FAIL() << "expected invalid_argument, jobs=" << jobs;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_STREQ(e.what(), "index 5");
+    }
+  }
+}
+
+TEST(ParallelMap, MoveOnlyResultsSupported) {
+  const auto out = parallel_map(
+      2, 8, [](std::size_t i) { return std::make_unique<std::size_t>(i); });
+  ASSERT_EQ(out.size(), 8u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(*out[i], i);
+}
+
+}  // namespace
+}  // namespace dmra

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   cli.add_flag("seeds", "5", "seeds per configuration");
   cli.add_flag("shadowing", "0,4,8", "shadowing sigmas (dB) to sweep");
   dmra_bench::add_jobs_flag(cli);
+  dmra_bench::add_obs_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -25,7 +26,8 @@ int main(int argc, char** argv) {
   }
   const auto num_ues = static_cast<std::size_t>(cli.get_int("ues"));
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
-  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  dmra_bench::ObsSession obs_session(cli);
+  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
 
   std::cout << "== A5: path-loss model x shadowing ablation (" << num_ues
             << " UEs, iota=2) ==\n\n";

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   cli.add_flag("ues", "800", "number of UEs");
   cli.add_flag("seeds", "5", "seeds per configuration");
   dmra_bench::add_jobs_flag(cli);
+  dmra_bench::add_obs_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -24,7 +25,8 @@ int main(int argc, char** argv) {
   }
   const auto num_ues = static_cast<std::size_t>(cli.get_int("ues"));
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
-  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  dmra_bench::ObsSession obs_session(cli);
+  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
 
   std::cout << "== A3: coverage-radius ablation (" << num_ues
             << " UEs, iota=2, regular placement) ==\n\n";

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   cli.add_flag("ues", "400,700,1000", "UE counts to sweep");
   cli.add_flag("seeds", "10", "seeds per configuration");
   dmra_bench::add_jobs_flag(cli);
+  dmra_bench::add_obs_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -22,7 +23,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
-  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  dmra_bench::ObsSession obs_session(cli);
+  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
 
   std::cout << "== A4: NonCo semantics ablation (regular placement) ==\n\n";
   struct SeedValues {

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   cli.add_flag("epochs", "16", "epochs per run");
   cli.add_flag("seeds", "5", "seeds per configuration");
   dmra_bench::add_jobs_flag(cli);
+  dmra_bench::add_obs_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -48,7 +49,8 @@ int main(int argc, char** argv) {
   }
   const auto epochs = static_cast<std::size_t>(cli.get_int("epochs"));
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
-  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  dmra_bench::ObsSession obs_session(cli);
+  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
 
   std::cout << "== A6: online arrival-rate sweep (steady-state means over the last "
             << epochs / 2 << " epochs) ==\n\n";

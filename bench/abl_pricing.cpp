@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   // Accepted for interface uniformity with the other benches; this
   // single-seed study has no replication axis to fan out, so it is inert.
   dmra_bench::add_jobs_flag(cli);
+  dmra_bench::add_obs_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
     std::cout << cli.help_text(argv[0]);
     return 0;
   }
+  dmra_bench::ObsSession obs_session(cli);
 
   dmra::AdaptivePricingConfig cfg;
   cfg.scenario.num_ues = static_cast<std::size_t>(cli.get_int("ues"));

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   cli.add_flag("seeds", "10", "seeds per configuration");
   cli.add_flag("rho", "100", "baseline rho");
   dmra_bench::add_jobs_flag(cli);
+  dmra_bench::add_obs_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -40,7 +41,8 @@ int main(int argc, char** argv) {
   };
 
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
-  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  dmra_bench::ObsSession obs_session(cli);
+  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
   std::cout << "== A2: DMRA tie-break ablation (iota=2, regular placement) ==\n\n";
 
   dmra::Table table({"UEs", "variant", "total profit", "served", "same-SP ratio"});

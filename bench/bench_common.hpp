@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,66 @@ inline std::size_t jobs_from(const dmra::Cli& cli) {
   const std::int64_t v = cli.get_int("jobs");
   return v <= 0 ? 0 : static_cast<std::size_t>(v);
 }
+
+/// Every bench takes --trace / --round-csv: observability exports
+/// (docs/OBSERVABILITY.md). Empty (the default) = tracing disabled, which
+/// is a strict no-op in the instrumented code paths.
+inline void add_obs_flags(dmra::Cli& cli) {
+  cli.add_flag("trace", "", "write a Chrome trace-event JSON of the run to this path");
+  cli.add_flag("round-csv", "", "write per-round aggregate metrics as CSV to this path");
+}
+
+/// RAII tracing session for a bench main. When --trace or --round-csv was
+/// given, installs a TraceRecorder on the calling thread for the session's
+/// lifetime and writes the requested export files (plus a metrics summary
+/// to stdout) on destruction. The recorder is thread-local, so traced runs
+/// must stay on this thread: route the --jobs value through clamp_jobs().
+class ObsSession {
+ public:
+  explicit ObsSession(const dmra::Cli& cli)
+      : trace_path_(cli.get_string("trace")), csv_path_(cli.get_string("round-csv")) {
+    if (enabled()) install_.emplace(&recorder_);
+  }
+
+  ~ObsSession() {
+    if (!enabled()) return;
+    install_.reset();  // uninstall before exporting
+    if (!trace_path_.empty()) write(trace_path_, recorder_.to_chrome_trace_json());
+    if (!csv_path_.empty()) write(csv_path_, recorder_.to_round_csv());
+    if (!recorder_.metrics().empty())
+      std::cout << "\n== observability metrics ==\n"
+                << recorder_.metrics().to_table().to_aligned();
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool enabled() const { return !trace_path_.empty() || !csv_path_.empty(); }
+
+  /// Tracing forces serial replication (recorder is thread-local); an
+  /// untraced run keeps whatever --jobs asked for.
+  std::size_t clamp_jobs(std::size_t jobs) const {
+    if (!enabled()) return jobs;
+    if (jobs != 1) std::cerr << "(tracing enabled: forcing --jobs=1)\n";
+    return 1;
+  }
+
+ private:
+  static void write(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write " << path << '\n';
+      return;
+    }
+    out << content;
+    std::cout << "(observability export written to " << path << ")\n";
+  }
+
+  std::string trace_path_;
+  std::string csv_path_;
+  dmra::obs::TraceRecorder recorder_;
+  std::optional<dmra::obs::ScopedTraceRecorder> install_;
+};
 
 /// The roster of Figs. 2–5: DMRA vs DCSP vs NonCo.
 inline std::vector<dmra::AllocatorPtr> paper_allocators(const dmra::DmraConfig& cfg) {

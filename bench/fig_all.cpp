@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
   cli.add_flag("out", "results", "output directory for .dat/.gp/.csv artifacts");
   cli.add_flag("seeds", "10", "seeds per sweep point");
   dmra_bench::add_jobs_flag(cli);
+  dmra_bench::add_obs_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -90,7 +91,8 @@ int main(int argc, char** argv) {
   const std::filesystem::path out_dir = cli.get_string("out");
   std::filesystem::create_directories(out_dir);
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds"));
-  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  dmra_bench::ObsSession obs_session(cli);
+  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
 
   const std::vector<FigureSpec> figures = {
       {2, 2.0, true, false},  {3, 2.0, false, false}, {4, 1.1, true, false},

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   cli.add_flag("csv", "false", "also print the table as CSV");
   cli.add_flag("out", "", "write the series as CSV to this path");
   dmra_bench::add_jobs_flag(cli);
+  dmra_bench::add_obs_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -62,7 +63,8 @@ int main(int argc, char** argv) {
     algos.push_back(std::make_unique<dmra::DmraAllocator>(dmra::DmraConfig{.rho = rho}));
     return algos;
   };
-  spec.jobs = dmra_bench::jobs_from(cli);
+  dmra_bench::ObsSession obs_session(cli);
+  spec.jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
 
   const dmra::ExperimentResult result = dmra::run_experiment(spec);
   dmra_bench::print_result(result, cli.get_bool("csv"), cli.get_string("out"));

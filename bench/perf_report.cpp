@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
   cli.add_flag("quick", "false", "CI smoke mode: fewer reps, smaller scales");
   cli.add_flag("reps", "0", "timed repetitions per probe (0 = 5, or 2 with --quick)");
   dmra_bench::add_jobs_flag(cli);
+  dmra_bench::add_obs_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -80,13 +81,19 @@ int main(int argc, char** argv) {
   const std::size_t reps = cli.get_int("reps") > 0
                                ? static_cast<std::size_t>(cli.get_int("reps"))
                                : (quick ? 2 : 5);
-  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  dmra_bench::ObsSession obs_session(cli);
+  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
   const std::vector<std::size_t> scales =
       quick ? std::vector<std::size_t>{250, 500, 1000}
             : std::vector<std::size_t>{500, 1000, 2000};
   constexpr std::uint64_t kSeed = 1;
 
   dmra::JsonArray scenario_rows, decentralized_rows, experiment_rows;
+
+  // The untraced probes below must be a strict no-op for the tracing layer:
+  // the process-wide record() counter standing still is the proof (see
+  // obs/recorder.hpp). Checked after the probes unless tracing was asked for.
+  const std::uint64_t trace_events_before = dmra::obs::events_recorded_total();
 
   for (const std::size_t ues : scales) {
     const dmra::ScenarioConfig cfg = config_at(ues);
@@ -131,6 +138,17 @@ int main(int argc, char** argv) {
     exp_row["seeds"] = static_cast<std::uint64_t>(spec.seeds.size());
     exp_row["wall_ms"] = exp_ms;
     experiment_rows.push_back(std::move(exp_row));
+  }
+
+  if (!obs_session.enabled()) {
+    const std::uint64_t delta =
+        dmra::obs::events_recorded_total() - trace_events_before;
+    if (delta != 0) {
+      std::cerr << "FAIL: tracing disabled but " << delta
+                << " trace events were recorded — the disabled path is not a no-op\n";
+      return 1;
+    }
+    std::cout << "no-op check: 0 trace events recorded across untraced probes\n";
   }
 
   dmra::JsonObject root;

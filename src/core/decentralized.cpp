@@ -5,6 +5,7 @@
 
 #include "mec/audit.hpp"
 #include "net/bus.hpp"
+#include "obs/recorder.hpp"
 #include "util/require.hpp"
 
 namespace dmra {
@@ -199,12 +200,33 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
   DecentralizedResult result;
   result.dmra.allocation = Allocation(nu);
 
+  // Tracing: a single pointer test when disabled; everything else hides
+  // behind it. traced_profit mirrors the BSs' cumulative admissions.
+  obs::TraceRecorder* const rec = obs::recorder();
+  double traced_profit = 0.0;
+  if (rec != nullptr) {
+    rec->take_tally();  // drop any tally left by a previous producer
+    rec->set_round(0);
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kPhase;
+    e.label = "core/decentralized:bootstrap";
+    e.value = nb;
+    rec->record(e);
+  }
+
   // ---- Bootstrap: every BS broadcasts its initial resource levels so UEs
   // have a complete view of their candidates before the first proposal.
   for (BsAgent& b : bs_agents) {
     const std::uint32_t snapshot = arena.publish(b.resources);
     for (AgentId ue_addr : b.covered_ues)
       bus.send(b.address, ue_addr, MsgResourceUpdate{b.bs, snapshot});
+    if (rec != nullptr) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kBroadcast;
+      e.bs = b.bs.value;
+      e.value = b.covered_ues.size();
+      rec->record(e);
+    }
   }
   bus.deliver();
 
@@ -213,7 +235,10 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
   const std::size_t round_limit =
       config.max_rounds > 0 ? config.max_rounds : (lossy ? 2 * nu + 16 : nu + 1);
 
+  bool converged = false;
   for (std::size_t round = 0; round < round_limit; ++round) {
+    const std::uint64_t msgs_before = bus.stats().messages_sent;
+    if (rec != nullptr) rec->set_round(round);
     // ---- UE phase: ingest broadcasts & decisions, then propose.
     std::size_t sent_this_round = 0;
     for (UeAgent& a : ue_agents) {
@@ -237,9 +262,21 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
       const auto f_u = live_coverage_count(scenario, a.view, a.ue);
       bus.send(a.address, a.sp_address, MsgOffloadRequest{a.ue, *choice, f_u});
       ++sent_this_round;
+      if (rec != nullptr) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kProposal;
+        e.ue = a.ue.value;
+        e.bs = choice->value;
+        e.service = scenario.ue(a.ue).service.value;
+        e.value = f_u;
+        rec->record(e);
+      }
     }
     bus.deliver();
-    if (sent_this_round == 0) break;
+    if (sent_this_round == 0) {
+      converged = true;
+      break;
+    }
     result.dmra.proposals_sent += sent_this_round;
     ++result.dmra.rounds;
 
@@ -283,6 +320,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
         result.dmra.allocation.assign(u, b.bs);
         b.admitted[u.idx()] = true;
         ++accepted_this_round;
+        if (rec != nullptr) traced_profit += scenario.pair_profit(u, b.bs);
       }
 
       // Reply to every proposer through its SP.
@@ -302,6 +340,13 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
         const std::uint32_t snapshot = arena.publish(b.resources);
         for (AgentId ue_addr : b.covered_ues)
           bus.send(b.address, ue_addr, MsgResourceUpdate{b.bs, snapshot});
+        if (rec != nullptr) {
+          obs::TraceEvent e;
+          e.kind = obs::EventKind::kBroadcast;
+          e.bs = b.bs.value;
+          e.value = b.covered_ues.size();
+          rec->record(e);
+        }
       }
     }
     bus.deliver();
@@ -337,9 +382,45 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
       }
     }
     bus.deliver();
+
+    if (rec != nullptr) {
+      const obs::EventTally tally = rec->take_tally();
+      obs::RoundRow row;
+      row.source = "core/decentralized";
+      row.round = result.dmra.rounds - 1;
+      row.proposals = tally.proposals;
+      row.accepts = tally.accepts;
+      row.rejects = tally.rejects;
+      row.trim_evictions = tally.trim_evictions;
+      row.broadcasts = tally.broadcasts;
+      row.messages = bus.stats().messages_sent - msgs_before;
+      // "Unmatched" = admitted nowhere and not yet given up. The BS-side
+      // allocation is authoritative; at_cloud flags lag one round (UEs
+      // learn outcomes at the next ingest), which is exactly the view a
+      // round-close observer of the protocol would have.
+      std::size_t at_cloud_count = 0;
+      for (const UeAgent& a : ue_agents)
+        if (a.at_cloud) ++at_cloud_count;
+      row.unmatched_ues = nu - result.dmra.allocation.num_served() - at_cloud_count;
+      row.cumulative_profit = traced_profit;
+      for (const BsAgent& b : bs_agents) {
+        for (const std::uint32_t c : b.resources.crus) row.cru_headroom += c;
+        row.rrb_headroom += b.resources.rrbs;
+      }
+      rec->finish_round(row);
+    }
   }
 
   result.bus = bus.stats();
+  if (rec != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kTermination;
+    e.flag = converged;
+    e.value = result.dmra.rounds;
+    e.label = "core/decentralized";
+    rec->record(e);
+    obs::publish_bus_stats(result.bus, rec->metrics());
+  }
   return result;
 }
 

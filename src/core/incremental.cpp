@@ -4,6 +4,7 @@
 
 #include "mec/audit.hpp"
 #include "mec/resources.hpp"
+#include "obs/recorder.hpp"
 #include "util/require.hpp"
 
 namespace dmra {
@@ -59,6 +60,18 @@ IncrementalResult solve_incremental_dmra(const Scenario& scenario,
   // kept assignment that is no longer feasible or an unpaired release.
   if (DMRA_AUDIT_ACTIVE())
     audit::report_state_round("core/incremental", 0, scenario, allocation, state);
+
+  if (obs::TraceRecorder* const rec = obs::recorder(); rec != nullptr) {
+    obs::MetricsRegistry& m = rec->metrics();
+    m.add_counter("incremental.kept", result.kept);
+    m.add_counter("incremental.released", result.released);
+    m.add_counter("incremental.invalidated", result.invalidated);
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kPhase;
+    e.label = "core/incremental:carry-over";
+    e.value = result.kept;
+    rec->record(e);
+  }
 
   // Phase 3: match everyone displaced or never-assigned.
   result.rematch = solve_dmra_partial(scenario, config.dmra, state, allocation, matched);

@@ -4,6 +4,7 @@
 #include <limits>
 #include <tuple>
 
+#include "obs/recorder.hpp"
 #include "util/require.hpp"
 
 namespace dmra {
@@ -95,10 +96,35 @@ struct KeyedProposal {
 
 }  // namespace
 
+namespace {
+
+obs::TiebreakKey to_obs_key(const BsPrefKey& k) {
+  return obs::TiebreakKey{k.cross_sp, k.f_u, k.footprint, k.ue};
+}
+
+/// Emits one kDecision event for `p` at BS `i`. Losing decisions carry the
+/// tiebreak key so a trace viewer can show *why* the proposal lost.
+void record_decision(obs::TraceRecorder& rec, const Scenario& scenario, BsId i,
+                     const KeyedProposal& p, bool accepted, obs::DecisionReason reason) {
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::kDecision;
+  e.reason = reason;
+  e.flag = accepted;
+  e.ue = p.ue.value;
+  e.bs = i.value;
+  e.service = scenario.ue(p.ue).service.value;
+  if (!accepted) e.key = to_obs_key(p.key);
+  rec.record(e);
+}
+
+}  // namespace
+
 std::vector<UeId> bs_select(const Scenario& scenario, BsId i,
                             std::vector<ProposalInfo> proposals,
                             const BsLocalResources& local, const DmraConfig& config) {
   DMRA_REQUIRE(local.crus.size() == scenario.num_services());
+  // Tracing: one pointer test when disabled; all event work is behind it.
+  obs::TraceRecorder* const rec = obs::recorder();
 
   // Group by requested service (Alg. 1 line 13), buckets in ServiceId
   // order — the same iteration order the previous std::map grouping gave.
@@ -116,12 +142,27 @@ std::vector<UeId> bs_select(const Scenario& scenario, BsId i,
   std::vector<KeyedProposal> winners;
   for (std::size_t j = 0; j < by_service.size(); ++j) {
     const std::vector<KeyedProposal>& cands = by_service[j];
+    const auto feasible = [&](const KeyedProposal& p) {
+      return local.crus[j] >= scenario.ue(p.ue).cru_demand && local.rrbs >= p.n_rrbs;
+    };
     // Pick the best proposal the BS can still honour (CRU view at round
     // start) in one pass — no feasible-subset copy.
     const KeyedProposal* best = nullptr;
     for (const KeyedProposal& p : cands) {
-      if (local.crus[j] < scenario.ue(p.ue).cru_demand || local.rrbs < p.n_rrbs) continue;
+      if (!feasible(p)) {
+        if (rec != nullptr)
+          record_decision(*rec, scenario, i, p, false, obs::DecisionReason::kInfeasible);
+        continue;
+      }
       if (best == nullptr || p.key < best->key) best = &p;
+    }
+    if (rec != nullptr && best != nullptr) {
+      // Second pass, traced runs only: every feasible non-winner lost the
+      // lexicographic tiebreak to `best`; record the losing key.
+      for (const KeyedProposal& p : cands) {
+        if (&p == best || !feasible(p)) continue;
+        record_decision(*rec, scenario, i, p, false, obs::DecisionReason::kLostTiebreak);
+      }
     }
     if (best != nullptr) winners.push_back(*best);
   }
@@ -134,10 +175,25 @@ std::vector<UeId> bs_select(const Scenario& scenario, BsId i,
     std::sort(winners.begin(), winners.end(),
               [](const KeyedProposal& a, const KeyedProposal& b) { return a.key < b.key; });
     while (!winners.empty() && total_rrbs > local.rrbs) {
-      total_rrbs -= winners.back().n_rrbs;
+      const KeyedProposal& victim = winners.back();
+      if (rec != nullptr) {
+        obs::TraceEvent t;
+        t.kind = obs::EventKind::kTrimEviction;
+        t.ue = victim.ue.value;
+        t.bs = i.value;
+        t.service = scenario.ue(victim.ue).service.value;
+        t.value = victim.n_rrbs;
+        t.key = to_obs_key(victim.key);
+        rec->record(t);
+        record_decision(*rec, scenario, i, victim, false, obs::DecisionReason::kTrimmed);
+      }
+      total_rrbs -= victim.n_rrbs;
       winners.pop_back();
     }
   }
+  if (rec != nullptr)
+    for (const KeyedProposal& p : winners)
+      record_decision(*rec, scenario, i, p, true, obs::DecisionReason::kAccepted);
 
   std::vector<UeId> accepted;
   accepted.reserve(winners.size());

@@ -5,12 +5,26 @@
 
 #include "mec/audit.hpp"
 #include "mec/resources.hpp"
+#include "obs/recorder.hpp"
 #include "util/log.hpp"
 #include "util/require.hpp"
 
 namespace dmra {
 
 namespace {
+
+/// Traced runs only: total remaining CRU/RRB capacity across the ledger,
+/// reported per round as headroom gauges in the round CSV.
+void sum_headroom(const Scenario& scenario, const ResourceState& state,
+                  std::uint64_t& crus, std::uint64_t& rrbs) {
+  crus = 0;
+  rrbs = 0;
+  for (const BaseStation& b : scenario.bss()) {
+    for (std::size_t j = 0; j < scenario.num_services(); ++j)
+      crus += state.remaining_crus(b.id, ServiceId{static_cast<std::uint32_t>(j)});
+    rrbs += state.remaining_rrbs(b.id);
+  }
+}
 
 /// ResourceView over the authoritative global ledger.
 class GlobalView final : public ResourceView {
@@ -38,6 +52,16 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
   DmraResult result;
   result.allocation = Allocation(0);  // filled at the end
 
+  // Tracing: a single pointer test when disabled. traced_profit seeds from
+  // the carried-over allocation so incremental re-solves report the true
+  // cumulative figure, not just this call's delta.
+  obs::TraceRecorder* const rec = obs::recorder();
+  double traced_profit = 0.0;
+  if (rec != nullptr) {
+    rec->take_tally();  // drop any tally left by a previous producer
+    traced_profit = total_profit(scenario, allocation);
+  }
+
   const std::size_t nu = scenario.num_ues();
   std::vector<std::vector<BsId>> b_u(nu);
   std::vector<bool> at_cloud(nu, false);
@@ -50,7 +74,9 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
 
   const std::size_t round_limit = config.max_rounds > 0 ? config.max_rounds : nu + 1;
 
+  bool converged = false;
   for (std::size_t round = 0; round < round_limit; ++round) {
+    if (rec != nullptr) rec->set_round(round);
     // --- UE proposal phase: everything is evaluated against the state at
     // the start of the round, exactly like the broadcast view a
     // decentralized UE would hold.
@@ -64,11 +90,23 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
         at_cloud[ui] = true;  // Alg. 1: B_u exhausted → remote cloud
         continue;
       }
-      proposals[*choice].push_back(
-          ProposalInfo{u, live_coverage_count(scenario, view, u)});
+      const std::uint32_t f_u = live_coverage_count(scenario, view, u);
+      proposals[*choice].push_back(ProposalInfo{u, f_u});
       ++sent_this_round;
+      if (rec != nullptr) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kProposal;
+        e.ue = u.value;
+        e.bs = choice->value;
+        e.service = scenario.ue(u).service.value;
+        e.value = f_u;
+        rec->record(e);
+      }
     }
-    if (sent_this_round == 0) break;
+    if (sent_this_round == 0) {
+      converged = true;
+      break;
+    }
     result.proposals_sent += sent_this_round;
     ++result.rounds;
 
@@ -88,6 +126,7 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
         allocation.assign(u, bs);
         matched[u.idx()] = true;
         ++accepted_this_round;
+        if (rec != nullptr) traced_profit += scenario.pair_profit(u, bs);
       }
       if (config.drop_rejected) {
         for (const ProposalInfo& p : props) {
@@ -101,8 +140,36 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
     if (DMRA_AUDIT_ACTIVE())
       audit::report_state_round("core/solver", result.rounds - 1, scenario, allocation,
                                 state);
+    if (rec != nullptr) {
+      const obs::EventTally tally = rec->take_tally();
+      obs::RoundRow row;
+      row.source = "core/solver";
+      row.round = result.rounds - 1;
+      row.proposals = tally.proposals;
+      row.accepts = tally.accepts;
+      row.rejects = tally.rejects;
+      row.trim_evictions = tally.trim_evictions;
+      row.broadcasts = tally.broadcasts;
+      row.messages = 0;  // direct solver: no bus
+      std::size_t seeking = 0;
+      for (std::size_t ui = 0; ui < nu; ++ui)
+        if (!matched[ui] && !at_cloud[ui]) ++seeking;
+      row.unmatched_ues = seeking;
+      row.cumulative_profit = traced_profit;
+      sum_headroom(scenario, state, row.cru_headroom, row.rrb_headroom);
+      rec->finish_round(row);
+    }
     DMRA_DEBUG("dmra round " << result.rounds << ": " << sent_this_round << " proposals, "
                              << accepted_this_round << " accepted");
+  }
+
+  if (rec != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kTermination;
+    e.flag = converged;
+    e.value = result.rounds;
+    e.label = "core/solver";
+    rec->record(e);
   }
 
   result.allocation = allocation;

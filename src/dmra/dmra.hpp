@@ -43,6 +43,12 @@
 
 #include "net/bus.hpp"
 
+#include "obs/chrome_trace.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/round_csv.hpp"
+
 #include "radio/channel.hpp"
 #include "radio/ofdma.hpp"
 #include "radio/pathloss.hpp"

@@ -92,8 +92,11 @@ struct ScenarioData {
 /// Immutable problem instance with derived link matrix and candidate sets.
 ///
 /// Throws ContractViolation if the data is inconsistent (non-contiguous
-/// ids, out-of-range SP/service references, empty entity sets, or a
+/// ids, out-of-range SP/service references, no SPs or services, or a
 /// pricing configuration violating Eq. 16 anywhere in the deployment).
+/// Zero-BS and zero-UE instances are legal degenerate cases (e.g. the
+/// residual scenario of a drained online run): candidate sets are simply
+/// empty and every UE is cloud-forwarded.
 class Scenario {
  public:
   explicit Scenario(ScenarioData data);

@@ -63,11 +63,16 @@ class MessageBus {
     stats_.messages_sent++;
   }
 
-  /// Make every subsequent delivery lossy: each pending message is
-  /// dropped independently with probability `drop_probability`
-  /// (deterministic per seed). Call before the first deliver().
+  /// Make every delivery lossy: each pending message is dropped
+  /// independently with probability `drop_probability` (deterministic per
+  /// seed). Must be called before the first deliver() — retroactively
+  /// changing the loss model mid-run would make the drop sequence depend
+  /// on when the caller flipped it, not just on the seed — and at most
+  /// once (re-seeding would silently restart the drop stream).
   void set_loss(double drop_probability, std::uint64_t seed) {
     DMRA_REQUIRE(drop_probability >= 0.0 && drop_probability < 1.0);
+    DMRA_REQUIRE_MSG(round_ == 0, "set_loss must be called before the first deliver()");
+    DMRA_REQUIRE_MSG(!loss_rng_.has_value(), "set_loss may only be called once per bus");
     drop_probability_ = drop_probability;
     loss_rng_.emplace("bus-loss", seed);
   }

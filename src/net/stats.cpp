@@ -6,9 +6,10 @@ namespace dmra {
 
 std::string to_string(const BusStats& stats) {
   std::ostringstream os;
+  // Always emit every field (including dropped=0): parsers keying off the
+  // log line get a fixed schema, not one that changes with the loss model.
   os << "rounds=" << stats.rounds << " sent=" << stats.messages_sent
-     << " delivered=" << stats.messages_delivered;
-  if (stats.messages_dropped > 0) os << " dropped=" << stats.messages_dropped;
+     << " delivered=" << stats.messages_delivered << " dropped=" << stats.messages_dropped;
   return os.str();
 }
 

@@ -1,0 +1,20 @@
+// Chrome trace-event JSON exporter (the "JSON Array Format" both
+// chrome://tracing and Perfetto load): rounds render as duration slices
+// on one track per instrumentation source, individual protocol events as
+// instants on per-kind tracks, and the RoundRow aggregates additionally
+// as counter series so Perfetto plots them over time.
+//
+// Timestamps are logical, not wall-clock: slot s occupies
+// [s·1e6, (s+1)·1e6) "microseconds" and events within a slot are laid out
+// by record order. A seeded run therefore exports byte-identical JSON.
+#pragma once
+
+#include <string>
+
+namespace dmra::obs {
+
+class TraceRecorder;
+
+std::string export_chrome_trace(const TraceRecorder& recorder);
+
+}  // namespace dmra::obs

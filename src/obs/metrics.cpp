@@ -1,0 +1,79 @@
+#include "obs/metrics.hpp"
+
+namespace dmra::obs {
+
+ScopedTimer::ScopedTimer(MetricsRegistry* registry, std::string name)
+    : registry_(registry), name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::~ScopedTimer() {
+  if (registry_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  registry_->record_timer(
+      name_, static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+}
+
+void MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::record_timer(std::string_view name, std::uint64_t elapsed_ns) {
+  auto it = timers_.find(name);
+  if (it == timers_.end()) it = timers_.emplace(std::string(name), TimerStat{}).first;
+  TimerStat& t = it->second;
+  t.count++;
+  t.total_ns += elapsed_ns;
+  if (elapsed_ns > t.max_ns) t.max_ns = elapsed_ns;
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+JsonObject MetricsRegistry::deterministic_json() const {
+  JsonObject counters;
+  for (const auto& [name, value] : counters_) counters[name] = value;
+  JsonObject gauges;
+  for (const auto& [name, value] : gauges_) gauges[name] = value;
+  JsonObject out;
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  return out;
+}
+
+Table MetricsRegistry::to_table() const {
+  Table table({"metric", "kind", "value"});
+  for (const auto& [name, value] : counters_)
+    table.add_row({name, "counter", std::to_string(value)});
+  for (const auto& [name, value] : gauges_)
+    table.add_row({name, "gauge", fmt(value, 3)});
+  for (const auto& [name, t] : timers_)
+    table.add_row({name, "timer",
+                   fmt(static_cast<double>(t.total_ns) / 1e6, 3) + " ms / " +
+                       std::to_string(t.count) + " calls (max " +
+                       fmt(static_cast<double>(t.max_ns) / 1e6, 3) + " ms)"});
+  return table;
+}
+
+}  // namespace dmra::obs

@@ -1,0 +1,73 @@
+// Counters, gauges, and scoped wall-clock timers for the observability
+// layer (obs/recorder.hpp owns one registry per recording session).
+//
+// Counters and gauges are deterministic per seed and are embedded in the
+// Chrome trace export; timers measure real time and are deliberately kept
+// OUT of the golden-testable surface — they render only in the
+// human-readable summary table.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace dmra::obs {
+
+/// Accumulated wall time of one named scope.
+struct TimerStat {
+  std::uint64_t count = 0;     ///< completed scopes
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+class MetricsRegistry;
+
+/// RAII wall-clock scope feeding a named TimerStat on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_;  // nullptr = disabled scope, records nothing
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Named counters (monotonic uint64), gauges (last-set double), and
+/// timers. Names are created on first use; std::map keeps every export
+/// deterministically ordered.
+class MetricsRegistry {
+ public:
+  void add_counter(std::string_view name, std::uint64_t delta = 1);
+  void set_gauge(std::string_view name, double value);
+  void record_timer(std::string_view name, std::uint64_t elapsed_ns);
+
+  /// Timed scope: `auto t = registry.scoped_timer("experiment.sweep");`
+  ScopedTimer scoped_timer(std::string name) { return {this, std::move(name)}; }
+
+  std::uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+  const std::map<std::string, TimerStat, std::less<>>& timers() const { return timers_; }
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && timers_.empty(); }
+
+  /// Deterministic (counters + gauges only; timers excluded on purpose).
+  JsonObject deterministic_json() const;
+
+  /// Everything, for human eyes: "name | kind | value" rows.
+  Table to_table() const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, TimerStat, std::less<>> timers_;
+};
+
+}  // namespace dmra::obs

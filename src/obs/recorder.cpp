@@ -1,0 +1,91 @@
+#include "obs/recorder.hpp"
+
+#include <atomic>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/round_csv.hpp"
+
+namespace dmra::obs {
+
+namespace {
+
+thread_local TraceRecorder* g_recorder = nullptr;
+std::atomic<std::uint64_t> g_events_recorded{0};
+
+}  // namespace
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kProposal: return "propose";
+    case EventKind::kDecision: return "decision";
+    case EventKind::kTrimEviction: return "trim-eviction";
+    case EventKind::kBroadcast: return "broadcast";
+    case EventKind::kPhase: return "phase";
+    case EventKind::kTermination: return "termination";
+  }
+  return "?";
+}
+
+std::string_view to_string(DecisionReason reason) {
+  switch (reason) {
+    case DecisionReason::kAccepted: return "accepted";
+    case DecisionReason::kLostTiebreak: return "lost-tiebreak";
+    case DecisionReason::kInfeasible: return "infeasible";
+    case DecisionReason::kTrimmed: return "trimmed";
+  }
+  return "?";
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  event.round = round_;
+  event.slot = rows_.size();
+  event.seq = seq_in_slot_++;
+  switch (event.kind) {
+    case EventKind::kProposal: tally_.proposals++; break;
+    case EventKind::kDecision: (event.flag ? tally_.accepts : tally_.rejects)++; break;
+    case EventKind::kTrimEviction: tally_.trim_evictions++; break;
+    case EventKind::kBroadcast: tally_.broadcasts++; break;
+    case EventKind::kPhase:
+    case EventKind::kTermination: break;
+  }
+  events_.push_back(event);
+  g_events_recorded.fetch_add(1, std::memory_order_relaxed);
+}
+
+EventTally TraceRecorder::take_tally() {
+  const EventTally out = tally_;
+  tally_ = EventTally{};
+  return out;
+}
+
+void TraceRecorder::finish_round(RoundRow row) {
+  rows_.push_back(row);
+  seq_in_slot_ = 0;
+}
+
+std::string TraceRecorder::to_chrome_trace_json() const {
+  return export_chrome_trace(*this);
+}
+
+std::string TraceRecorder::to_round_csv() const { return export_round_csv(rows_); }
+
+TraceRecorder* recorder() { return g_recorder; }
+
+TraceRecorder* set_recorder(TraceRecorder* rec) {
+  TraceRecorder* previous = g_recorder;
+  g_recorder = rec;
+  return previous;
+}
+
+std::uint64_t events_recorded_total() {
+  return g_events_recorded.load(std::memory_order_relaxed);
+}
+
+void publish_bus_stats(const BusStats& stats, MetricsRegistry& registry) {
+  registry.add_counter("bus.rounds", stats.rounds);
+  registry.add_counter("bus.messages_sent", stats.messages_sent);
+  registry.add_counter("bus.messages_delivered", stats.messages_delivered);
+  registry.add_counter("bus.messages_dropped", stats.messages_dropped);
+}
+
+}  // namespace dmra::obs

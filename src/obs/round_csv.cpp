@@ -1,0 +1,37 @@
+#include "obs/round_csv.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace dmra::obs {
+
+namespace {
+
+/// Shortest round-trip representation (std::to_chars): deterministic and
+/// lossless, unlike iostream's locale/precision-dependent formatting.
+std::string fmt_double(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::string("nan");
+}
+
+}  // namespace
+
+std::string_view round_csv_header() {
+  return "source,round,proposals,accepts,rejects,trim_evictions,broadcasts,"
+         "messages,unmatched_ues,cumulative_profit,cru_headroom,rrb_headroom";
+}
+
+std::string export_round_csv(const std::vector<RoundRow>& rows) {
+  std::ostringstream os;
+  os << round_csv_header() << '\n';
+  for (const RoundRow& r : rows) {
+    os << r.source << ',' << r.round << ',' << r.proposals << ',' << r.accepts << ','
+       << r.rejects << ',' << r.trim_evictions << ',' << r.broadcasts << ','
+       << r.messages << ',' << r.unmatched_ues << ',' << fmt_double(r.cumulative_profit)
+       << ',' << r.cru_headroom << ',' << r.rrb_headroom << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dmra::obs

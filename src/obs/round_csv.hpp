@@ -1,0 +1,18 @@
+// Per-round metric time-series CSV exporter: one line per RoundRow, in
+// execution order, shortest-round-trip double formatting — deterministic
+// per seed, ready for gnuplot/pandas.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace dmra::obs {
+
+/// Header line of the export, without trailing newline.
+std::string_view round_csv_header();
+
+std::string export_round_csv(const std::vector<RoundRow>& rows);
+
+}  // namespace dmra::obs

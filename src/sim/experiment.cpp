@@ -1,8 +1,10 @@
 #include "sim/experiment.hpp"
 
 #include <numeric>
+#include <optional>
 #include <sstream>
 
+#include "obs/recorder.hpp"
 #include "sim/feasibility.hpp"
 #include "util/log.hpp"
 #include "util/require.hpp"
@@ -31,7 +33,24 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   result.metric_label = spec.metric_label;
   result.xs = spec.xs;
 
-  for (double x : spec.xs) {
+  // Tracing note: the recorder is thread-local, so replications only land
+  // in the trace when spec.jobs <= 1 (parallel_map then runs inline on
+  // this thread) — the bench --trace flags force --jobs=1 for exactly
+  // this reason.
+  obs::TraceRecorder* const rec = obs::recorder();
+
+  for (std::size_t xi = 0; xi < spec.xs.size(); ++xi) {
+    const double x = spec.xs[xi];
+    std::optional<obs::ScopedTimer> sweep_timer;
+    if (rec != nullptr) {
+      sweep_timer.emplace(&rec->metrics(), std::string("experiment.sweep_point"));
+      rec->metrics().add_counter("experiment.sweep_points");
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kPhase;
+      e.label = "sim/experiment:sweep-point";
+      e.value = xi;
+      rec->record(e);
+    }
     // Fan the per-seed replications across workers. Every task gets its
     // own scenario and allocator set (created here, on the coordinating
     // thread — make_allocators need not be thread-safe), so seeds share
@@ -92,6 +111,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       row.push_back(sum);
     }
     result.cells.push_back(std::move(row));
+    if (rec != nullptr)
+      rec->metrics().add_counter("experiment.replications",
+                                 spec.seeds.size() * result.algo_names.size());
     DMRA_INFO("experiment '" << spec.title << "': finished x=" << x);
   }
   return result;

@@ -39,8 +39,10 @@ RunMetrics evaluate(const Scenario& scenario, const Allocation& alloc) {
     rrb_util_sum +=
         b.num_rrbs ? static_cast<double>(rrb_used[bi]) / static_cast<double>(b.num_rrbs) : 0.0;
   }
-  m.mean_cru_utilization = cru_util_sum / static_cast<double>(scenario.num_bss());
-  m.mean_rrb_utilization = rrb_util_sum / static_cast<double>(scenario.num_bss());
+  m.mean_cru_utilization =
+      scenario.num_bss() ? cru_util_sum / static_cast<double>(scenario.num_bss()) : 0.0;
+  m.mean_rrb_utilization =
+      scenario.num_bss() ? rrb_util_sum / static_cast<double>(scenario.num_bss()) : 0.0;
   return m;
 }
 

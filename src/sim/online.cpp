@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mec/audit.hpp"
+#include "obs/recorder.hpp"
 #include "sim/metrics.hpp"
 #include "util/require.hpp"
 
@@ -129,7 +130,35 @@ EpochStats OnlineSimulator::step() {
     const BaseStation& b = base_.bs(BsId{static_cast<std::uint32_t>(i)});
     util += b.num_rrbs ? 1.0 - static_cast<double>(rrbs_[i]) / b.num_rrbs : 0.0;
   }
-  stats.mean_rrb_utilization = util / static_cast<double>(rrbs_.size());
+  stats.mean_rrb_utilization =
+      rrbs_.empty() ? 0.0 : util / static_cast<double>(rrbs_.size());
+
+  if (obs::TraceRecorder* const rec = obs::recorder(); rec != nullptr) {
+    // The inner allocator (if instrumented) already folded its events into
+    // its own per-round rows; drop whatever tally remains so the epoch row
+    // reports epoch-level facts only.
+    rec->take_tally();
+    rec->set_round(epoch_);
+    traced_profit_ += stats.profit;
+    obs::RoundRow row;
+    row.source = "sim/online";
+    row.round = epoch_;
+    row.proposals = stats.arrivals;
+    row.accepts = stats.served;
+    row.rejects = stats.cloud;
+    row.unmatched_ues = stats.arrivals - stats.served - stats.cloud;
+    row.cumulative_profit = traced_profit_;
+    for (const std::vector<std::uint32_t>& per_service : crus_)
+      for (const std::uint32_t c : per_service) row.cru_headroom += c;
+    for (const std::uint32_t r : rrbs_) row.rrb_headroom += r;
+    rec->finish_round(row);
+    obs::MetricsRegistry& m = rec->metrics();
+    m.add_counter("online.epochs");
+    m.add_counter("online.arrivals", stats.arrivals);
+    m.add_counter("online.served", stats.served);
+    m.add_counter("online.cloud", stats.cloud);
+    m.set_gauge("online.active_tasks", static_cast<double>(active_.size()));
+  }
 
   ++epoch_;
   return stats;

@@ -90,6 +90,7 @@ class OnlineSimulator {
   std::vector<std::uint32_t> rrbs_;               ///< live per-BS
   std::vector<ActiveTask> active_;
   std::size_t epoch_ = 0;
+  double traced_profit_ = 0.0;  ///< cumulative profit, maintained only when traced
   Rng lifetime_rng_;
 
   Scenario residual_scenario(std::uint64_t epoch_seed) const;

@@ -101,6 +101,37 @@ TEST(Bus, StatsRenderAsText) {
   EXPECT_NE(text.find("rounds=3"), std::string::npos);
   EXPECT_NE(text.find("sent=10"), std::string::npos);
   EXPECT_NE(text.find("delivered=9"), std::string::npos);
+  // The schema is fixed: dropped= appears even on a loss-free bus, so log
+  // parsers never see a field-count that depends on the loss model.
+  EXPECT_NE(text.find("dropped=0"), std::string::npos);
+}
+
+TEST(Bus, StatsRenderDroppedCount) {
+  BusStats s{3, 10, 9};
+  s.messages_dropped = 1;
+  EXPECT_NE(to_string(s).find("dropped=1"), std::string::npos);
+}
+
+TEST(Bus, SetLossAfterDeliverIsContractViolation) {
+  StrBus bus;
+  const AgentId a = bus.register_agent();
+  bus.send(a, a, "x");
+  bus.deliver();
+  // The loss model must cover the whole run; arming it mid-run would make
+  // the drop sequence depend on when the caller got around to it.
+  EXPECT_THROW(bus.set_loss(0.5, 7), ContractViolation);
+}
+
+TEST(Bus, SetLossTwiceIsContractViolation) {
+  StrBus bus;
+  bus.set_loss(0.5, 7);
+  EXPECT_THROW(bus.set_loss(0.25, 8), ContractViolation);  // re-seeding resets the RNG
+}
+
+TEST(Bus, SetLossRejectsOutOfRangeProbability) {
+  StrBus bus;
+  EXPECT_THROW(bus.set_loss(-0.1, 7), ContractViolation);
+  EXPECT_THROW(bus.set_loss(1.0, 7), ContractViolation);
 }
 
 TEST(Bus, SendToUnknownAgentIsContractViolation) {

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate DMRA observability exports (stdlib only).
+
+Usage:
+    tools/check_trace.py --trace trace.json --round-csv rounds.csv
+
+Checks the Chrome trace-event JSON against the dmra-trace/1 schema and the
+per-round CSV against the fixed column contract, then cross-checks that the
+two exports describe the same run (one "X" slice per CSV row).
+
+Exit status 0 on success; 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+EXPECTED_SCHEMA = "dmra-trace/1"
+EXPECTED_CSV_HEADER = (
+    "source,round,proposals,accepts,rejects,trim_evictions,broadcasts,"
+    "messages,unmatched_ues,cumulative_profit,cru_headroom,rrb_headroom"
+)
+# Column index -> python type used to parse it (source stays a string).
+CSV_INT_COLUMNS = range(1, 9)
+CSV_FLOAT_COLUMNS = (9,)
+CSV_SIZE_COLUMNS = (10, 11)
+
+KNOWN_PHASES = {"M", "X", "C", "i"}
+
+
+def fail(msg: str) -> "NoReturn":
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(idx: int, ev: dict) -> None:
+    for field in ("ph", "pid", "tid", "name"):
+        if field not in ev:
+            fail(f"traceEvents[{idx}] is missing required field '{field}': {ev}")
+    ph = ev["ph"]
+    if ph not in KNOWN_PHASES:
+        fail(f"traceEvents[{idx}] has unknown phase '{ph}'")
+    if ph != "M" and "ts" not in ev:
+        fail(f"traceEvents[{idx}] ({ph}) is missing 'ts'")
+    if ph == "X" and "dur" not in ev:
+        fail(f"traceEvents[{idx}] is a slice without 'dur'")
+    if ph == "i" and ev.get("s") != "t":
+        fail(f"traceEvents[{idx}] instant must have thread scope s='t'")
+    if ph == "C" and not isinstance(ev.get("args"), dict):
+        fail(f"traceEvents[{idx}] counter has no args series")
+
+
+def check_trace(path: str) -> int:
+    """Validate the trace file; returns the number of 'X' round slices."""
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            root = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path} is not valid JSON: {e}")
+    if not isinstance(root, dict):
+        fail(f"{path}: root must be an object")
+    schema = root.get("otherData", {}).get("schema")
+    if schema != EXPECTED_SCHEMA:
+        fail(f"{path}: otherData.schema is {schema!r}, expected {EXPECTED_SCHEMA!r}")
+    if root.get("displayTimeUnit") != "ms":
+        fail(f"{path}: displayTimeUnit must be 'ms'")
+    events = root.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty array")
+
+    phases = {ph: 0 for ph in KNOWN_PHASES}
+    for idx, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"traceEvents[{idx}] is not an object")
+        check_event(idx, ev)
+        phases[ev["ph"]] += 1
+    if phases["M"] == 0:
+        fail(f"{path}: no track-name metadata events")
+    print(
+        f"check_trace: {path}: {len(events)} events "
+        f"(meta={phases['M']} slices={phases['X']} "
+        f"counters={phases['C']} instants={phases['i']})"
+    )
+    return phases["X"]
+
+
+def check_csv(path: str) -> int:
+    """Validate the round CSV; returns the number of data rows."""
+    with open(path, "r", encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        fail(f"{path} is empty")
+    if lines[0] != EXPECTED_CSV_HEADER:
+        fail(f"{path}: header mismatch\n  got:      {lines[0]}\n  expected: {EXPECTED_CSV_HEADER}")
+    n_cols = len(EXPECTED_CSV_HEADER.split(","))
+    for lineno, line in enumerate(lines[1:], start=2):
+        cols = line.split(",")
+        if len(cols) != n_cols:
+            fail(f"{path}:{lineno}: {len(cols)} columns, expected {n_cols}")
+        if not cols[0]:
+            fail(f"{path}:{lineno}: empty source column")
+        for i in CSV_INT_COLUMNS:
+            try:
+                int(cols[i])
+            except ValueError:
+                fail(f"{path}:{lineno}: column {i} ({cols[i]!r}) is not an integer")
+        for i in (*CSV_FLOAT_COLUMNS, *CSV_SIZE_COLUMNS):
+            try:
+                v = float(cols[i])
+            except ValueError:
+                fail(f"{path}:{lineno}: column {i} ({cols[i]!r}) is not numeric")
+            if v != v:  # NaN
+                fail(f"{path}:{lineno}: column {i} is NaN")
+    rows = len(lines) - 1
+    print(f"check_trace: {path}: {rows} round rows, header OK")
+    return rows
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace-event JSON export")
+    ap.add_argument("--round-csv", help="per-round metric CSV export")
+    args = ap.parse_args()
+    if not args.trace and not args.round_csv:
+        ap.error("nothing to check: pass --trace and/or --round-csv")
+
+    slices = check_trace(args.trace) if args.trace else None
+    rows = check_csv(args.round_csv) if args.round_csv else None
+    if slices is not None and rows is not None and slices != rows:
+        fail(
+            f"export mismatch: trace has {slices} round slices "
+            f"but CSV has {rows} rows — the files describe different runs"
+        )
+    print("check_trace: OK")
+
+
+if __name__ == "__main__":
+    main()

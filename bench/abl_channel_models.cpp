@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   cli.add_flag("shadowing", "0,4,8", "shadowing sigmas (dB) to sweep");
   dmra_bench::add_jobs_flag(cli);
   dmra_bench::add_obs_flags(cli);
+  dmra_bench::add_fault_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
   dmra_bench::ObsSession obs_session(cli);
   const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  const auto faults = dmra_bench::faults_from(cli);
 
   std::cout << "== A5: path-loss model x shadowing ablation (" << num_ues
             << " UEs, iota=2) ==\n\n";
@@ -47,7 +49,8 @@ int main(int argc, char** argv) {
         cfg.channel.shadowing_sigma_db = sigma;
         cfg.channel.shadowing_seed = seeds[si];
         const dmra::Scenario s = dmra::generate_scenario(cfg, seeds[si]);
-        const dmra::RunMetrics md = dmra::evaluate(s, dmra::DmraAllocator().allocate(s));
+        const dmra::RunMetrics md =
+            dmra::evaluate(s, dmra_bench::make_dmra({}, faults)->allocate(s));
         return SeedValues{md.total_profit,
                           dmra::total_profit(s, dmra::DcspAllocator().allocate(s)),
                           dmra::total_profit(s, dmra::NonCoAllocator().allocate(s)),

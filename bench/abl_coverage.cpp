@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   cli.add_flag("seeds", "5", "seeds per configuration");
   dmra_bench::add_jobs_flag(cli);
   dmra_bench::add_obs_flags(cli);
+  dmra_bench::add_fault_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
   dmra_bench::ObsSession obs_session(cli);
   const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  const auto faults = dmra_bench::faults_from(cli);
 
   std::cout << "== A3: coverage-radius ablation (" << num_ues
             << " UEs, iota=2, regular placement) ==\n\n";
@@ -52,7 +54,8 @@ int main(int argc, char** argv) {
       }
       return SeedValues{
           fu_sum / static_cast<double>(scenario.num_ues()), static_cast<double>(none),
-          dmra::total_profit(scenario, dmra::DmraAllocator().allocate(scenario)),
+          dmra::total_profit(scenario,
+                             dmra_bench::make_dmra({}, faults)->allocate(scenario)),
           dmra::total_profit(scenario, dmra::DcspAllocator().allocate(scenario)),
           dmra::total_profit(scenario, dmra::NonCoAllocator().allocate(scenario))};
     });

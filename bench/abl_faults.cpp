@@ -1,0 +1,135 @@
+// A11: resilience sweep — decentralized DMRA under injected faults.
+//
+// Sweeps message-loss rate x number of BS crashes and reports, per cell,
+// what graceful degradation costs: how much of the fault-free profit the
+// hardened protocol retains, how many extra rounds and messages the
+// recovery machinery spends, and where the orphaned UEs ended up
+// (re-admitted in-protocol, re-placed by the final repair pass, or at
+// the cloud). docs/RESILIENCE.md walks through the output.
+//
+//   ./build/bench/abl11_faults [--ues 600] [--loss 0,0.1,0.2]
+//       [--crashes 0,1,2] [--down-rounds 0] [--seeds 5] [--csv] [--out f.csv]
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct CellValues {
+  double retention_pct = 0.0;  // faulty profit / fault-free profit
+  double extra_rounds = 0.0;   // protocol rounds beyond the fault-free run
+  double repair_rounds = 0.0;  // rounds spent in the final repair pass
+  double extra_msgs = 0.0;     // bus messages beyond the fault-free run
+  double orphaned = 0.0;
+  double reproto = 0.0;  // orphans re-admitted by the live protocol
+  double rematch = 0.0;  // orphans re-placed by the final repair pass
+  double cloud = 0.0;    // orphans left at the cloud
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dmra::Cli cli;
+  cli.add_flag("ues", "600", "number of UEs");
+  cli.add_flag("loss", "0,0.1,0.2", "per-message loss rates to sweep");
+  cli.add_flag("crashes", "0,1,2", "BS crash counts to sweep");
+  cli.add_flag("down-rounds", "0", "outage length in rounds (0 = never recovers)");
+  cli.add_flag("crash-round", "2", "round the first crash fires (rest staggered +1)");
+  cli.add_flag("seeds", "5", "number of scenario seeds per cell");
+  cli.add_flag("csv", "false", "also print the table as CSV");
+  cli.add_flag("out", "", "write the table as CSV to this path");
+  dmra_bench::add_jobs_flag(cli);
+  dmra_bench::add_obs_flags(cli);
+  std::string error;
+  if (!cli.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << cli.help_text(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.help_text(argv[0]);
+    return 0;
+  }
+  const auto num_ues = static_cast<std::size_t>(cli.get_int("ues"));
+  const auto down_rounds = static_cast<std::size_t>(cli.get_int("down-rounds"));
+  const auto crash_round = static_cast<std::size_t>(cli.get_int("crash-round"));
+  const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
+  dmra_bench::ObsSession obs_session(cli);
+  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+
+  std::cout << "== A11: fault injection — profit retention & recovery overhead (" << num_ues
+            << " UEs, iota=2, regular placement) ==\n"
+            << "baseline: fault-free decentralized DMRA on the same scenario/seed\n\n";
+
+  dmra::Table table({"loss", "crashes", "profit kept", "extra rounds", "repair rounds",
+                     "extra msgs", "orphaned", "re-proto", "re-match", "cloud"});
+  for (const double loss : cli.get_double_list("loss")) {
+    for (const double crashes : cli.get_double_list("crashes")) {
+      const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
+        dmra::ScenarioConfig cfg = dmra_bench::paper_config();
+        cfg.num_ues = num_ues;
+        const dmra::Scenario s = dmra::generate_scenario(cfg, seeds[si]);
+        const dmra::DecentralizedResult base = dmra::run_decentralized_dmra(s);
+        const double base_profit = dmra::total_profit(s, base.dmra.allocation);
+
+        dmra::FaultSpec spec;
+        spec.loss = loss;
+        spec.crashes = static_cast<std::size_t>(crashes);
+        spec.crash_round = crash_round;
+        spec.down_rounds = down_rounds;
+        spec.seed = seeds[si];
+        const dmra::FaultyDmraAllocator faulty(spec);
+        const dmra::DecentralizedResult r = faulty.run(s);
+        const double profit = dmra::total_profit(s, r.dmra.allocation);
+
+        CellValues v;
+        v.retention_pct = base_profit > 0.0 ? 100.0 * profit / base_profit : 100.0;
+        v.extra_rounds = static_cast<double>(r.dmra.rounds) -
+                         static_cast<double>(base.dmra.rounds);
+        v.repair_rounds = static_cast<double>(r.recovery.repair_rounds);
+        v.extra_msgs = static_cast<double>(r.bus.messages_sent) -
+                       static_cast<double>(base.bus.messages_sent);
+        v.orphaned = static_cast<double>(r.recovery.orphaned_ues);
+        v.reproto = static_cast<double>(r.recovery.repaired_in_protocol);
+        v.rematch = static_cast<double>(r.recovery.repaired_by_rematch);
+        v.cloud = static_cast<double>(r.recovery.cloud_fallbacks);
+        return v;
+      });
+      dmra::RunningStats retention, rounds, repair, msgs, orphaned, reproto, rematch,
+          cloud;
+      for (const CellValues& v : per_seed) {  // seed order: jobs-invariant
+        retention.add(v.retention_pct);
+        rounds.add(v.extra_rounds);
+        repair.add(v.repair_rounds);
+        msgs.add(v.extra_msgs);
+        orphaned.add(v.orphaned);
+        reproto.add(v.reproto);
+        rematch.add(v.rematch);
+        cloud.add(v.cloud);
+      }
+      table.add_row({dmra::fmt(loss, 2), dmra::fmt(crashes, 0),
+                     dmra::fmt(retention.mean(), 1) + "%", dmra::fmt(rounds.mean(), 1),
+                     dmra::fmt(repair.mean(), 1), dmra::fmt(msgs.mean(), 0),
+                     dmra::fmt(orphaned.mean(), 1), dmra::fmt(reproto.mean(), 1),
+                     dmra::fmt(rematch.mean(), 1), dmra::fmt(cloud.mean(), 1)});
+    }
+  }
+  std::cout << table.to_aligned();
+  if (cli.get_bool("csv")) std::cout << '\n' << table.to_csv();
+  const std::string out = cli.get_string("out");
+  if (!out.empty()) {
+    std::ofstream f(out);
+    if (!f) {
+      std::cerr << "cannot write " << out << '\n';
+    } else {
+      f << table.to_csv();
+      std::cout << "(series written to " << out << ")\n";
+    }
+  }
+  std::cout << "\nreading: losses alone cost little profit (retries + rebroadcasts heal\n"
+               "them) but buy extra rounds and messages; crashes orphan whole cells and\n"
+               "the orphan column splits into in-protocol re-admissions, repair-pass\n"
+               "re-placements, and the cloud-fallback floor. Every run passes the\n"
+               "invariant auditor (DMRA_AUDIT=1) regardless of the cell.\n";
+  return 0;
+}

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   cli.add_flag("seeds", "5", "seeds per configuration");
   dmra_bench::add_jobs_flag(cli);
   dmra_bench::add_obs_flags(cli);
+  dmra_bench::add_fault_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
   dmra_bench::ObsSession obs_session(cli);
   const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  const auto faults = dmra_bench::faults_from(cli);
 
   struct Variant {
     const char* label;
@@ -55,7 +57,8 @@ int main(int argc, char** argv) {
       cfg.service_popularity = v.pop;
       cfg.zipf_s = 1.0;
       const dmra::Scenario s = dmra::generate_scenario(cfg, seeds[si]);
-      const dmra::RunMetrics m = dmra::evaluate(s, dmra::DmraAllocator().allocate(s));
+      const dmra::RunMetrics m =
+          dmra::evaluate(s, dmra_bench::make_dmra({}, faults)->allocate(s));
       return SeedValues{m.total_profit,
                         dmra::total_profit(s, dmra::DcspAllocator().allocate(s)),
                         dmra::total_profit(s, dmra::NonCoAllocator().allocate(s)),

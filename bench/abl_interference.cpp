@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   cli.add_flag("activity", "0,0.001,0.005,0.02", "interference activity factors to sweep");
   dmra_bench::add_jobs_flag(cli);
   dmra_bench::add_obs_flags(cli);
+  dmra_bench::add_fault_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
   dmra_bench::ObsSession obs_session(cli);
   const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  const auto faults = dmra_bench::faults_from(cli);
 
   std::cout << "== A1: channel-model ablation (" << num_ues << " UEs, iota=2) ==\n\n";
 
@@ -48,9 +50,9 @@ int main(int argc, char** argv) {
             psd ? dmra::NoiseModel::kPsd : dmra::NoiseModel::kTotalPerRrb;
         const dmra::Scenario scenario = dmra::generate_scenario(cfg, seeds[si]);
 
-        const dmra::DmraAllocator dmra_algo;
+        const auto dmra_algo = dmra_bench::make_dmra({}, faults);
         const dmra::NonCoAllocator nonco;
-        return std::make_pair(dmra::evaluate(scenario, dmra_algo.allocate(scenario)),
+        return std::make_pair(dmra::evaluate(scenario, dmra_algo->allocate(scenario)),
                               dmra::evaluate(scenario, nonco.allocate(scenario)));
       });
       dmra::RunningStats profit_dmra, profit_nonco, served_dmra, served_nonco;

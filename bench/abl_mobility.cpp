@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   cli.add_flag("seeds", "5", "seeds per configuration");
   dmra_bench::add_jobs_flag(cli);
   dmra_bench::add_obs_flags(cli);
+  dmra_bench::add_fault_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -29,7 +30,8 @@ int main(int argc, char** argv) {
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
   dmra_bench::ObsSession obs_session(cli);
   const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
-  const dmra::DmraAllocator algo;
+  const auto faults = dmra_bench::faults_from(cli);
+  const dmra::AllocatorPtr algo = dmra_bench::make_dmra({}, faults);
 
   std::cout << "== A7: handover churn vs UE speed (random waypoint, DMRA re-run every "
             << cli.get_double("dt") << " s) ==\n\n";
@@ -52,7 +54,7 @@ int main(int argc, char** argv) {
         cfg.waypoint.speed_min_mps = speed * 0.5;
         cfg.waypoint.speed_max_mps = speed * 1.5;
       }
-      const dmra::HandoverResult r = dmra::run_handover_study(cfg, algo);
+      const dmra::HandoverResult r = dmra::run_handover_study(cfg, *algo);
       dmra::RunningStats per_step_profit;
       double cloud_churn = 0.0;
       for (const dmra::HandoverStepStats& s : r.steps) {
@@ -106,7 +108,7 @@ int main(int argc, char** argv) {
       cfg.waypoint.speed_max_mps = 22.5;
       cfg.policy = row.policy;
       cfg.incremental.hysteresis_margin = row.margin;
-      const dmra::HandoverResult r = dmra::run_handover_study(cfg, algo);
+      const dmra::HandoverResult r = dmra::run_handover_study(cfg, *algo);
       return std::make_pair(r.handover_rate, r.mean_profit);
     });
     dmra::RunningStats rate, profit;

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   cli.add_flag("seeds", "10", "seeds per configuration");
   dmra_bench::add_jobs_flag(cli);
   dmra_bench::add_obs_flags(cli);
+  dmra_bench::add_fault_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
   dmra_bench::ObsSession obs_session(cli);
   const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  const auto faults = dmra_bench::faults_from(cli);
 
   std::cout << "== A4: NonCo semantics ablation (regular placement) ==\n\n";
   struct SeedValues {
@@ -40,7 +42,7 @@ int main(int argc, char** argv) {
         cfg.pricing.iota = iota;
         const dmra::Scenario s = dmra::generate_scenario(cfg, seeds[si]);
         return SeedValues{
-            dmra::total_profit(s, dmra::DmraAllocator().allocate(s)),
+            dmra::total_profit(s, dmra_bench::make_dmra({}, faults)->allocate(s)),
             dmra::total_profit(s, dmra::NonCoAllocator().allocate(s)),
             dmra::total_profit(
                 s, dmra::NonCoAllocator(dmra::NonCoAllocator::Mode::kIterative).allocate(s))};

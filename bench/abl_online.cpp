@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   cli.add_flag("seeds", "5", "seeds per configuration");
   dmra_bench::add_jobs_flag(cli);
   dmra_bench::add_obs_flags(cli);
+  dmra_bench::add_fault_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
   dmra_bench::ObsSession obs_session(cli);
   const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  const auto faults = dmra_bench::faults_from(cli);
 
   std::cout << "== A6: online arrival-rate sweep (steady-state means over the last "
             << epochs / 2 << " epochs) ==\n\n";
@@ -63,7 +65,7 @@ int main(int argc, char** argv) {
       dmra::AllocatorPtr ptr;
     };
     std::vector<Algo> algos;
-    algos.push_back({"DMRA", std::make_unique<dmra::DmraAllocator>()});
+    algos.push_back({"DMRA", dmra_bench::make_dmra({}, faults)});
     algos.push_back({"DCSP", std::make_unique<dmra::DcspAllocator>()});
     algos.push_back({"NonCo", std::make_unique<dmra::NonCoAllocator>()});
     struct SeedValues {

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   // single-seed study has no replication axis to fan out, so it is inert.
   dmra_bench::add_jobs_flag(cli);
   dmra_bench::add_obs_flags(cli);
+  dmra_bench::add_fault_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -34,8 +35,9 @@ int main(int argc, char** argv) {
   cfg.target_utilization = cli.get_double("target");
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
-  const dmra::DmraAllocator algo;
-  const dmra::AdaptivePricingResult r = dmra::run_adaptive_pricing(cfg, algo);
+  const auto faults = dmra_bench::faults_from(cli);
+  const dmra::AllocatorPtr algo = dmra_bench::make_dmra({}, faults);
+  const dmra::AdaptivePricingResult r = dmra::run_adaptive_pricing(cfg, *algo);
 
   std::cout << "== A10: adaptive per-BS pricing under a hotspot load (" << cfg.scenario.num_ues
             << " UEs, target util " << cfg.target_utilization << ") ==\n\n"

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   cli.add_flag("seeds", "5", "seeds per configuration");
   dmra_bench::add_jobs_flag(cli);
   dmra_bench::add_obs_flags(cli);
+  dmra_bench::add_fault_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
   dmra_bench::ObsSession obs_session(cli);
   const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  const auto faults = dmra_bench::faults_from(cli);
   const dmra::LatencyModel latency;
 
   std::cout << "== A8: QoS view — latency proxy & fairness (iota=2, regular placement) ==\n"
@@ -32,7 +34,7 @@ int main(int argc, char** argv) {
   dmra::Table table({"UEs", "algorithm", "mean latency (ms)", "p95 (ms)",
                      "edge latency (ms)", "Jain SP profit", "Jain UE latency"});
   for (const double ues : cli.get_double_list("ues")) {
-    std::vector<dmra::AllocatorPtr> algos = dmra_bench::paper_allocators({});
+    std::vector<dmra::AllocatorPtr> algos = dmra_bench::paper_allocators({}, faults);
     for (const auto& algo : algos) {
       const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
         dmra::ScenarioConfig cfg = dmra_bench::paper_config();

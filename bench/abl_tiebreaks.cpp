@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   cli.add_flag("rho", "100", "baseline rho");
   dmra_bench::add_jobs_flag(cli);
   dmra_bench::add_obs_flags(cli);
+  dmra_bench::add_fault_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
   dmra_bench::ObsSession obs_session(cli);
   const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  const auto faults = dmra_bench::faults_from(cli);
   std::cout << "== A2: DMRA tie-break ablation (iota=2, regular placement) ==\n\n";
 
   dmra::Table table({"UEs", "variant", "total profit", "served", "same-SP ratio"});
@@ -52,8 +54,8 @@ int main(int argc, char** argv) {
         dmra::ScenarioConfig cfg = dmra_bench::paper_config();
         cfg.num_ues = static_cast<std::size_t>(ues);
         const dmra::Scenario scenario = dmra::generate_scenario(cfg, seeds[si]);
-        const dmra::DmraAllocator algo(v.config);
-        return dmra::evaluate(scenario, algo.allocate(scenario));
+        const auto algo = dmra_bench::make_dmra(v.config, faults);
+        return dmra::evaluate(scenario, algo->allocate(scenario));
       });
       dmra::RunningStats profit, served, same_sp;
       for (const dmra::RunMetrics& m : per_seed) {  // seed order: jobs-invariant

@@ -2,6 +2,7 @@
 // the paper's algorithm roster, and result printing.
 #pragma once
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -91,10 +92,46 @@ class ObsSession {
   std::optional<dmra::obs::ScopedTraceRecorder> install_;
 };
 
+/// Every bench takes --faults: a fault-injection spec (sim/faults.hpp
+/// grammar, docs/RESILIENCE.md) applied to the DMRA runs. Empty (the
+/// default) = the fault-free direct solver, byte-identical to before the
+/// flag existed.
+inline void add_fault_flags(dmra::Cli& cli) {
+  cli.add_flag("faults", "",
+               "run DMRA decentralized under a fault spec, e.g. "
+               "\"loss=0.1,crashes=2,seed=7\" (docs/RESILIENCE.md)");
+}
+
+/// The parsed --faults spec, or nullopt when the flag is empty / injects
+/// nothing. Spec errors are fatal: a bench silently falling back to
+/// fault-free DMRA would corrupt a resilience sweep.
+inline std::optional<dmra::FaultSpec> faults_from(const dmra::Cli& cli) {
+  const std::string text = cli.get_string("faults");
+  if (text.empty()) return std::nullopt;
+  try {
+    dmra::FaultSpec spec = dmra::parse_fault_spec(text);
+    if (!spec.any()) return std::nullopt;
+    return spec;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    std::exit(1);
+  }
+}
+
+/// The DMRA entry for a bench roster: the direct solver normally, the
+/// fault-injected decentralized runtime when --faults asks for one.
+inline dmra::AllocatorPtr make_dmra(const dmra::DmraConfig& cfg,
+                                    const std::optional<dmra::FaultSpec>& faults) {
+  if (faults) return std::make_unique<dmra::FaultyDmraAllocator>(*faults, cfg);
+  return std::make_unique<dmra::DmraAllocator>(cfg);
+}
+
 /// The roster of Figs. 2–5: DMRA vs DCSP vs NonCo.
-inline std::vector<dmra::AllocatorPtr> paper_allocators(const dmra::DmraConfig& cfg) {
+inline std::vector<dmra::AllocatorPtr> paper_allocators(
+    const dmra::DmraConfig& cfg,
+    const std::optional<dmra::FaultSpec>& faults = std::nullopt) {
   std::vector<dmra::AllocatorPtr> algos;
-  algos.push_back(std::make_unique<dmra::DmraAllocator>(cfg));
+  algos.push_back(make_dmra(cfg, faults));
   algos.push_back(std::make_unique<dmra::DcspAllocator>());
   algos.push_back(std::make_unique<dmra::NonCoAllocator>());
   return algos;

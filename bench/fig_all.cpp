@@ -22,7 +22,8 @@ struct FigureSpec {
 };
 
 dmra::ExperimentResult run_figure(const FigureSpec& fig, std::size_t seeds,
-                                  std::size_t jobs) {
+                                  std::size_t jobs,
+                                  const std::optional<dmra::FaultSpec>& faults) {
   dmra::ExperimentSpec spec;
   spec.seeds = dmra::default_seeds(seeds);
   spec.jobs = jobs;
@@ -40,7 +41,9 @@ dmra::ExperimentResult run_figure(const FigureSpec& fig, std::size_t seeds,
                                   : dmra::PlacementMethod::kRandom;
       return cfg;
     };
-    spec.make_allocators = [](double) { return dmra_bench::paper_allocators({}); };
+    spec.make_allocators = [&faults](double) {
+      return dmra_bench::paper_allocators({}, faults);
+    };
   } else {
     const bool profit = fig.number == 6;
     spec.title = profit ? "Fig. 6: total profit of SPs vs. rho (iota=2, 1000 UEs)"
@@ -57,9 +60,9 @@ dmra::ExperimentResult run_figure(const FigureSpec& fig, std::size_t seeds,
       cfg.pricing.iota = fig.iota;
       return cfg;
     };
-    spec.make_allocators = [](double rho) {
+    spec.make_allocators = [&faults](double rho) {
       std::vector<dmra::AllocatorPtr> algos;
-      algos.push_back(std::make_unique<dmra::DmraAllocator>(dmra::DmraConfig{.rho = rho}));
+      algos.push_back(dmra_bench::make_dmra(dmra::DmraConfig{.rho = rho}, faults));
       return algos;
     };
   }
@@ -79,6 +82,7 @@ int main(int argc, char** argv) {
   cli.add_flag("seeds", "10", "seeds per sweep point");
   dmra_bench::add_jobs_flag(cli);
   dmra_bench::add_obs_flags(cli);
+  dmra_bench::add_fault_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -93,6 +97,7 @@ int main(int argc, char** argv) {
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds"));
   dmra_bench::ObsSession obs_session(cli);
   const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  const auto faults = dmra_bench::faults_from(cli);
 
   const std::vector<FigureSpec> figures = {
       {2, 2.0, true, false},  {3, 2.0, false, false}, {4, 1.1, true, false},
@@ -103,7 +108,7 @@ int main(int argc, char** argv) {
   summary << "# Reproduction run (" << seeds << " seeds per point)\n\n";
 
   for (const FigureSpec& fig : figures) {
-    const dmra::ExperimentResult result = run_figure(fig, seeds, jobs);
+    const dmra::ExperimentResult result = run_figure(fig, seeds, jobs, faults);
     const std::string stem = "fig" + std::to_string(fig.number);
     write_file(out_dir / (stem + ".dat"), result.to_dat());
     write_file(out_dir / (stem + ".gp"), result.to_gnuplot(stem + ".dat"));

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   cli.add_flag("out", "", "write the series as CSV to this path");
   dmra_bench::add_jobs_flag(cli);
   dmra_bench::add_obs_flags(cli);
+  dmra_bench::add_fault_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
   }
 
   const dmra::DmraConfig dmra_cfg{.rho = cli.get_double("rho")};
+  const auto faults = dmra_bench::faults_from(cli);
 
   dmra::ExperimentSpec spec;
   spec.title = "Fig. " + std::to_string(DMRA_FIG) + ": total profit of SPs vs. number of UEs"
@@ -56,7 +58,9 @@ int main(int argc, char** argv) {
         kRegular ? dmra::PlacementMethod::kRegularGrid : dmra::PlacementMethod::kRandom;
     return cfg;
   };
-  spec.make_allocators = [&](double) { return dmra_bench::paper_allocators(dmra_cfg); };
+  spec.make_allocators = [&](double) {
+    return dmra_bench::paper_allocators(dmra_cfg, faults);
+  };
   dmra_bench::ObsSession obs_session(cli);
   spec.jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
 

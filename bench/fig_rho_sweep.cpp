@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   cli.add_flag("out", "", "write the series as CSV to this path");
   dmra_bench::add_jobs_flag(cli);
   dmra_bench::add_obs_flags(cli);
+  dmra_bench::add_fault_flags(cli);
   std::string error;
   if (!cli.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << cli.help_text(argv[0]);
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto num_ues = static_cast<std::size_t>(cli.get_int("ues"));
+  const auto faults = dmra_bench::faults_from(cli);
 
   dmra::ExperimentSpec spec;
   spec.title = kProfit
@@ -58,9 +60,9 @@ int main(int argc, char** argv) {
     cfg.placement = dmra::PlacementMethod::kRegularGrid;
     return cfg;
   };
-  spec.make_allocators = [](double rho) {
+  spec.make_allocators = [&](double rho) {
     std::vector<dmra::AllocatorPtr> algos;
-    algos.push_back(std::make_unique<dmra::DmraAllocator>(dmra::DmraConfig{.rho = rho}));
+    algos.push_back(dmra_bench::make_dmra(dmra::DmraConfig{.rho = rho}, faults));
     return algos;
   };
   dmra_bench::ObsSession obs_session(cli);

@@ -63,7 +63,8 @@ int main(int argc, char** argv) {
                      "dropped"});
   for (double drop : {0.0, 0.1, 0.25, 0.4}) {
     const dmra::DecentralizedResult r = dmra::run_decentralized_dmra(
-        scenario, dmra_cfg, dmra::NetworkConditions{drop, seed});
+        scenario, dmra_cfg,
+        dmra::NetworkConditions{.drop_probability = drop, .seed = seed});
     lossy.add_row({dmra::fmt(drop, 2),
                    dmra::fmt(100.0 * dmra::total_profit(scenario, r.dmra.allocation) /
                              clean_profit, 1) + "%",

@@ -4,6 +4,7 @@
 #include <variant>
 
 #include "mec/audit.hpp"
+#include "mec/resources.hpp"
 #include "net/bus.hpp"
 #include "obs/recorder.hpp"
 #include "util/require.hpp"
@@ -135,6 +136,16 @@ struct UeAgent {
   BroadcastView view;
   bool matched = false;
   bool at_cloud = false;
+
+  // Fault-mode bookkeeping, all inert unless a FaultPlan injects faults.
+  BsId last_target{};            ///< BS of the most recent proposal
+  bool awaiting = false;         ///< proposal outstanding, no decision heard
+  std::uint32_t unanswered = 0;  ///< consecutive silent round trips to last_target
+  BsId serving_bs{};             ///< BS whose accept matched us (crash suspicion)
+  bool has_serving = false;
+  std::uint32_t serving_silence = 0;  ///< rounds without hearing serving_bs
+  bool heard_serving = false;         ///< scratch: heard from serving_bs this round
+  bool needs_repair = false;  ///< orphaned by a BS crash, not yet re-placed
 };
 
 struct SpAgent {
@@ -150,6 +161,9 @@ struct BsAgent {
   /// UEs this BS has already admitted — on a lossy network an accept can
   /// be lost and the UE re-proposes; re-ack without committing twice.
   std::vector<bool> admitted;
+  /// Cleared by a scheduled FaultPlan crash: a dead BS swallows its inbox,
+  /// sends nothing, and its resource state is meaningless until recovery.
+  bool alive = true;
 };
 
 }  // namespace
@@ -159,9 +173,22 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
                                            const NetworkConditions& net) {
   DMRA_REQUIRE(config.rho >= 0.0);
   const bool lossy = net.drop_probability > 0.0;
+  const FaultPlan* const plan = net.faults;
+  const bool faulty = plan != nullptr && plan->any();
+  if (faulty) {
+    plan->validate(scenario.num_bss());
+    DMRA_REQUIRE_MSG(net.drop_probability == 0.0,
+                     "NetworkConditions::drop_probability and a FaultPlan are mutually "
+                     "exclusive — put the loss rate in FaultPlan::link instead");
+  }
+  // "unreliable" gates every defensive behaviour shared by the legacy
+  // lossy path and the fault-plan path (re-acks, rebroadcasts, relaxed
+  // audits). "faulty" alone gates the recovery machinery.
+  const bool unreliable = lossy || faulty;
 
   Bus bus;
   if (lossy) bus.set_loss(net.drop_probability, net.seed);
+  if (faulty && plan->link.any()) bus.set_faults(plan->link, net.seed);
   const std::size_t nu = scenario.num_ues();
   const std::size_t nb = scenario.num_bss();
   const std::size_t nk = scenario.num_sps();
@@ -213,6 +240,17 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     e.value = nb;
     rec->record(e);
   }
+  const auto record_fault = [&](obs::EventKind kind, std::string_view label,
+                                std::uint32_t ue, std::uint32_t bs, std::uint64_t value) {
+    if (rec == nullptr) return;
+    obs::TraceEvent e;
+    e.kind = kind;
+    e.label = label;
+    e.ue = ue;
+    e.bs = bs;
+    e.value = value;
+    rec->record(e);
+  };
 
   // ---- Bootstrap: every BS broadcasts its initial resource levels so UEs
   // have a complete view of their candidates before the first proposal.
@@ -231,29 +269,151 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
   bus.deliver();
 
   // On a lossy network a round can lose every proposal it carried, so the
-  // |U|+1 bound no longer holds exactly; give retries headroom.
+  // |U|+1 bound no longer holds exactly; give retries headroom. A fault
+  // plan additionally needs the run to outlive its schedule (a crash at
+  // round r must fire even if matching would have converged at r-1) plus
+  // headroom for the recovery machinery to settle.
   const std::size_t round_limit =
-      config.max_rounds > 0 ? config.max_rounds : (lossy ? 2 * nu + 16 : nu + 1);
+      config.max_rounds > 0
+          ? config.max_rounds
+          : (faulty ? 2 * nu + 64 + plan->schedule_horizon()
+                    : (lossy ? 2 * nu + 16 : nu + 1));
+
+  // Under faults a quiet round (no proposals) is not proof of convergence:
+  // a delayed message may still be in flight, a scheduled crash may be
+  // about to orphan someone, or a suspicion countdown may be about to
+  // release a silently-orphaned UE. Require enough consecutive quiet
+  // rounds to outlast every countdown, an empty bus, and a spent schedule.
+  const std::size_t quiet_grace =
+      faulty ? std::max<std::size_t>(
+                   net.recovery.suspect_after + 2,
+                   plan->link.delay_probability > 0.0
+                       ? static_cast<std::size_t>(plan->link.max_delay_rounds) + 1
+                       : 0)
+             : 0;
+  const auto schedule_ahead = [&](std::size_t round) {
+    for (const BsOutage& o : plan->outages) {
+      if (o.crash_round > round) return true;
+      if (o.recover_round != kNeverRecovers && o.recover_round > round) return true;
+    }
+    for (const CapacityDegradation& d : plan->degradations)
+      if (d.round > round) return true;
+    return false;
+  };
+  std::size_t quiet_rounds = 0;
 
   bool converged = false;
   for (std::size_t round = 0; round < round_limit; ++round) {
     const std::uint64_t msgs_before = bus.stats().messages_sent;
     if (rec != nullptr) rec->set_round(round);
+
+    // ---- Fault schedule: apply this round's crashes / recoveries /
+    // degradations before anyone acts. The injector is an out-of-band
+    // scheduler, not an agent: it may touch BS state and the authoritative
+    // allocation, but UEs only ever learn of a fault through the protocol
+    // (silence, lost decisions) — that is what is under test.
+    if (faulty) {
+      for (const BsOutage& o : plan->outages) {
+        if (o.crash_round == round && bs_agents[o.bs.idx()].alive) {
+          BsAgent& cb = bs_agents[o.bs.idx()];
+          cb.alive = false;
+          std::fill(cb.admitted.begin(), cb.admitted.end(), false);
+          ++result.recovery.bs_crashes;
+          record_fault(obs::EventKind::kFault, "bs-crash", obs::kNoId, o.bs.value, round);
+          for (std::size_t ui = 0; ui < nu; ++ui) {
+            const UeId u{static_cast<std::uint32_t>(ui)};
+            const auto serving = result.dmra.allocation.bs_of(u);
+            if (!serving || *serving != o.bs) continue;
+            if (rec != nullptr) traced_profit -= scenario.pair_profit(u, o.bs);
+            result.dmra.allocation.assign_cloud(u);
+            ue_agents[ui].needs_repair = true;
+            ++result.recovery.orphaned_ues;
+          }
+        }
+        if (o.recover_round == round && !bs_agents[o.bs.idx()].alive) {
+          BsAgent& rb = bs_agents[o.bs.idx()];
+          rb.alive = true;
+          const BaseStation& b = scenario.bs(o.bs);
+          rb.resources.crus = b.cru_capacity;  // reboot with nominal capacity
+          rb.resources.rrbs = b.num_rrbs;
+          ++result.recovery.bs_recoveries;
+          record_fault(obs::EventKind::kRepair, "bs-recover", obs::kNoId, o.bs.value,
+                       round);
+        }
+      }
+      for (const CapacityDegradation& d : plan->degradations) {
+        if (d.round != round || !bs_agents[d.bs.idx()].alive) continue;
+        BsLocalResources& r = bs_agents[d.bs.idx()].resources;
+        for (std::uint32_t& c : r.crus)
+          c = static_cast<std::uint32_t>(static_cast<double>(c) * d.cru_factor);
+        r.rrbs = static_cast<std::uint32_t>(static_cast<double>(r.rrbs) * d.rrb_factor);
+        ++result.recovery.capacity_degradations;
+        record_fault(obs::EventKind::kFault, "bs-degrade", obs::kNoId, d.bs.value, round);
+      }
+    }
+
     // ---- UE phase: ingest broadcasts & decisions, then propose.
     std::size_t sent_this_round = 0;
     for (UeAgent& a : ue_agents) {
+      a.heard_serving = false;
       for (auto& env : bus.take_inbox(a.address)) {
         if (auto* upd = std::get_if<MsgResourceUpdate>(&env.payload)) {
           a.view.update(upd->bs, upd->snapshot);
+          if (faulty && a.has_serving && upd->bs == a.serving_bs) a.heard_serving = true;
         } else if (auto* dec = std::get_if<MsgDecision>(&env.payload)) {
+          if (faulty) {
+            if (a.awaiting && dec->bs == a.last_target) {
+              a.awaiting = false;
+              a.unanswered = 0;
+            }
+            if (a.has_serving && dec->bs == a.serving_bs) a.heard_serving = true;
+          }
           if (dec->accept) {
             a.matched = true;
+            if (faulty) {
+              a.serving_bs = dec->bs;
+              a.has_serving = true;
+              a.serving_silence = 0;
+              a.heard_serving = true;
+            }
           } else if (config.drop_rejected) {
             std::erase(a.b_u, dec->bs);  // move down the list, GS-style
           }
         }
       }
+      // Crash suspicion: under faults every live BS rebroadcasts every
+      // round, so sustained silence from the serving BS means it is down.
+      // A false alarm (broadcasts dropped several rounds in a row) only
+      // costs quality: the UE re-proposes and the live BS re-acks.
+      if (faulty && a.matched && a.has_serving) {
+        if (a.heard_serving) {
+          a.serving_silence = 0;
+        } else if (++a.serving_silence > net.recovery.suspect_after) {
+          a.matched = false;
+          a.has_serving = false;
+          a.serving_silence = 0;
+          ++result.recovery.suspected_serving_bs;
+          record_fault(obs::EventKind::kRepair, "suspect-serving-bs", a.ue.value,
+                       a.serving_bs.value, round);
+        }
+      }
       if (a.matched || a.at_cloud) continue;
+      // Bounded re-propose: an unanswered proposal is retried, but only
+      // max_reproposals times against the same silent BS before the UE
+      // presumes it dead and moves down its list. This is what turns a
+      // black-holed BS from a livelock into a mere preference downgrade.
+      if (faulty && a.awaiting) {
+        ++a.unanswered;
+        ++result.recovery.reproposals;
+        if (a.unanswered >= net.recovery.max_reproposals) {
+          std::erase(a.b_u, a.last_target);
+          a.awaiting = false;
+          a.unanswered = 0;
+          ++result.recovery.presumed_dead;
+          record_fault(obs::EventKind::kRepair, "presume-bs-dead", a.ue.value,
+                       a.last_target.value, round);
+        }
+      }
       const auto choice = choose_proposal(scenario, a.view, a.ue, a.b_u, config.rho);
       if (!choice) {
         a.at_cloud = true;
@@ -262,6 +422,11 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
       const auto f_u = live_coverage_count(scenario, a.view, a.ue);
       bus.send(a.address, a.sp_address, MsgOffloadRequest{a.ue, *choice, f_u});
       ++sent_this_round;
+      if (faulty) {
+        if (a.last_target != *choice) a.unanswered = 0;
+        a.last_target = *choice;
+        a.awaiting = true;
+      }
       if (rec != nullptr) {
         obs::TraceEvent e;
         e.kind = obs::EventKind::kProposal;
@@ -274,8 +439,17 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     }
     bus.deliver();
     if (sent_this_round == 0) {
-      converged = true;
-      break;
+      if (!faulty) {
+        converged = true;
+        break;
+      }
+      ++quiet_rounds;
+      if (quiet_rounds > quiet_grace && bus.in_flight() == 0 && !schedule_ahead(round)) {
+        converged = true;
+        break;
+      }
+    } else {
+      quiet_rounds = 0;
     }
     result.dmra.proposals_sent += sent_this_round;
     ++result.dmra.rounds;
@@ -293,6 +467,13 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     // ---- BS phase: select, commit locally, reply, broadcast.
     std::size_t accepted_this_round = 0;
     for (BsAgent& b : bs_agents) {
+      // A crashed BS is a black hole: proposals die in its inbox and no
+      // decision or broadcast ever leaves. UEs must discover this through
+      // the protocol (bounded re-propose, serving-BS suspicion).
+      if (faulty && !b.alive) {
+        bus.take_inbox(b.address);
+        continue;
+      }
       std::vector<ProposalInfo> fresh;
       std::vector<UeId> reacks;
       for (auto& env : bus.take_inbox(b.address)) {
@@ -305,7 +486,20 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
           fresh.push_back(ProposalInfo{p.ue, p.f_u});
         }
       }
-      if (fresh.empty() && reacks.empty() && !lossy) continue;
+      // Duplication/delay can land two generations of the same UE's
+      // proposal in one inbox; admit (and answer) each UE at most once.
+      if (faulty && fresh.size() > 1) {
+        std::stable_sort(fresh.begin(), fresh.end(),
+                         [](const ProposalInfo& x, const ProposalInfo& y) {
+                           return x.ue < y.ue;
+                         });
+        fresh.erase(std::unique(fresh.begin(), fresh.end(),
+                                [](const ProposalInfo& x, const ProposalInfo& y) {
+                                  return x.ue == y.ue;
+                                }),
+                    fresh.end());
+      }
+      if (fresh.empty() && reacks.empty() && !unreliable) continue;
 
       std::vector<UeId> accepted;
       if (!fresh.empty()) accepted = bs_select(scenario, b.bs, fresh, b.resources, config);
@@ -321,6 +515,15 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
         b.admitted[u.idx()] = true;
         ++accepted_this_round;
         if (rec != nullptr) traced_profit += scenario.pair_profit(u, b.bs);
+        // Recovery accounting (run-level bookkeeping, not agent knowledge:
+        // the BS cannot tell an orphan from a first-time proposer, which
+        // is the point — re-admission needs no special message).
+        if (faulty && ue_agents[u.idx()].needs_repair) {
+          ue_agents[u.idx()].needs_repair = false;
+          ++result.recovery.repaired_in_protocol;
+          result.recovery.recovered_profit += scenario.pair_profit(u, b.bs);
+          record_fault(obs::EventKind::kRepair, "re-match", u.value, b.bs.value, round);
+        }
       }
 
       // Reply to every proposer through its SP.
@@ -334,9 +537,10 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
         const AgentId sp_addr = sp_agents[scenario.ue(u).sp.idx()].address;
         bus.send(b.address, sp_addr, MsgDecision{u, b.bs, true});
       }
-      // Broadcast the new resource levels to everyone in coverage; on a
-      // lossy network, rebroadcast every round so dropped updates heal.
-      if (!fresh.empty() || !reacks.empty() || lossy) {
+      // Broadcast the new resource levels to everyone in coverage; on an
+      // unreliable network, rebroadcast every round so dropped updates
+      // heal and matched UEs keep hearing their serving BS.
+      if (!fresh.empty() || !reacks.empty() || unreliable) {
         const std::uint32_t snapshot = arena.publish(b.resources);
         for (AgentId ue_addr : b.covered_ues)
           bus.send(b.address, ue_addr, MsgResourceUpdate{b.bs, snapshot});
@@ -350,27 +554,32 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
       }
     }
     bus.deliver();
-    result.dmra.rejections += sent_this_round - accepted_this_round;
+    // Delayed proposals can make a round accept more than it sent; clamp
+    // instead of letting the size_t difference wrap.
+    result.dmra.rejections +=
+        sent_this_round >= accepted_this_round ? sent_this_round - accepted_this_round
+                                               : 0;
 
     // Cross-check every BS agent's local ledger against a from-scratch
     // recount of the partial allocation (the agents never see each other's
-    // state, so on a reliable bus drift here means a protocol bug). On a
-    // lossy bus a BS rightfully holds resources for accepts the UE never
-    // received until rebroadcasts heal it, and a re-proposing UE can land
-    // on a worse BS, so mid-run only partial feasibility is an invariant:
-    // skip the ledger snapshot and the cross-round profit chain.
+    // state, so on a reliable bus drift here means a protocol bug). On an
+    // unreliable bus a BS rightfully holds resources for accepts the UE
+    // never received until rebroadcasts heal it, and a re-proposing UE can
+    // land on a worse BS, so mid-run only partial feasibility is an
+    // invariant: skip the ledger snapshot and the cross-round profit chain.
     if (DMRA_AUDIT_ACTIVE()) {
       audit::RoundContext ctx;
       ctx.scenario = &scenario;
       ctx.allocation = &result.dmra.allocation;
-      if (!lossy) {
+      if (!unreliable) {
         ctx.ledger = audit::snapshot_ledger(
             scenario,
             [&](BsId i, ServiceId j) { return bs_agents[i.idx()].resources.crus[j.idx()]; },
             [&](BsId i) { return bs_agents[i.idx()].resources.rrbs; });
       }
-      ctx.round = lossy ? 0 : result.dmra.rounds - 1;
-      ctx.source = lossy ? "core/decentralized-lossy" : "core/decentralized";
+      ctx.round = unreliable ? 0 : result.dmra.rounds - 1;
+      ctx.source = faulty ? "core/decentralized-faulty"
+                          : (lossy ? "core/decentralized-lossy" : "core/decentralized");
       audit::observer()->on_round(ctx);
     }
 
@@ -411,6 +620,81 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     }
   }
 
+  // ---- Final repair pass: orphans the live protocol could not re-place
+  // (typically because their candidate list drained while their BSs were
+  // down) get one centralized re-match against whatever capacity the
+  // surviving BSs still believe they have. Whoever still cannot be placed
+  // stays at the cloud — that is the graceful-degradation floor, never a
+  // crash or an infeasible allocation.
+  if (faulty && net.recovery.final_repair) {
+    std::vector<bool> matched(nu, true);
+    std::size_t orphan_count = 0;
+    for (std::size_t ui = 0; ui < nu; ++ui) {
+      const UeAgent& a = ue_agents[ui];
+      if (a.needs_repair && result.dmra.allocation.is_cloud(a.ue)) {
+        matched[ui] = false;
+        ++orphan_count;
+      }
+    }
+    if (orphan_count > 0) {
+      ResourceState state(scenario);
+      for (std::size_t ui = 0; ui < nu; ++ui) {
+        const UeId u{static_cast<std::uint32_t>(ui)};
+        if (const auto bs = result.dmra.allocation.bs_of(u)) state.commit(u, *bs);
+      }
+      // Clamp the global view down to each BS's own ledger: a crashed BS
+      // offers nothing, and a degraded (or leak-carrying) BS offers only
+      // what it believes it has. The repair pass must never promise
+      // capacity the agent would refuse.
+      const std::vector<std::uint32_t> none(scenario.num_services(), 0);
+      for (const BsAgent& b : bs_agents) {
+        if (b.alive)
+          state.clamp_remaining(b.bs, b.resources.crus, b.resources.rrbs);
+        else
+          state.clamp_remaining(b.bs, none, 0);
+      }
+      DmraResult repair;
+      {
+        // The repair state is clamped below nominal-minus-allocation, so
+        // the solver's own ledger reports would trip the auditor's
+        // recount; the partial allocation is re-audited manually below.
+        audit::ScopedAuditObserver mute(nullptr);
+        repair = solve_dmra_partial(scenario, config, state,
+                                    result.dmra.allocation, matched);
+      }
+      result.recovery.repair_rounds = repair.rounds;
+      for (std::size_t ui = 0; ui < nu; ++ui) {
+        UeAgent& a = ue_agents[ui];
+        if (!a.needs_repair || result.dmra.allocation.is_cloud(a.ue)) continue;
+        a.needs_repair = false;
+        const auto bs = result.dmra.allocation.bs_of(a.ue);
+        ++result.recovery.repaired_by_rematch;
+        result.recovery.recovered_profit += scenario.pair_profit(a.ue, *bs);
+        record_fault(obs::EventKind::kRepair, "repair-rematch", a.ue.value, bs->value,
+                     repair.rounds);
+      }
+      if (rec != nullptr) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kPhase;
+        e.label = "core/decentralized:repair";
+        e.value = orphan_count;
+        rec->record(e);
+      }
+      if (DMRA_AUDIT_ACTIVE()) {
+        audit::RoundContext ctx;  // feasibility-only: no ledger survives repair
+        ctx.scenario = &scenario;
+        ctx.allocation = &result.dmra.allocation;
+        ctx.round = 0;
+        ctx.source = "core/decentralized-repair";
+        audit::observer()->on_round(ctx);
+      }
+    }
+  }
+  if (faulty) {
+    for (const UeAgent& a : ue_agents)
+      if (a.needs_repair) ++result.recovery.cloud_fallbacks;
+  }
+
   result.bus = bus.stats();
   if (rec != nullptr) {
     obs::TraceEvent e;
@@ -420,6 +704,24 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     e.label = "core/decentralized";
     rec->record(e);
     obs::publish_bus_stats(result.bus, rec->metrics());
+    if (faulty) {
+      // Fault metrics exist only on faulty runs: unconditional zeros would
+      // change the deterministic metrics JSON of fault-free traces.
+      obs::MetricsRegistry& m = rec->metrics();
+      const FaultRecoveryStats& r = result.recovery;
+      m.add_counter("fault.bs_crashes", r.bs_crashes);
+      m.add_counter("fault.bs_recoveries", r.bs_recoveries);
+      m.add_counter("fault.capacity_degradations", r.capacity_degradations);
+      m.add_counter("fault.orphaned_ues", r.orphaned_ues);
+      m.add_counter("fault.reproposals", r.reproposals);
+      m.add_counter("fault.presumed_dead", r.presumed_dead);
+      m.add_counter("fault.suspected_serving_bs", r.suspected_serving_bs);
+      m.add_counter("fault.repaired_in_protocol", r.repaired_in_protocol);
+      m.add_counter("fault.repaired_by_rematch", r.repaired_by_rematch);
+      m.add_counter("fault.cloud_fallbacks", r.cloud_fallbacks);
+      m.add_counter("fault.repair_rounds", r.repair_rounds);
+      m.set_gauge("fault.recovered_profit", r.recovered_profit);
+    }
   }
   return result;
 }

@@ -17,18 +17,66 @@
 // decision is order-independent, so this runtime provably computes the
 // same allocation as the direct solver — tests/core/decentralized_test.cpp
 // asserts exact equality across seeds.
+//
+// Fault tolerance: attach a FaultPlan (net/fault_plan.hpp) through
+// NetworkConditions::faults and the runtime survives message loss,
+// duplication, delay, BS crashes, and capacity degradation — safe (always
+// a feasible allocation, no double-commit) and live (terminates), with
+// protocol-level recovery plus a final repair pass. docs/RESILIENCE.md
+// documents the full model; with no plan (or a fault-free one) the run is
+// byte-identical to the unhardened runtime (golden-tested).
 #pragma once
 
 #include "core/preference.hpp"
 #include "core/solver.hpp"
+#include "net/fault_plan.hpp"
 #include "net/stats.hpp"
 
 namespace dmra {
 
+/// Bounds on the protocol-level recovery machinery. Only consulted when a
+/// FaultPlan with FaultPlan::any() is attached; otherwise inert.
+struct RecoveryConfig {
+  /// A UE re-proposes to the same BS at most this many consecutive times
+  /// without hearing a decision before it presumes the BS dead and erases
+  /// it from its candidate list (bounded re-propose).
+  std::size_t max_reproposals = 3;
+  /// A matched UE that hears nothing from its serving BS (no broadcast,
+  /// no decision) for more than this many consecutive rounds suspects a
+  /// crash and re-enters the matching. Under faults BSs rebroadcast every
+  /// round, so silence is a strong crash signal; a false suspicion of a
+  /// live BS is healed by its idempotent re-ack.
+  std::size_t suspect_after = 3;
+  /// Run the post-protocol repair pass: orphans of crashed BSs that the
+  /// live protocol could not re-place are re-matched once against the
+  /// surviving capacity (solve_dmra_partial); whoever still cannot be
+  /// placed stays at the cloud — the graceful-degradation floor.
+  bool final_repair = true;
+};
+
+/// What the fault machinery injected and what the recovery machinery won
+/// back. All zeros when no fault plan was attached.
+struct FaultRecoveryStats {
+  std::uint64_t bs_crashes = 0;            ///< scheduled crashes applied
+  std::uint64_t bs_recoveries = 0;         ///< scheduled recoveries applied
+  std::uint64_t capacity_degradations = 0; ///< scheduled degradations applied
+  std::uint64_t orphaned_ues = 0;          ///< admissions voided by crashes
+  std::uint64_t reproposals = 0;           ///< proposals re-sent after a silent round trip
+  std::uint64_t presumed_dead = 0;         ///< (UE, BS) candidate links given up on
+  std::uint64_t suspected_serving_bs = 0;  ///< matched UEs that re-entered on silence
+  std::uint64_t repaired_in_protocol = 0;  ///< orphans re-admitted by the live protocol
+  std::uint64_t repaired_by_rematch = 0;   ///< orphans re-placed by the final repair pass
+  std::uint64_t cloud_fallbacks = 0;       ///< orphans left at the cloud (degradation floor)
+  std::uint64_t repair_rounds = 0;         ///< matching rounds the repair pass ran
+  double recovered_profit = 0.0;           ///< Eq. 5 profit of re-placed orphans
+};
+
 /// DmraResult plus the communication cost of reaching it.
 struct DecentralizedResult {
-  DmraResult dmra;
-  BusStats bus;
+  DmraResult dmra;  ///< allocation + convergence diagnostics
+  BusStats bus;     ///< message-bus traffic, incl. fault-injected drops/dups/delays
+  /// Fault and recovery accounting; all zeros without a fault plan.
+  FaultRecoveryStats recovery;
 };
 
 /// Optional network impairment for the protocol run. With loss enabled
@@ -39,12 +87,22 @@ struct DecentralizedResult {
 /// capacities for candidates they have not heard from yet.
 struct NetworkConditions {
   /// Probability that any single message is lost, in [0, 1). 0 = the
-  /// reliable bus (bit-identical to the direct solver).
+  /// reliable bus (bit-identical to the direct solver). Mutually
+  /// exclusive with `faults` — a plan carries its own loss model in
+  /// FaultPlan::link.
   double drop_probability = 0.0;
+  /// Seed for the bus's fault streams (drop/duplicate/delay draws).
   std::uint64_t seed = 0;
+  /// Optional fault schedule (not owned; must outlive the run). nullptr —
+  /// or a plan with FaultPlan::any() == false — leaves the runtime on its
+  /// fault-free path, byte-identical to not having the field at all.
+  const FaultPlan* faults = nullptr;
+  /// Recovery bounds; only consulted when `faults` injects something.
+  RecoveryConfig recovery = {};
 };
 
-/// Run the message-passing DMRA protocol to completion.
+/// Run the message-passing DMRA protocol to completion. Deterministic for
+/// a fixed (scenario, config, net) triple, including under faults.
 DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
                                            const DmraConfig& config = {},
                                            const NetworkConditions& net = {});

@@ -17,7 +17,11 @@
 
 namespace dmra {
 
+/// Tuning for the keep/release/re-match split.
 struct IncrementalConfig {
+  /// Matching parameters for the partial re-run (step 3). The same config
+  /// shape the full solver and the decentralized runtime take, so sweeps
+  /// can share one DmraConfig across all three entry points.
   DmraConfig dmra;
   /// A kept UE is released for re-matching only if its current price
   /// exceeds its best candidate's price by more than this margin (per
@@ -26,16 +30,26 @@ struct IncrementalConfig {
   double hysteresis_margin = 1e18;
 };
 
+/// Outcome of one incremental step, with the churn budget itemized:
+/// kept + released + invalidated + (new UEs) partitions the population.
 struct IncrementalResult {
-  Allocation allocation{0};
+  Allocation allocation{0};    ///< the full new allocation (every UE)
   std::size_t kept = 0;        ///< assignments carried over unchanged
   std::size_t released = 0;    ///< kept-capable but released by hysteresis
   std::size_t invalidated = 0; ///< previous assignments no longer feasible
-  DmraResult rematch;          ///< the partial DMRA run over displaced UEs
+  /// The partial DMRA run over displaced UEs (solve_dmra_partial):
+  /// rematch.rounds / proposals_sent / rejections measure only the
+  /// incremental work, which is the point of the comparison in abl7.
+  DmraResult rematch;
 };
 
 /// Re-allocate `scenario` starting from `previous` (same UE ids; typically
-/// the same population at new positions). Deterministic.
+/// the same population at new positions). Deterministic for a fixed
+/// (scenario, previous, config) triple. `previous` may come from any
+/// allocator — the validity check in step 1 only asks whether the old
+/// assignment is feasible in the new scenario, not how it was produced.
+/// The same solve_dmra_partial building block also backs the
+/// fault-recovery repair pass in core/decentralized.cpp.
 IncrementalResult solve_incremental_dmra(const Scenario& scenario,
                                          const Allocation& previous,
                                          const IncrementalConfig& config = {});

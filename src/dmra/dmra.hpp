@@ -42,6 +42,7 @@
 #include "mobility/models.hpp"
 
 #include "net/bus.hpp"
+#include "net/fault_plan.hpp"
 
 #include "obs/chrome_trace.hpp"
 #include "obs/events.hpp"
@@ -55,6 +56,7 @@
 #include "radio/units.hpp"
 
 #include "sim/experiment.hpp"
+#include "sim/faults.hpp"
 #include "sim/feasibility.hpp"
 #include "sim/metrics.hpp"
 #include "sim/online.hpp"

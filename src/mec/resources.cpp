@@ -1,5 +1,7 @@
 #include "mec/resources.hpp"
 
+#include <algorithm>
+
 #include "util/require.hpp"
 
 namespace dmra {
@@ -51,6 +53,17 @@ void ResourceState::release(UeId u, BsId i) {
                    "release exceeds the BS's RRB budget (unpaired release?)");
   crus_[cru_index(i, e.service)] = next_cru;
   rrbs_[i.idx()] = next_rrb;
+}
+
+void ResourceState::clamp_remaining(BsId i, const std::vector<std::uint32_t>& cru_caps,
+                                    std::uint32_t rrb_cap) {
+  const std::size_t ns = scenario_->num_services();
+  DMRA_REQUIRE_MSG(cru_caps.size() == ns, "clamp_remaining needs one CRU cap per service");
+  for (std::size_t j = 0; j < ns; ++j) {
+    std::uint32_t& c = crus_[i.idx() * ns + j];
+    c = std::min(c, cru_caps[j]);
+  }
+  rrbs_[i.idx()] = std::min(rrbs_[i.idx()], rrb_cap);
 }
 
 std::uint32_t ResourceState::remaining_for_preference(BsId i, ServiceId j) const {

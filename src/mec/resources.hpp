@@ -37,6 +37,15 @@ class ResourceState {
   /// responsible for pairing releases with prior commits.
   void release(UeId u, BsId i);
 
+  /// Lower i's remaining resources to at most the given levels (per-service
+  /// CRUs, then RRBs); levels already below the caps are kept. Used by the
+  /// fault-recovery repair pass to reconcile a from-scratch recount with
+  /// the live BS agents' own ledgers (crashed BSs clamp to zero), so a
+  /// repair never hands out capacity a BS does not believe it has.
+  /// `cru_caps` must have one entry per service.
+  void clamp_remaining(BsId i, const std::vector<std::uint32_t>& cru_caps,
+                       std::uint32_t rrb_cap);
+
   /// Total remaining CRUs at i summed over services + remaining RRBs —
   /// the denominator of the DMRA preference (Eq. 17 uses the per-service
   /// CRU remainder; see remaining_for_preference).

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/fault_plan.hpp"
 #include "net/stats.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
@@ -77,15 +78,71 @@ class MessageBus {
     loss_rng_.emplace("bus-loss", seed);
   }
 
+  /// Arm the full link-fault model (loss + duplication + bounded delay).
+  /// Same contract as set_loss: before the first deliver(), at most once,
+  /// and mutually exclusive with set_loss. Drop draws come from the same
+  /// "bus-loss" child stream set_loss uses, so a faults value with only
+  /// drop_probability armed reproduces set_loss bit-for-bit per seed;
+  /// duplicate/delay draws use a separate "bus-faults" stream so arming
+  /// them never perturbs the drop sequence of surviving messages.
+  void set_faults(const LinkFaults& faults, std::uint64_t seed) {
+    DMRA_REQUIRE(faults.drop_probability >= 0.0 && faults.drop_probability < 1.0);
+    DMRA_REQUIRE(faults.duplicate_probability >= 0.0 && faults.duplicate_probability < 1.0);
+    DMRA_REQUIRE(faults.delay_probability >= 0.0 && faults.delay_probability < 1.0);
+    DMRA_REQUIRE_MSG(round_ == 0, "set_faults must be called before the first deliver()");
+    DMRA_REQUIRE_MSG(!loss_rng_.has_value(),
+                     "set_faults may only be called once per bus (and not after set_loss)");
+    if (faults.delay_probability > 0.0)
+      DMRA_REQUIRE_MSG(faults.max_delay_rounds >= 1,
+                       "delay faults need max_delay_rounds >= 1");
+    faults_ = faults;
+    drop_probability_ = faults.drop_probability;
+    loss_rng_.emplace("bus-loss", seed);
+    if (faults.duplicate_probability > 0.0 || faults.delay_probability > 0.0)
+      fault_rng_.emplace("bus-faults", seed);
+  }
+
   /// Move pending messages into recipient inboxes and advance the round.
   /// Returns the number delivered (dropped messages are counted in
-  /// stats().messages_dropped instead).
+  /// stats().messages_dropped instead). Per fresh message the draw order
+  /// is fixed — drop, then duplicate, then delay — so each fault class
+  /// consumes its stream identically whether or not the others fire.
+  /// Delayed messages (and duplicate copies) come due at a later deliver()
+  /// call and are then delivered unconditionally, before that round's
+  /// fresh messages, in send-sequence order.
   std::size_t deliver() {
     std::size_t delivered = 0;
+    if (!delayed_.empty()) {
+      std::size_t kept = 0;
+      for (auto& d : delayed_) {
+        if (d.due <= round_) {
+          inboxes_[d.env.to.idx()].push_back(std::move(d.env));
+          ++delivered;
+        } else {
+          delayed_[kept++] = std::move(d);
+        }
+      }
+      delayed_.resize(kept);
+    }
     for (auto& env : pending_) {
       if (drop_probability_ > 0.0 && loss_rng_->bernoulli(drop_probability_)) {
         stats_.messages_dropped++;
         continue;
+      }
+      if (fault_rng_.has_value()) {
+        if (faults_.duplicate_probability > 0.0 &&
+            fault_rng_->bernoulli(faults_.duplicate_probability)) {
+          stats_.messages_duplicated++;
+          delayed_.push_back(Delayed{round_ + 1, env});  // copy arrives next round
+        }
+        if (faults_.delay_probability > 0.0 &&
+            fault_rng_->bernoulli(faults_.delay_probability)) {
+          stats_.messages_delayed++;
+          const auto d = static_cast<std::uint64_t>(fault_rng_->uniform_int(
+              1, static_cast<std::int64_t>(faults_.max_delay_rounds)));
+          delayed_.push_back(Delayed{round_ + d, std::move(env)});
+          continue;
+        }
       }
       inboxes_[env.to.idx()].push_back(std::move(env));
       ++delivered;
@@ -109,14 +166,31 @@ class MessageBus {
   std::uint64_t round() const { return round_; }
   const BusStats& stats() const { return stats_; }
 
+  /// Messages accepted by the bus but not yet delivered or dropped:
+  /// pending sends plus delay-faulted messages still in flight. The
+  /// runtime's fault-mode termination check uses this to avoid declaring
+  /// convergence while a delayed proposal or decision is still coming.
+  std::size_t in_flight() const { return pending_.size() + delayed_.size(); }
+
  private:
+  /// A message held back by a delay fault (or a duplicate copy), due for
+  /// unconditional delivery at the deliver() call entered with round_ ==
+  /// `due`.
+  struct Delayed {
+    std::uint64_t due = 0;
+    Envelope<Payload> env;
+  };
+
   std::vector<std::vector<Envelope<Payload>>> inboxes_;
   std::vector<Envelope<Payload>> pending_;
+  std::vector<Delayed> delayed_;
   std::uint64_t round_ = 0;
   std::uint64_t seq_ = 0;
   BusStats stats_;
   double drop_probability_ = 0.0;
+  LinkFaults faults_;
   std::optional<Rng> loss_rng_;
+  std::optional<Rng> fault_rng_;
 };
 
 }  // namespace dmra

@@ -1,0 +1,53 @@
+#include "net/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace dmra {
+
+namespace {
+
+void validate_probability(double p) { DMRA_REQUIRE(p >= 0.0 && p < 1.0); }
+
+}  // namespace
+
+void FaultPlan::validate(std::size_t num_bss) const {
+  validate_probability(link.drop_probability);
+  validate_probability(link.duplicate_probability);
+  validate_probability(link.delay_probability);
+  if (link.delay_probability > 0.0)
+    DMRA_REQUIRE_MSG(link.max_delay_rounds >= 1,
+                     "delay faults need max_delay_rounds >= 1");
+
+  std::vector<std::uint32_t> outage_bss;
+  for (const BsOutage& o : outages) {
+    DMRA_REQUIRE_MSG(o.bs.idx() < num_bss, "outage names a BS outside the deployment");
+    DMRA_REQUIRE_MSG(o.recover_round > o.crash_round,
+                     "a BS must recover strictly after it crashes");
+    outage_bss.push_back(o.bs.value);
+  }
+  std::sort(outage_bss.begin(), outage_bss.end());
+  DMRA_REQUIRE_MSG(
+      std::adjacent_find(outage_bss.begin(), outage_bss.end()) == outage_bss.end(),
+      "at most one outage per BS (chain crash/recover pairs are not modeled)");
+
+  for (const CapacityDegradation& d : degradations) {
+    DMRA_REQUIRE_MSG(d.bs.idx() < num_bss,
+                     "degradation names a BS outside the deployment");
+    DMRA_REQUIRE(d.cru_factor >= 0.0 && d.cru_factor <= 1.0);
+    DMRA_REQUIRE(d.rrb_factor >= 0.0 && d.rrb_factor <= 1.0);
+  }
+}
+
+std::size_t FaultPlan::schedule_horizon() const {
+  std::size_t horizon = 0;
+  for (const BsOutage& o : outages) {
+    horizon = std::max(horizon, o.crash_round);
+    if (o.recover_round != kNeverRecovers) horizon = std::max(horizon, o.recover_round);
+  }
+  for (const CapacityDegradation& d : degradations) horizon = std::max(horizon, d.round);
+  return horizon;
+}
+
+}  // namespace dmra

@@ -9,7 +9,9 @@ std::string to_string(const BusStats& stats) {
   // Always emit every field (including dropped=0): parsers keying off the
   // log line get a fixed schema, not one that changes with the loss model.
   os << "rounds=" << stats.rounds << " sent=" << stats.messages_sent
-     << " delivered=" << stats.messages_delivered << " dropped=" << stats.messages_dropped;
+     << " delivered=" << stats.messages_delivered << " dropped=" << stats.messages_dropped
+     << " duplicated=" << stats.messages_duplicated
+     << " delayed=" << stats.messages_delayed;
   return os.str();
 }
 

@@ -11,7 +11,13 @@ struct BusStats {
   std::uint64_t rounds = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;  ///< lost by the lossy-network model
+  std::uint64_t messages_dropped = 0;     ///< lost by the lossy-network model
+  std::uint64_t messages_duplicated = 0;  ///< extra copies injected by duplication faults
+  std::uint64_t messages_delayed = 0;     ///< held back by delay faults
+  // With duplication/delay faults armed, sent == delivered + dropped no
+  // longer balances round-for-round: duplicate copies add deliveries that
+  // were never sent, and delayed messages can still be in flight when the
+  // run ends.
 };
 
 /// One-line human-readable rendering.

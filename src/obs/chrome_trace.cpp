@@ -24,6 +24,7 @@ constexpr int kDecisionTrack = 101;
 constexpr int kTrimTrack = 102;
 constexpr int kBroadcastTrack = 103;
 constexpr int kLifecycleTrack = 104;
+constexpr int kFaultTrack = 105;
 
 int instant_track(EventKind kind) {
   switch (kind) {
@@ -33,6 +34,8 @@ int instant_track(EventKind kind) {
     case EventKind::kBroadcast: return kBroadcastTrack;
     case EventKind::kPhase:
     case EventKind::kTermination: return kLifecycleTrack;
+    case EventKind::kFault:
+    case EventKind::kRepair: return kFaultTrack;
   }
   return kLifecycleTrack;
 }
@@ -83,6 +86,16 @@ std::string export_chrome_trace(const TraceRecorder& recorder) {
   trace_events.push_back(metadata_event("thread_name", kBroadcastTrack,
                                         "resource broadcasts"));
   trace_events.push_back(metadata_event("thread_name", kLifecycleTrack, "lifecycle"));
+  // The faults track is declared lazily: emitting it unconditionally would
+  // change the byte-identical export of every fault-free run (the golden
+  // surface the zero-fault contract is tested against).
+  for (const TraceEvent& e : recorder.events()) {
+    if (e.kind == EventKind::kFault || e.kind == EventKind::kRepair) {
+      trace_events.push_back(
+          metadata_event("thread_name", kFaultTrack, "faults & recovery"));
+      break;
+    }
+  }
 
   // Round tracks: one per distinct RoundRow source, in first-appearance
   // order (deterministic — rows are appended in execution order).
@@ -172,6 +185,11 @@ std::string export_chrome_trace(const TraceRecorder& recorder) {
         args["rounds"] = e.value;
         args["converged"] = e.flag;
         name = to_string(e.kind);
+        break;
+      case EventKind::kFault:
+      case EventKind::kRepair:
+        args["value"] = e.value;
+        name = std::string(e.label.empty() ? to_string(e.kind) : e.label);
         break;
     }
     JsonObject instant;

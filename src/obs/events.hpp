@@ -24,8 +24,10 @@ enum class EventKind : std::uint8_t {
   kBroadcast,     ///< BS broadcast its resource levels (value = audience)
   kPhase,         ///< named lifecycle marker (label, value = detail)
   kTermination,   ///< run ended (value = rounds, flag = converged)
+  kFault,         ///< injected fault fired (label = class, bs/ue, value = round)
+  kRepair,        ///< recovery action taken (label = action, bs/ue, value = detail)
 };
-inline constexpr std::size_t kNumEventKinds = 6;
+inline constexpr std::size_t kNumEventKinds = 8;
 
 /// Why a proposal was (not) admitted in the BS acceptance step.
 enum class DecisionReason : std::uint8_t {

@@ -22,6 +22,8 @@ std::string_view to_string(EventKind kind) {
     case EventKind::kBroadcast: return "broadcast";
     case EventKind::kPhase: return "phase";
     case EventKind::kTermination: return "termination";
+    case EventKind::kFault: return "fault";
+    case EventKind::kRepair: return "repair";
   }
   return "?";
 }
@@ -46,7 +48,9 @@ void TraceRecorder::record(TraceEvent event) {
     case EventKind::kTrimEviction: tally_.trim_evictions++; break;
     case EventKind::kBroadcast: tally_.broadcasts++; break;
     case EventKind::kPhase:
-    case EventKind::kTermination: break;
+    case EventKind::kTermination:
+    case EventKind::kFault:
+    case EventKind::kRepair: break;
   }
   events_.push_back(event);
   g_events_recorded.fetch_add(1, std::memory_order_relaxed);
@@ -86,6 +90,13 @@ void publish_bus_stats(const BusStats& stats, MetricsRegistry& registry) {
   registry.add_counter("bus.messages_sent", stats.messages_sent);
   registry.add_counter("bus.messages_delivered", stats.messages_delivered);
   registry.add_counter("bus.messages_dropped", stats.messages_dropped);
+  // Duplication/delay counters exist only when those faults actually
+  // fired: unconditional zeros would change the deterministic metrics
+  // JSON of every pre-existing fault-free trace (a golden surface).
+  if (stats.messages_duplicated != 0)
+    registry.add_counter("bus.messages_duplicated", stats.messages_duplicated);
+  if (stats.messages_delayed != 0)
+    registry.add_counter("bus.messages_delayed", stats.messages_delayed);
 }
 
 }  // namespace dmra::obs

@@ -29,7 +29,7 @@ class LossSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(LossSweep, AlwaysFeasibleAndTerminates) {
   const Scenario s = test_scenario();
-  const NetworkConditions net{GetParam(), /*seed=*/5};
+  const NetworkConditions net{.drop_probability = GetParam(), .seed = 5};
   const DecentralizedResult r = run_decentralized_dmra(s, {}, net);
   const FeasibilityReport report = check_feasibility(s, r.dmra.allocation);
   EXPECT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations[0]);
@@ -42,7 +42,7 @@ INSTANTIATE_TEST_SUITE_P(DropRates, LossSweep, ::testing::Values(0.05, 0.15, 0.3
 TEST(LossyNetwork, QualityDegradesGracefully) {
   const Scenario s = test_scenario(500);
   const double clean = total_profit(s, run_decentralized_dmra(s).dmra.allocation);
-  const NetworkConditions net{0.2, 7};
+  const NetworkConditions net{.drop_probability = 0.2, .seed = 7};
   const double lossy = total_profit(s, run_decentralized_dmra(s, {}, net).dmra.allocation);
   // Losses cost retries and sometimes strand a UE, but the protocol keeps
   // the vast majority of the value.
@@ -51,8 +51,8 @@ TEST(LossyNetwork, QualityDegradesGracefully) {
 
 TEST(LossyNetwork, DeterministicPerSeedAndSeedSensitive) {
   const Scenario s = test_scenario(200);
-  const NetworkConditions a{0.2, 11};
-  const NetworkConditions b{0.2, 12};
+  const NetworkConditions a{.drop_probability = 0.2, .seed = 11};
+  const NetworkConditions b{.drop_probability = 0.2, .seed = 12};
   EXPECT_EQ(run_decentralized_dmra(s, {}, a).dmra.allocation,
             run_decentralized_dmra(s, {}, a).dmra.allocation);
   EXPECT_NE(run_decentralized_dmra(s, {}, a).bus.messages_dropped,
@@ -65,7 +65,7 @@ TEST(LossyNetwork, NoDoubleCommitEvenUnderHeavyLoss) {
   // every UE appears at most once (Allocation guarantees it) and that the
   // heavy-loss run still serves a sane fraction.
   const Scenario s = test_scenario(400);
-  const NetworkConditions net{0.4, 3};
+  const NetworkConditions net{.drop_probability = 0.4, .seed = 3};
   const DecentralizedResult r = run_decentralized_dmra(s, {}, net);
   EXPECT_TRUE(check_feasibility(s, r.dmra.allocation).ok);
   EXPECT_GT(r.dmra.allocation.num_served(), s.num_ues() / 2);
@@ -75,7 +75,8 @@ TEST(LossyNetwork, LossCostsMoreMessages) {
   const Scenario s = test_scenario(250);
   const DecentralizedResult clean = run_decentralized_dmra(s);
   const DecentralizedResult lossy =
-      run_decentralized_dmra(s, {}, NetworkConditions{0.25, 5});
+      run_decentralized_dmra(s, {},
+                             NetworkConditions{.drop_probability = 0.25, .seed = 5});
   // Retries plus per-round rebroadcasts dominate the dropped savings.
   EXPECT_GT(lossy.bus.messages_sent, clean.bus.messages_sent);
   EXPECT_GT(lossy.dmra.rounds, 0u);

@@ -1,0 +1,190 @@
+#include "net/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/bus.hpp"
+#include "util/require.hpp"
+
+namespace dmra {
+namespace {
+
+using IntBus = MessageBus<int>;
+
+// Which send-sequence numbers survive a lossy schedule: spread `n`
+// messages over the given recipients round-robin, deliver once, and
+// collect the seq of everything that arrived anywhere.
+std::vector<std::uint64_t> surviving_seqs(IntBus& bus, const std::vector<AgentId>& to,
+                                          std::size_t n) {
+  const AgentId sender = to.front();
+  for (std::size_t i = 0; i < n; ++i)
+    bus.send(sender, to[i % to.size()], static_cast<int>(i));
+  bus.deliver();
+  std::vector<std::uint64_t> seqs;
+  for (const AgentId a : to)
+    for (const auto& env : bus.take_inbox(a)) seqs.push_back(env.seq);
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+// The RESILIENCE.md determinism contract: the drop stream is a function
+// of (seed, send order) alone — which agent each message goes to is
+// irrelevant. One inbox or many, the same seq numbers survive.
+TEST(FaultPlanBus, DropStreamIndependentOfRecipients) {
+  constexpr double kLoss = 0.35;
+  constexpr std::size_t kMessages = 200;
+
+  IntBus one;
+  const AgentId solo = one.register_agent();
+  one.set_faults(LinkFaults{.drop_probability = kLoss}, 99);
+  const auto seqs_one = surviving_seqs(one, {solo}, kMessages);
+
+  IntBus many;
+  std::vector<AgentId> fan;
+  for (int i = 0; i < 7; ++i) fan.push_back(many.register_agent());
+  many.set_faults(LinkFaults{.drop_probability = kLoss}, 99);
+  const auto seqs_many = surviving_seqs(many, fan, kMessages);
+
+  EXPECT_LT(seqs_one.size(), kMessages);  // something actually dropped
+  EXPECT_EQ(seqs_one, seqs_many);
+}
+
+TEST(FaultPlanBus, LossOnlyFaultsMatchSetLossBitForBit) {
+  constexpr double kLoss = 0.25;
+  constexpr std::uint64_t kSeed = 7;
+  constexpr std::size_t kMessages = 300;
+
+  IntBus legacy;
+  const AgentId a = legacy.register_agent();
+  legacy.set_loss(kLoss, kSeed);
+  const auto legacy_seqs = surviving_seqs(legacy, {a}, kMessages);
+
+  IntBus planned;
+  const AgentId b = planned.register_agent();
+  planned.set_faults(LinkFaults{.drop_probability = kLoss}, kSeed);
+  const auto planned_seqs = surviving_seqs(planned, {b}, kMessages);
+
+  EXPECT_EQ(legacy_seqs, planned_seqs);
+  EXPECT_EQ(legacy.stats().messages_dropped, planned.stats().messages_dropped);
+  EXPECT_EQ(planned.stats().messages_duplicated, 0u);
+  EXPECT_EQ(planned.stats().messages_delayed, 0u);
+}
+
+TEST(FaultPlanBus, SameSeedSameDropsAcrossRuns) {
+  const auto run = [] {
+    IntBus bus;
+    const AgentId a = bus.register_agent();
+    bus.set_faults(LinkFaults{.drop_probability = 0.4}, 123);
+    return surviving_seqs(bus, {a}, 100);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultPlanBus, DuplicateDeliversACopyNextRound) {
+  IntBus bus;
+  const AgentId a = bus.register_agent();
+  bus.set_faults(LinkFaults{.duplicate_probability = 0.9}, 5);
+  for (int i = 0; i < 50; ++i) bus.send(a, a, i);
+  bus.deliver();
+  const std::size_t originals = bus.take_inbox(a).size();
+  EXPECT_EQ(originals, 50u);  // duplication never suppresses the original
+  const std::uint64_t dups = bus.stats().messages_duplicated;
+  EXPECT_GT(dups, 0u);
+  EXPECT_EQ(bus.in_flight(), dups);  // copies are queued, not yet delivered
+  bus.deliver();
+  EXPECT_EQ(bus.take_inbox(a).size(), dups);  // copies arrive one round later
+  EXPECT_EQ(bus.in_flight(), 0u);
+}
+
+TEST(FaultPlanBus, DelayedMessagesAllArriveExactlyOnceInSeqOrder) {
+  IntBus bus;
+  const AgentId a = bus.register_agent();
+  bus.set_faults(LinkFaults{.delay_probability = 0.7, .max_delay_rounds = 3}, 11);
+  constexpr std::size_t kMessages = 120;
+  for (std::size_t i = 0; i < kMessages; ++i) bus.send(a, a, static_cast<int>(i));
+  std::vector<std::uint64_t> seen;
+  bus.deliver();
+  for (const auto& env : bus.take_inbox(a)) seen.push_back(env.seq);
+  const std::size_t prompt = seen.size();
+  EXPECT_LT(prompt, kMessages);  // some messages actually delayed
+  while (bus.in_flight() > 0) {
+    std::size_t before = seen.size();
+    bus.deliver();
+    for (const auto& env : bus.take_inbox(a)) seen.push_back(env.seq);
+    // Within one round's late deliveries, send order is preserved.
+    EXPECT_TRUE(std::is_sorted(seen.begin() + static_cast<std::ptrdiff_t>(before),
+                               seen.end()));
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), kMessages);  // nothing lost, nothing duplicated
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+  EXPECT_EQ(bus.stats().messages_dropped, 0u);
+}
+
+TEST(FaultPlanBus, SetFaultsRejectsMisuse) {
+  IntBus bus;
+  bus.register_agent();
+  EXPECT_THROW(bus.set_faults(LinkFaults{.drop_probability = 1.0}, 0),
+               ContractViolation);
+  EXPECT_THROW(
+      bus.set_faults(LinkFaults{.delay_probability = 0.5, .max_delay_rounds = 0}, 0),
+      ContractViolation);
+  bus.set_loss(0.1, 0);
+  EXPECT_THROW(bus.set_faults(LinkFaults{.drop_probability = 0.1}, 0),
+               ContractViolation);  // at most one loss model per bus
+}
+
+TEST(FaultPlan, AnyReflectsEveryKnob) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+  plan.link.duplicate_probability = 0.1;
+  EXPECT_TRUE(plan.any());
+  plan.link.duplicate_probability = 0.0;
+  plan.outages.push_back(BsOutage{BsId{0}, 3});
+  EXPECT_TRUE(plan.any());
+  plan.outages.clear();
+  plan.degradations.push_back(CapacityDegradation{BsId{0}, 2, 0.5, 0.5});
+  EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultPlan, ValidateCatchesBadSchedules) {
+  FaultPlan bad_bs;
+  bad_bs.outages.push_back(BsOutage{BsId{9}, 1});
+  EXPECT_THROW(bad_bs.validate(4), ContractViolation);
+
+  FaultPlan bad_order;
+  bad_order.outages.push_back(
+      BsOutage{.bs = BsId{0}, .crash_round = 5, .recover_round = 5});
+  EXPECT_THROW(bad_order.validate(4), ContractViolation);
+
+  FaultPlan twice;
+  twice.outages.push_back(BsOutage{BsId{1}, 1});
+  twice.outages.push_back(BsOutage{BsId{1}, 9});
+  EXPECT_THROW(twice.validate(4), ContractViolation);
+
+  FaultPlan bad_factor;
+  bad_factor.degradations.push_back(CapacityDegradation{BsId{0}, 1, 1.5, 0.5});
+  EXPECT_THROW(bad_factor.validate(4), ContractViolation);
+
+  FaultPlan ok;
+  ok.link.drop_probability = 0.2;
+  ok.outages.push_back(BsOutage{.bs = BsId{1}, .crash_round = 2, .recover_round = 6});
+  ok.degradations.push_back(CapacityDegradation{BsId{2}, 3, 0.5, 0.5});
+  EXPECT_NO_THROW(ok.validate(4));
+}
+
+TEST(FaultPlan, ScheduleHorizonIgnoresNeverRecovers) {
+  FaultPlan plan;
+  EXPECT_EQ(plan.schedule_horizon(), 0u);
+  plan.outages.push_back(BsOutage{.bs = BsId{0}, .crash_round = 4});  // never recovers
+  plan.degradations.push_back(CapacityDegradation{BsId{1}, 7, 0.5, 0.5});
+  EXPECT_EQ(plan.schedule_horizon(), 7u);
+  plan.outages.push_back(
+      BsOutage{.bs = BsId{2}, .crash_round = 3, .recover_round = 12});
+  EXPECT_EQ(plan.schedule_horizon(), 12u);
+}
+
+}  // namespace
+}  // namespace dmra

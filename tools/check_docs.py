@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate the repo's documentation graph (stdlib only).
+
+Usage:
+    tools/check_docs.py [repo_root]
+
+Two checks over README.md and every page under docs/:
+  1. every relative markdown link resolves to a file (or directory) that
+     actually exists in the repo — external http(s)/mailto links and pure
+     #anchor links are skipped;
+  2. every docs/*.md page is reachable from README.md by following
+     relative links, so no documentation page is orphaned from the
+     README's docs index.
+
+Exit status 0 on success; 1 with one diagnostic per violation.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links: [text](target). Images share the syntax; the
+# leading '!' doesn't change how the target resolves.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def doc_pages(root: Path) -> list[Path]:
+    pages = [root / "README.md"]
+    pages += sorted((root / "docs").glob("*.md"))
+    return [p for p in pages if p.is_file()]
+
+
+def links_in(page: Path) -> list[str]:
+    text = page.read_text(encoding="utf-8")
+    # Fenced code blocks quote link syntax without meaning it.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return LINK_RE.findall(text)
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    errors = []
+    pages = doc_pages(root)
+    if not pages:
+        print(f"check_docs: FAIL: no README.md under {root}", file=sys.stderr)
+        return 1
+
+    # Pass 1: every relative link resolves.
+    resolved_targets = {}  # page -> set of repo files it links to
+    for page in pages:
+        targets = set()
+        for raw in links_in(page):
+            if raw.startswith(SKIP_SCHEMES) or raw.startswith("#"):
+                continue
+            target = raw.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (page.parent / target).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{page.relative_to(root)}: broken link '{raw}' "
+                    f"(no such file: {target})"
+                )
+            elif resolved.suffix == ".md":
+                targets.add(resolved)
+        resolved_targets[page.resolve()] = targets
+
+    # Pass 2: BFS over markdown links from README.md; every docs page must
+    # be reachable (directly or through another docs page).
+    readme = (root / "README.md").resolve()
+    reachable = {readme}
+    queue = [readme]
+    while queue:
+        for target in sorted(resolved_targets.get(queue.pop(), set())):
+            if target not in reachable:
+                reachable.add(target)
+                queue.append(target)
+    for page in pages:
+        if page.resolve() not in reachable:
+            errors.append(
+                f"{page.relative_to(root)}: not reachable from README.md — "
+                "add it to the README docs index"
+            )
+
+    if errors:
+        for e in errors:
+            print(f"check_docs: FAIL: {e}", file=sys.stderr)
+        return 1
+    n_links = sum(len(t) for t in resolved_targets.values())
+    print(f"check_docs: OK ({len(pages)} pages, {n_links} internal md links)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

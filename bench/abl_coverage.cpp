@@ -26,8 +26,12 @@ int main(int argc, char** argv) {
   }
   const auto num_ues = static_cast<std::size_t>(cli.get_int("ues"));
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
-  dmra_bench::ObsSession obs_session(cli);
-  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  dmra_bench::ObsSession obs_session(cli, argv[0]);
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  dmra::ScenarioConfig base_cfg = dmra_bench::paper_config();
+  base_cfg.num_ues = num_ues;
+  obs_session.describe_scenario(base_cfg);
+  obs_session.describe_run(seeds, jobs);
   const auto faults = dmra_bench::faults_from(cli);
 
   std::cout << "== A3: coverage-radius ablation (" << num_ues
@@ -39,7 +43,7 @@ int main(int argc, char** argv) {
   dmra::Table table({"radius (m)", "mean f_u", "uncovered UEs", "DMRA profit",
                      "DCSP profit", "NonCo profit"});
   for (const double radius : cli.get_double_list("radius")) {
-    const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
+    const auto per_seed = dmra::obs::traced_parallel_map(jobs, seeds.size(), [&](std::size_t si) {
       dmra::ScenarioConfig cfg = dmra_bench::paper_config();
       cfg.num_ues = num_ues;
       cfg.coverage_radius_m = radius;

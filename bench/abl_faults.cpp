@@ -54,8 +54,12 @@ int main(int argc, char** argv) {
   const auto down_rounds = static_cast<std::size_t>(cli.get_int("down-rounds"));
   const auto crash_round = static_cast<std::size_t>(cli.get_int("crash-round"));
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
-  dmra_bench::ObsSession obs_session(cli);
-  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  dmra_bench::ObsSession obs_session(cli, argv[0]);
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  dmra::ScenarioConfig base_cfg = dmra_bench::paper_config();
+  base_cfg.num_ues = num_ues;
+  obs_session.describe_scenario(base_cfg);
+  obs_session.describe_run(seeds, jobs);
 
   std::cout << "== A11: fault injection — profit retention & recovery overhead (" << num_ues
             << " UEs, iota=2, regular placement) ==\n"
@@ -65,7 +69,7 @@ int main(int argc, char** argv) {
                      "extra msgs", "orphaned", "re-proto", "re-match", "cloud"});
   for (const double loss : cli.get_double_list("loss")) {
     for (const double crashes : cli.get_double_list("crashes")) {
-      const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
+      const auto per_seed = dmra::obs::traced_parallel_map(jobs, seeds.size(), [&](std::size_t si) {
         dmra::ScenarioConfig cfg = dmra_bench::paper_config();
         cfg.num_ues = num_ues;
         const dmra::Scenario s = dmra::generate_scenario(cfg, seeds[si]);

@@ -32,8 +32,12 @@ int main(int argc, char** argv) {
   }
   const auto num_ues = static_cast<std::size_t>(cli.get_int("ues"));
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
-  dmra_bench::ObsSession obs_session(cli);
-  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  dmra_bench::ObsSession obs_session(cli, argv[0]);
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  dmra::ScenarioConfig base_cfg = dmra_bench::paper_config();
+  base_cfg.num_ues = num_ues;
+  obs_session.describe_scenario(base_cfg);
+  obs_session.describe_run(seeds, jobs);
   const auto faults = dmra_bench::faults_from(cli);
 
   std::cout << "== A1: channel-model ablation (" << num_ues << " UEs, iota=2) ==\n\n";
@@ -42,7 +46,7 @@ int main(int argc, char** argv) {
                      "DMRA served", "NonCo served"});
   for (const bool psd : {false, true}) {
     for (const double activity : cli.get_double_list("activity")) {
-      const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
+      const auto per_seed = dmra::obs::traced_parallel_map(jobs, seeds.size(), [&](std::size_t si) {
         dmra::ScenarioConfig cfg = dmra_bench::paper_config();
         cfg.num_ues = num_ues;
         cfg.interference_activity_factor = activity;

@@ -28,8 +28,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
-  dmra_bench::ObsSession obs_session(cli);
-  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  dmra_bench::ObsSession obs_session(cli, argv[0]);
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  obs_session.describe_scenario(dmra_bench::paper_config());
+  obs_session.describe_run(seeds, jobs);
   const auto faults = dmra_bench::faults_from(cli);
   const dmra::AllocatorPtr algo = dmra_bench::make_dmra({}, faults);
 
@@ -41,7 +43,7 @@ int main(int argc, char** argv) {
     double rate, churn, profit_mean, profit_sd;
   };
   for (const double speed : cli.get_double_list("speeds")) {
-    const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
+    const auto per_seed = dmra::obs::traced_parallel_map(jobs, seeds.size(), [&](std::size_t si) {
       dmra::HandoverConfig cfg;
       cfg.scenario.num_ues = static_cast<std::size_t>(cli.get_int("ues"));
       cfg.steps = static_cast<std::size_t>(cli.get_int("steps"));
@@ -97,7 +99,7 @@ int main(int argc, char** argv) {
       {"incremental (eager)", dmra::ReallocationPolicy::kIncremental, 0.1},
   };
   for (const PolicyRow& row : rows) {
-    const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
+    const auto per_seed = dmra::obs::traced_parallel_map(jobs, seeds.size(), [&](std::size_t si) {
       dmra::HandoverConfig cfg;
       cfg.scenario.num_ues = static_cast<std::size_t>(cli.get_int("ues"));
       cfg.steps = static_cast<std::size_t>(cli.get_int("steps"));

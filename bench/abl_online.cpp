@@ -50,8 +50,10 @@ int main(int argc, char** argv) {
   }
   const auto epochs = static_cast<std::size_t>(cli.get_int("epochs"));
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
-  dmra_bench::ObsSession obs_session(cli);
-  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  dmra_bench::ObsSession obs_session(cli, argv[0]);
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  obs_session.describe_scenario(dmra_bench::paper_config());
+  obs_session.describe_run(seeds, jobs);
   const auto faults = dmra_bench::faults_from(cli);
 
   std::cout << "== A6: online arrival-rate sweep (steady-state means over the last "
@@ -72,7 +74,7 @@ int main(int argc, char** argv) {
       double profit, served, fwd, util;
     };
     for (const Algo& algo : algos) {
-      const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
+      const auto per_seed = dmra::obs::traced_parallel_map(jobs, seeds.size(), [&](std::size_t si) {
         const dmra::OnlineResult r =
             run_online(static_cast<std::size_t>(batch), *algo.ptr, seeds[si], epochs);
         return SeedValues{

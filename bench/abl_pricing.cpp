@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
     std::cout << cli.help_text(argv[0]);
     return 0;
   }
-  dmra_bench::ObsSession obs_session(cli);
+  dmra_bench::ObsSession obs_session(cli, argv[0]);
 
   dmra::AdaptivePricingConfig cfg;
   cfg.scenario.num_ues = static_cast<std::size_t>(cli.get_int("ues"));
@@ -34,6 +34,8 @@ int main(int argc, char** argv) {
   cfg.rounds = static_cast<std::size_t>(cli.get_int("rounds"));
   cfg.target_utilization = cli.get_double("target");
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  obs_session.describe_scenario(cfg.scenario);
+  obs_session.describe_run({cfg.seed}, 1);
 
   const auto faults = dmra_bench::faults_from(cli);
   const dmra::AllocatorPtr algo = dmra_bench::make_dmra({}, faults);

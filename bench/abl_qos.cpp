@@ -22,8 +22,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
-  dmra_bench::ObsSession obs_session(cli);
-  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  dmra_bench::ObsSession obs_session(cli, argv[0]);
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  obs_session.describe_scenario(dmra_bench::paper_config());
+  obs_session.describe_run(seeds, jobs);
   const auto faults = dmra_bench::faults_from(cli);
   const dmra::LatencyModel latency;
 
@@ -36,7 +38,7 @@ int main(int argc, char** argv) {
   for (const double ues : cli.get_double_list("ues")) {
     std::vector<dmra::AllocatorPtr> algos = dmra_bench::paper_allocators({}, faults);
     for (const auto& algo : algos) {
-      const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
+      const auto per_seed = dmra::obs::traced_parallel_map(jobs, seeds.size(), [&](std::size_t si) {
         dmra::ScenarioConfig cfg = dmra_bench::paper_config();
         cfg.num_ues = static_cast<std::size_t>(ues);
         const dmra::Scenario s = dmra::generate_scenario(cfg, seeds[si]);

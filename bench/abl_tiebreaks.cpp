@@ -42,15 +42,17 @@ int main(int argc, char** argv) {
   };
 
   const auto seeds = dmra::default_seeds(static_cast<std::size_t>(cli.get_int("seeds")));
-  dmra_bench::ObsSession obs_session(cli);
-  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  dmra_bench::ObsSession obs_session(cli, argv[0]);
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
+  obs_session.describe_scenario(dmra_bench::paper_config());
+  obs_session.describe_run(seeds, jobs);
   const auto faults = dmra_bench::faults_from(cli);
   std::cout << "== A2: DMRA tie-break ablation (iota=2, regular placement) ==\n\n";
 
   dmra::Table table({"UEs", "variant", "total profit", "served", "same-SP ratio"});
   for (const double ues : cli.get_double_list("ues")) {
     for (const Variant& v : variants) {
-      const auto per_seed = dmra::parallel_map(jobs, seeds.size(), [&](std::size_t si) {
+      const auto per_seed = dmra::obs::traced_parallel_map(jobs, seeds.size(), [&](std::size_t si) {
         dmra::ScenarioConfig cfg = dmra_bench::paper_config();
         cfg.num_ues = static_cast<std::size_t>(ues);
         const dmra::Scenario scenario = dmra::generate_scenario(cfg, seeds[si]);

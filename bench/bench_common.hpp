@@ -2,12 +2,15 @@
 // the paper's algorithm roster, and result printing.
 #pragma once
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dmra/dmra.hpp"
@@ -32,50 +35,104 @@ inline std::size_t jobs_from(const dmra::Cli& cli) {
   return v <= 0 ? 0 : static_cast<std::size_t>(v);
 }
 
-/// Every bench takes --trace / --round-csv: observability exports
-/// (docs/OBSERVABILITY.md). Empty (the default) = tracing disabled, which
-/// is a strict no-op in the instrumented code paths.
+/// Every bench takes --trace / --round-csv / --manifest: observability
+/// exports (docs/OBSERVABILITY.md, docs/PROVENANCE.md). Empty (the
+/// default) = disabled; disabled tracing is a strict no-op in the
+/// instrumented code paths. All three are jobs-invariant: a traced
+/// --jobs=8 run writes byte-identical files to --jobs=1 (obs/shard.hpp).
 inline void add_obs_flags(dmra::Cli& cli) {
   cli.add_flag("trace", "", "write a Chrome trace-event JSON of the run to this path");
   cli.add_flag("round-csv", "", "write per-round aggregate metrics as CSV to this path");
+  cli.add_flag("manifest", "",
+               "write a dmra-manifest/1 run-provenance JSON to this path");
 }
 
-/// RAII tracing session for a bench main. When --trace or --round-csv was
-/// given, installs a TraceRecorder on the calling thread for the session's
-/// lifetime and writes the requested export files (plus a metrics summary
-/// to stdout) on destruction. The recorder is thread-local, so traced runs
-/// must stay on this thread: route the --jobs value through clamp_jobs().
+/// RAII observability session for a bench main. When --trace or
+/// --round-csv was given, installs a TraceRecorder for the session's
+/// lifetime (parallel sections shard per task and merge back
+/// deterministically — obs/shard.hpp) and writes the requested exports,
+/// plus a metrics summary to stdout, on destruction. When --manifest was
+/// given, also writes a run-provenance manifest (obs/manifest.hpp)
+/// capturing the flag snapshot, scenario config, seeds, jobs, fault spec,
+/// and every export path the bench reported via note_output().
+///
+/// Distinct export flags must name distinct paths; a collision is a hard
+/// error (exit 2) rather than a silent overwrite.
 class ObsSession {
  public:
-  explicit ObsSession(const dmra::Cli& cli)
-      : trace_path_(cli.get_string("trace")), csv_path_(cli.get_string("round-csv")) {
+  explicit ObsSession(const dmra::Cli& cli, const std::string& program = "bench")
+      : trace_path_(cli.get_string("trace")),
+        csv_path_(cli.get_string("round-csv")),
+        manifest_path_(cli.get_string("manifest")) {
+    input_.program = program;
+    input_.flags = cli.values();
+    if (auto it = input_.flags.find("faults"); it != input_.flags.end())
+      input_.fault_spec = it->second;
+    reject_duplicate_paths();
     if (enabled()) install_.emplace(&recorder_);
   }
 
   ~ObsSession() {
-    if (!enabled()) return;
-    install_.reset();  // uninstall before exporting
-    if (!trace_path_.empty()) write(trace_path_, recorder_.to_chrome_trace_json());
-    if (!csv_path_.empty()) write(csv_path_, recorder_.to_round_csv());
-    if (!recorder_.metrics().empty())
-      std::cout << "\n== observability metrics ==\n"
-                << recorder_.metrics().to_table().to_aligned();
+    if (enabled()) {
+      install_.reset();  // uninstall before exporting
+      if (!trace_path_.empty()) {
+        write(trace_path_, recorder_.to_chrome_trace_json());
+        input_.outputs.emplace_back("trace", trace_path_);
+      }
+      if (!csv_path_.empty()) {
+        write(csv_path_, recorder_.to_round_csv());
+        input_.outputs.emplace_back("round-csv", csv_path_);
+      }
+      if (!recorder_.metrics().empty())
+        std::cout << "\n== observability metrics ==\n"
+                  << recorder_.metrics().to_table().to_aligned();
+    }
+    if (!manifest_path_.empty()) {
+      input_.metrics = enabled() ? &recorder_.metrics() : nullptr;
+      write(manifest_path_, dmra::obs::manifest_to_json(input_));
+    }
   }
 
   ObsSession(const ObsSession&) = delete;
   ObsSession& operator=(const ObsSession&) = delete;
 
+  /// True iff tracing (trace and/or round CSV) is active.
   bool enabled() const { return !trace_path_.empty() || !csv_path_.empty(); }
 
-  /// Tracing forces serial replication (recorder is thread-local); an
-  /// untraced run keeps whatever --jobs asked for.
-  std::size_t clamp_jobs(std::size_t jobs) const {
-    if (!enabled()) return jobs;
-    if (jobs != 1) std::cerr << "(tracing enabled: forcing --jobs=1)\n";
-    return 1;
+  /// Record the generator configuration the run used (manifest provenance).
+  void describe_scenario(const dmra::ScenarioConfig& cfg) {
+    input_.scenario_config = dmra::scenario_config_json(cfg);
+  }
+
+  /// Record the replication inputs the run used (manifest provenance).
+  void describe_run(std::vector<std::uint64_t> seeds, std::size_t jobs) {
+    input_.seeds = std::move(seeds);
+    input_.jobs = jobs;
+  }
+
+  /// Report a non-observability export (bench JSON, series CSV, ...) so the
+  /// manifest cross-links every file the run produced.
+  void note_output(const std::string& kind, const std::string& path) {
+    input_.outputs.emplace_back(kind, path);
   }
 
  private:
+  void reject_duplicate_paths() const {
+    const std::pair<const char*, const std::string*> paths[] = {
+        {"--trace", &trace_path_},
+        {"--round-csv", &csv_path_},
+        {"--manifest", &manifest_path_},
+    };
+    for (std::size_t a = 0; a < std::size(paths); ++a)
+      for (std::size_t b = a + 1; b < std::size(paths); ++b)
+        if (!paths[a].second->empty() && *paths[a].second == *paths[b].second) {
+          std::cerr << "error: " << paths[a].first << " and " << paths[b].first
+                    << " both write to '" << *paths[a].second
+                    << "' — each export needs its own path\n";
+          std::exit(2);
+        }
+  }
+
   static void write(const std::string& path, const std::string& content) {
     std::ofstream out(path);
     if (!out) {
@@ -88,6 +145,8 @@ class ObsSession {
 
   std::string trace_path_;
   std::string csv_path_;
+  std::string manifest_path_;
+  dmra::obs::ManifestInput input_;
   dmra::obs::TraceRecorder recorder_;
   std::optional<dmra::obs::ScopedTraceRecorder> install_;
 };

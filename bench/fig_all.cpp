@@ -95,9 +95,11 @@ int main(int argc, char** argv) {
   const std::filesystem::path out_dir = cli.get_string("out");
   std::filesystem::create_directories(out_dir);
   const auto seeds = static_cast<std::size_t>(cli.get_int("seeds"));
-  dmra_bench::ObsSession obs_session(cli);
-  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  dmra_bench::ObsSession obs_session(cli, argv[0]);
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
   const auto faults = dmra_bench::faults_from(cli);
+  obs_session.describe_scenario(dmra_bench::paper_config());
+  obs_session.describe_run(dmra::default_seeds(seeds), jobs);
 
   const std::vector<FigureSpec> figures = {
       {2, 2.0, true, false},  {3, 2.0, false, false}, {4, 1.1, true, false},
@@ -113,6 +115,7 @@ int main(int argc, char** argv) {
     write_file(out_dir / (stem + ".dat"), result.to_dat());
     write_file(out_dir / (stem + ".gp"), result.to_gnuplot(stem + ".dat"));
     write_file(out_dir / (stem + ".csv"), result.to_table().to_csv());
+    obs_session.note_output("series-csv", (out_dir / (stem + ".csv")).string());
 
     summary << "## " << result.title << "\n\n```\n" << result.to_table().to_aligned()
             << "```\n";

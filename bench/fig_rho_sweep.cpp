@@ -65,11 +65,15 @@ int main(int argc, char** argv) {
     algos.push_back(dmra_bench::make_dmra(dmra::DmraConfig{.rho = rho}, faults));
     return algos;
   };
-  dmra_bench::ObsSession obs_session(cli);
-  spec.jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  dmra_bench::ObsSession obs_session(cli, argv[0]);
+  spec.jobs = dmra_bench::jobs_from(cli);
+  if (!spec.xs.empty()) obs_session.describe_scenario(spec.make_config(spec.xs.front()));
+  obs_session.describe_run(spec.seeds, spec.jobs);
+  const std::string out_path = cli.get_string("out");
+  if (!out_path.empty()) obs_session.note_output("series-csv", out_path);
 
   const dmra::ExperimentResult result = dmra::run_experiment(spec);
-  dmra_bench::print_result(result, cli.get_bool("csv"), cli.get_string("out"));
+  dmra_bench::print_result(result, cli.get_bool("csv"), out_path);
 
   // Shape check: monotone trend from the first to the last sweep point.
   const double first = result.cells.front()[0].mean;

@@ -81,12 +81,14 @@ int main(int argc, char** argv) {
   const std::size_t reps = cli.get_int("reps") > 0
                                ? static_cast<std::size_t>(cli.get_int("reps"))
                                : (quick ? 2 : 5);
-  dmra_bench::ObsSession obs_session(cli);
-  const std::size_t jobs = obs_session.clamp_jobs(dmra_bench::jobs_from(cli));
+  dmra_bench::ObsSession obs_session(cli, argv[0]);
+  const std::size_t jobs = dmra_bench::jobs_from(cli);
   const std::vector<std::size_t> scales =
       quick ? std::vector<std::size_t>{250, 500, 1000}
             : std::vector<std::size_t>{500, 1000, 2000};
   constexpr std::uint64_t kSeed = 1;
+  obs_session.describe_scenario(config_at(scales.back()));
+  obs_session.describe_run(dmra::default_seeds(quick ? 4 : 8), jobs);
 
   dmra::JsonArray scenario_rows, decentralized_rows, experiment_rows;
 
@@ -152,7 +154,9 @@ int main(int argc, char** argv) {
   }
 
   dmra::JsonObject root;
-  root["schema"] = "dmra-perf-report/1";
+  root["schema"] = "dmra-perf-report/1.1";
+  root["git"] = std::string(dmra::obs::git_describe());
+  root["build"] = dmra::obs::build_flavor_json();
   root["quick"] = quick;
   root["reps"] = static_cast<std::uint64_t>(reps);
   root["jobs_flag"] = static_cast<std::uint64_t>(jobs);
@@ -172,5 +176,6 @@ int main(int argc, char** argv) {
   }
   out << report.dump(2) << '\n';
   std::cout << report.dump(2) << "\n(report written to " << out_path << ")\n";
+  obs_session.note_output("bench-json", out_path);
   return 0;
 }

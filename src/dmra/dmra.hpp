@@ -46,9 +46,11 @@
 
 #include "obs/chrome_trace.hpp"
 #include "obs/events.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/round_csv.hpp"
+#include "obs/shard.hpp"
 
 #include "radio/channel.hpp"
 #include "radio/ofdma.hpp"

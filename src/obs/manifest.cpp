@@ -1,0 +1,73 @@
+#include "obs/manifest.hpp"
+
+#include <utility>
+
+namespace dmra::obs {
+
+// CMake injects the provenance macros (src/obs/CMakeLists.txt); the
+// fallbacks keep non-CMake builds (clangd, quick compiles) working.
+#ifndef DMRA_GIT_DESCRIBE
+#define DMRA_GIT_DESCRIBE "unknown"
+#endif
+#ifndef DMRA_BUILD_TYPE
+#define DMRA_BUILD_TYPE "unknown"
+#endif
+#ifndef DMRA_SANITIZERS
+#define DMRA_SANITIZERS ""
+#endif
+
+std::string_view git_describe() { return DMRA_GIT_DESCRIBE; }
+
+JsonObject build_flavor_json() {
+  JsonObject build;
+  build["type"] = DMRA_BUILD_TYPE;
+  build["sanitizers"] = DMRA_SANITIZERS;
+#ifdef DMRA_AUDIT_ENABLED
+  build["audit"] = true;
+#else
+  build["audit"] = false;
+#endif
+  return build;
+}
+
+JsonObject manifest_json(const ManifestInput& input) {
+  JsonObject o;
+  o["schema"] = std::string(kManifestSchema);
+  o["program"] = input.program;
+  o["git"] = std::string(git_describe());
+  o["build"] = build_flavor_json();
+
+  JsonObject flags;
+  for (const auto& [name, value] : input.flags) flags[name] = value;
+  o["flags"] = std::move(flags);
+
+  o["scenario_config"] = input.scenario_config;
+
+  JsonArray seeds;
+  seeds.reserve(input.seeds.size());
+  for (const std::uint64_t s : input.seeds) seeds.emplace_back(s);
+  o["seeds"] = std::move(seeds);
+
+  o["jobs"] = input.jobs;
+  o["fault_spec"] = input.fault_spec;
+
+  JsonArray outputs;
+  outputs.reserve(input.outputs.size());
+  for (const auto& [kind, path] : input.outputs) {
+    JsonObject entry;
+    entry["kind"] = kind;
+    entry["path"] = path;
+    outputs.push_back(std::move(entry));
+  }
+  o["outputs"] = std::move(outputs);
+
+  o["metrics"] = input.metrics != nullptr ? input.metrics->deterministic_json()
+                                          : JsonObject{};
+  return o;
+}
+
+std::string manifest_to_json(const ManifestInput& input) {
+  return JsonValue(manifest_json(input)).dump(2) + "\n";
+}
+
+}  // namespace dmra::obs

@@ -41,6 +41,18 @@ void MetricsRegistry::record_timer(std::string_view name, std::uint64_t elapsed_
   if (elapsed_ns > t.max_ns) t.max_ns = elapsed_ns;
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) add_counter(name, value);
+  for (const auto& [name, value] : other.gauges_) set_gauge(name, value);
+  for (const auto& [name, stat] : other.timers_) {
+    auto it = timers_.find(name);
+    if (it == timers_.end()) it = timers_.emplace(name, TimerStat{}).first;
+    it->second.count += stat.count;
+    it->second.total_ns += stat.total_ns;
+    if (stat.max_ns > it->second.max_ns) it->second.max_ns = stat.max_ns;
+  }
+}
+
 std::uint64_t MetricsRegistry::counter(std::string_view name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;

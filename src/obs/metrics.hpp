@@ -52,6 +52,12 @@ class MetricsRegistry {
   /// Timed scope: `auto t = registry.scoped_timer("experiment.sweep");`
   ScopedTimer scoped_timer(std::string name) { return {this, std::move(name)}; }
 
+  /// Fold another registry into this one: counters add, gauges take the
+  /// other's (last-write) value, timers accumulate count/total and keep
+  /// the larger max. Deterministic given a deterministic merge order —
+  /// the shard merge (obs/shard.hpp) folds shards in task order.
+  void merge_from(const MetricsRegistry& other);
+
   std::uint64_t counter(std::string_view name) const;
   double gauge(std::string_view name) const;
   const std::map<std::string, TimerStat, std::less<>>& timers() const { return timers_; }

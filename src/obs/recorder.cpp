@@ -67,6 +67,29 @@ void TraceRecorder::finish_round(RoundRow row) {
   seq_in_slot_ = 0;
 }
 
+void TraceRecorder::absorb(const TraceRecorder& shard) {
+  events_.reserve(events_.size() + shard.events_.size());
+  rows_.reserve(rows_.size() + shard.rows_.size());
+  const auto replay = [this](TraceEvent event) {
+    // Like record(), minus the round restamp (the shard's producer set
+    // it), the tally, and the global counter (already counted once).
+    event.slot = rows_.size();
+    event.seq = seq_in_slot_++;
+    events_.push_back(event);
+  };
+  // An event's slot is the number of rows emitted before it, so the
+  // shard's interleaving of events and round boundaries reconstructs
+  // exactly: events with slot s precede the finish of row s.
+  std::size_t ei = 0;
+  for (std::size_t s = 0; s < shard.rows_.size(); ++s) {
+    for (; ei < shard.events_.size() && shard.events_[ei].slot == s; ++ei)
+      replay(shard.events_[ei]);
+    finish_round(shard.rows_[s]);
+  }
+  for (; ei < shard.events_.size(); ++ei) replay(shard.events_[ei]);
+  metrics_.merge_from(shard.metrics_);
+}
+
 std::string TraceRecorder::to_chrome_trace_json() const {
   return export_chrome_trace(*this);
 }

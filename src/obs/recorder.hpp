@@ -12,10 +12,11 @@
 // checking events_recorded_total() does not move across an untraced run.
 //
 // The recorder is installed per thread (like the audit observer in
-// mec/audit.hpp): parallel experiment workers see no recorder unless one
-// is installed on their own thread, so traced runs are typically driven
-// with --jobs=1, keeping the event stream a deterministic function of the
-// seed.
+// mec/audit.hpp): parallel workers see no recorder unless one is
+// installed on their own thread. Fan-out workloads stay traceable via
+// obs/shard.hpp — per-task shard recorders follow tasks onto workers and
+// merge back in task order, so traced exports are identical for every
+// --jobs value.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +58,18 @@ class TraceRecorder {
   /// Events recorded since the previous finish_round() belong to this
   /// slot; the Chrome exporter renders one slice per row.
   void finish_round(RoundRow row);
+
+  /// Replay another recorder's whole timeline onto the end of this one:
+  /// events keep their producer `round` stamp but are re-stamped with this
+  /// recorder's slot/seq continuation, rows are appended in order, and the
+  /// shard's metrics fold into this registry (counters add, gauges
+  /// last-write, timers accumulate). This is the shard-merge primitive of
+  /// obs/shard.hpp: absorbing per-task shards in task order reproduces the
+  /// exact byte stream a serial run would have recorded. The shard's
+  /// events were already counted by events_recorded_total() when first
+  /// recorded, so absorbing does not count them again. Absorbing leaves
+  /// the producer-facing tally untouched.
+  void absorb(const TraceRecorder& shard);
 
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }

@@ -1,0 +1,28 @@
+#include "obs/shard.hpp"
+
+namespace dmra::obs {
+
+TraceShards::TraceShards(std::size_t num_tasks) {
+  shards_.reserve(num_tasks);
+  for (std::size_t i = 0; i < num_tasks; ++i)
+    shards_.push_back(std::make_unique<TraceRecorder>());
+  previous_.assign(num_tasks, nullptr);
+}
+
+TaskHooks TraceShards::hooks() {
+  TaskHooks hooks;
+  // Each slot of previous_ is written by before(i) and read by after(i)
+  // on the same thread (the one executing task i), so distinct tasks
+  // never touch the same slot.
+  hooks.before = [this](std::size_t task) {
+    previous_[task] = set_recorder(shards_[task].get());
+  };
+  hooks.after = [this](std::size_t task) { set_recorder(previous_[task]); };
+  return hooks;
+}
+
+void TraceShards::merge_into(TraceRecorder& target) {
+  for (const auto& shard : shards_) target.absorb(*shard);
+}
+
+}  // namespace dmra::obs

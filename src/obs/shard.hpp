@@ -1,0 +1,73 @@
+// Parallel-safe tracing: per-task recorder shards for fan-out workloads.
+//
+// The TraceRecorder hook is thread-local (obs/recorder.hpp), so a traced
+// parallel_map would silently lose every event produced on a worker
+// thread. TraceShards closes that hole: the coordinating thread creates
+// one shard recorder per task, util/thread_pool's TaskHooks install the
+// task's shard on whichever thread ends up executing it, and after the
+// fan-in the shards are merged into the coordinating recorder in
+// ascending task order — the deterministic sort key. Each shard's events
+// carry their producer (round, seq) stamps and are re-stamped onto the
+// target's slot/seq continuation by TraceRecorder::absorb(), so the
+// merged stream is byte-for-byte the stream a serial run would have
+// recorded: traced exports are invariant under --jobs
+// (tests/obs/shard_test.cpp golden-tests jobs ∈ {1, 2, 8}).
+//
+// Thread-safety: shard i is touched only by the one thread running task
+// i (tasks never migrate mid-flight), and the pool's future barrier
+// orders every shard write before the merge. No locks, no atomics.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dmra::obs {
+
+class TraceShards {
+ public:
+  /// One shard recorder per task, created up front on the coordinating
+  /// thread so workers never allocate shards concurrently.
+  explicit TraceShards(std::size_t num_tasks);
+
+  /// Hooks for parallel_map: before(i) installs shard i on the executing
+  /// thread (saving that thread's previous recorder — on the inline
+  /// jobs<=1 path this is the coordinating recorder itself), after(i)
+  /// restores it. The returned hooks reference *this; keep the shard set
+  /// alive across the parallel_map call.
+  TaskHooks hooks();
+
+  /// Merge every shard into `target` in ascending task order. Call once,
+  /// after the fan-in; the shards are left drained of meaning (absorbed).
+  void merge_into(TraceRecorder& target);
+
+  std::size_t size() const { return shards_.size(); }
+  const TraceRecorder& shard(std::size_t task) const { return *shards_[task]; }
+
+ private:
+  // unique_ptr keeps recorder addresses stable across the vector.
+  std::vector<std::unique_ptr<TraceRecorder>> shards_;
+  std::vector<TraceRecorder*> previous_;
+};
+
+/// parallel_map that keeps the calling thread's trace coherent: with no
+/// recorder installed this is exactly parallel_map (same zero cost);
+/// with one installed, every task records into its own shard and the
+/// shards merge back in task order. Drop-in replacement for the per-seed
+/// replication loops in sim/experiment and the ablation benches.
+template <typename Fn>
+auto traced_parallel_map(std::size_t jobs, std::size_t n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  TraceRecorder* const rec = recorder();
+  if (rec == nullptr) return parallel_map(jobs, n, std::forward<Fn>(fn));
+  TraceShards shards(n);
+  auto results = parallel_map(jobs, n, std::forward<Fn>(fn), shards.hooks());
+  shards.merge_into(*rec);
+  return results;
+}
+
+}  // namespace dmra::obs

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/recorder.hpp"
+#include "obs/shard.hpp"
 #include "sim/feasibility.hpp"
 #include "util/log.hpp"
 #include "util/require.hpp"
@@ -33,10 +34,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   result.metric_label = spec.metric_label;
   result.xs = spec.xs;
 
-  // Tracing note: the recorder is thread-local, so replications only land
-  // in the trace when spec.jobs <= 1 (parallel_map then runs inline on
-  // this thread) — the bench --trace flags force --jobs=1 for exactly
-  // this reason.
+  // Tracing note: the recorder is thread-local, so the per-seed fan-out
+  // below goes through traced_parallel_map — each replication records
+  // into its own shard and the shards merge back here in seed order, so
+  // a traced run exports byte-identical files for every spec.jobs value.
   obs::TraceRecorder* const rec = obs::recorder();
 
   for (std::size_t xi = 0; xi < spec.xs.size(); ++xi) {
@@ -74,7 +75,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     const ScenarioConfig config = spec.make_config(x);
 
     const auto per_seed =
-        parallel_map(spec.jobs, spec.seeds.size(), [&](std::size_t si) {
+        obs::traced_parallel_map(spec.jobs, spec.seeds.size(), [&](std::size_t si) {
           const Scenario scenario = generate_scenario(config, spec.seeds[si]);
           const std::vector<AllocatorPtr>& algos = per_seed_algos[si];
           std::vector<double> values(algos.size());

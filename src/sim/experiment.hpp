@@ -42,9 +42,11 @@ struct ExperimentSpec {
   bool check_feasible = true;
 
   /// Worker threads for the per-seed replications of each sweep point.
-  /// 0 = hardware concurrency; 1 = serial. Results are byte-identical for
-  /// every value: each seed is an independent task whose metric values
-  /// are reduced on the collecting thread in seed order.
+  /// 0 = hardware concurrency; 1 = serial. Results — including traced
+  /// exports when a recorder is installed (obs/shard.hpp) — are
+  /// byte-identical for every value: each seed is an independent task
+  /// whose metric values (and trace shard) are reduced on the collecting
+  /// thread in seed order.
   std::size_t jobs = 0;
 };
 

@@ -38,6 +38,7 @@ bool Cli::parse(int argc, const char* const* argv, std::string* error) {
     auto it = flags_.find(name);
     if (it == flags_.end()) return fail("unknown flag: --" + name);
     it->second.value = value;
+    it->second.set = true;
   }
   return true;
 }
@@ -84,6 +85,14 @@ bool Cli::get_bool(const std::string& name) const {
   DMRA_REQUIRE_MSG(false, "flag --" + name + " is not a bool: " + v);
   return false;
 }
+
+std::map<std::string, std::string> Cli::values() const {
+  std::map<std::string, std::string> out;
+  for (const auto& [name, flag] : flags_) out[name] = flag.value;
+  return out;
+}
+
+bool Cli::is_set(const std::string& name) const { return lookup(name).set; }
 
 std::vector<double> Cli::get_double_list(const std::string& name) const {
   const std::string& v = lookup(name).value;

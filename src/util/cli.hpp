@@ -33,11 +33,20 @@ class Cli {
   /// Comma-separated list of doubles, e.g. "--rho=0,100,200".
   std::vector<double> get_double_list(const std::string& name) const;
 
+  /// Every declared flag with its effective (parsed-or-default) value, in
+  /// name order — the provenance snapshot a run manifest records.
+  std::map<std::string, std::string> values() const;
+
+  /// True iff the flag was set on the command line (differs from knowing
+  /// its value: an explicit "--jobs=0" counts as set).
+  bool is_set(const std::string& name) const;
+
  private:
   struct Flag {
     std::string value;
     std::string default_value;
     std::string help;
+    bool set = false;  ///< appeared on the command line
   };
   std::map<std::string, Flag> flags_;
   bool help_requested_ = false;

@@ -63,29 +63,53 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Per-task lifecycle hooks for parallel_map. `before(i)` / `after(i)`
+/// run on the thread that executes task i, immediately around the call —
+/// the seam through which thread-local machinery (the obs trace shards,
+/// see obs/shard.hpp) follows a task onto whichever worker picks it up.
+/// `after` runs even when the task throws, so installations never leak
+/// into the next task on that worker. Default-constructed hooks are free:
+/// the empty-std::function test is the only cost.
+struct TaskHooks {
+  std::function<void(std::size_t task)> before;
+  std::function<void(std::size_t task)> after;
+};
+
 /// Map fn over indices [0, n) with `jobs` workers, returning results in
 /// index order; jobs == 0 means hardware_concurrency(). jobs ≤ 1 (or
 /// n ≤ 1) runs inline on the calling thread — the serial path and the
-/// parallel path reduce identically, so results never depend on jobs.
+/// parallel path run the identical per-task sequence (hooks included),
+/// so results never depend on jobs.
 /// On task failure, the exception of the first failing index propagates
 /// (later tasks still finish — the pool drains before joining — but
 /// their exceptions stay in their abandoned futures).
 template <typename Fn>
-auto parallel_map(std::size_t jobs, std::size_t n, Fn&& fn)
+auto parallel_map(std::size_t jobs, std::size_t n, Fn&& fn, const TaskHooks& hooks = {})
     -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
   using Result = std::invoke_result_t<Fn&, std::size_t>;
   if (jobs == 0) jobs = ThreadPool::hardware_concurrency();
+  auto run_one = [&fn, &hooks](std::size_t i) -> Result {
+    if (hooks.before) hooks.before(i);
+    struct AfterGuard {
+      const TaskHooks& hooks;
+      std::size_t i;
+      ~AfterGuard() {
+        if (hooks.after) hooks.after(i);
+      }
+    } guard{hooks, i};
+    return fn(i);
+  };
   std::vector<Result> results;
   results.reserve(n);
   if (jobs <= 1 || n <= 1) {
-    for (std::size_t i = 0; i < n; ++i) results.push_back(fn(i));
+    for (std::size_t i = 0; i < n; ++i) results.push_back(run_one(i));
     return results;
   }
   ThreadPool pool(jobs < n ? jobs : n);
   std::vector<std::future<Result>> futures;
   futures.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
-    futures.push_back(pool.submit([&fn, i] { return fn(i); }));
+    futures.push_back(pool.submit([&run_one, i] { return run_one(i); }));
   // get() in index order: the first failing index wins, matching what the
   // serial loop would have thrown first.
   for (auto& f : futures) results.push_back(f.get());

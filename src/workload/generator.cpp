@@ -153,4 +153,65 @@ Scenario generate_scenario(const ScenarioConfig& cfg, std::uint64_t seed) {
   return Scenario(std::move(data));
 }
 
+JsonObject scenario_config_json(const ScenarioConfig& cfg) {
+  JsonObject o;
+  o["num_sps"] = static_cast<std::uint64_t>(cfg.num_sps);
+  o["bss_per_sp"] = static_cast<std::uint64_t>(cfg.bss_per_sp);
+  o["num_ues"] = static_cast<std::uint64_t>(cfg.num_ues);
+  o["num_services"] = static_cast<std::uint64_t>(cfg.num_services);
+  o["services_per_bs"] = static_cast<std::uint64_t>(cfg.services_per_bs);
+  o["cru_capacity_min"] = cfg.cru_capacity_min;
+  o["cru_capacity_max"] = cfg.cru_capacity_max;
+  o["cru_demand_min"] = cfg.cru_demand_min;
+  o["cru_demand_max"] = cfg.cru_demand_max;
+  o["rate_demand_min_bps"] = cfg.rate_demand_min_bps;
+  o["rate_demand_max_bps"] = cfg.rate_demand_max_bps;
+  o["placement"] = placement_name(cfg.placement);
+  o["ownership"] =
+      cfg.ownership == OwnershipPolicy::kRoundRobin ? "round-robin" : "shuffled";
+  o["area_side_m"] = cfg.area_side_m;
+  o["grid_spacing_m"] = cfg.grid_spacing_m;
+  o["coverage_radius_m"] = cfg.coverage_radius_m;
+  o["ue_distribution"] =
+      cfg.ue_distribution == UeDistribution::kUniform ? "uniform" : "hotspots";
+  o["num_hotspots"] = static_cast<std::uint64_t>(cfg.num_hotspots);
+  o["hotspot_sigma_m"] = cfg.hotspot_sigma_m;
+  o["hotspot_fraction"] = cfg.hotspot_fraction;
+  o["service_popularity"] =
+      cfg.service_popularity == ServicePopularity::kUniform ? "uniform" : "zipf";
+  o["zipf_s"] = cfg.zipf_s;
+  JsonObject channel;
+  channel["tx_power_dbm"] = cfg.channel.tx_power_dbm;
+  channel["noise_dbm"] = cfg.channel.noise_dbm;
+  channel["noise_model"] =
+      cfg.channel.noise_model == NoiseModel::kPsd ? "psd" : "total-per-rrb";
+  channel["min_distance_m"] = cfg.channel.min_distance_m;
+  channel["interference_psd_mw_hz"] = cfg.channel.interference_psd_mw_hz;
+  channel["pathloss_model"] = pathloss_model_name(cfg.channel.pathloss_model);
+  channel["shadowing_sigma_db"] = cfg.channel.shadowing_sigma_db;
+  channel["shadowing_seed"] = cfg.channel.shadowing_seed;
+  o["channel"] = std::move(channel);
+  JsonObject ofdma;
+  ofdma["uplink_bandwidth_hz"] = cfg.ofdma.uplink_bandwidth_hz;
+  ofdma["rrb_bandwidth_hz"] = cfg.ofdma.rrb_bandwidth_hz;
+  o["ofdma"] = std::move(ofdma);
+  JsonObject pricing;
+  pricing["b"] = cfg.pricing.b;
+  pricing["iota"] = cfg.pricing.iota;
+  pricing["sigma"] = cfg.pricing.sigma;
+  pricing["transmission"] =
+      cfg.pricing.transmission == TransmissionPricing::kLinear ? "linear" : "power";
+  pricing["m_k"] = cfg.pricing.m_k;
+  pricing["m_k_o"] = cfg.pricing.m_k_o;
+  pricing["min_distance_m"] = cfg.pricing.min_distance_m;
+  o["pricing"] = std::move(pricing);
+  o["interference_activity_factor"] = cfg.interference_activity_factor;
+  switch (cfg.link_build) {
+    case LinkBuild::kAuto: o["link_build"] = "auto"; break;
+    case LinkBuild::kDense: o["link_build"] = "dense"; break;
+    case LinkBuild::kSparse: o["link_build"] = "sparse"; break;
+  }
+  return o;
+}
+
 }  // namespace dmra

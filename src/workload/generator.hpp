@@ -15,6 +15,7 @@
 
 #include "mec/scenario.hpp"
 #include "topology/placement.hpp"
+#include "util/json.hpp"
 
 namespace dmra {
 
@@ -88,5 +89,11 @@ struct ScenarioConfig {
 
 /// Build a full, validated Scenario. Deterministic in (config, seed).
 Scenario generate_scenario(const ScenarioConfig& config, std::uint64_t seed);
+
+/// One-way provenance dump of every ScenarioConfig field (enum values as
+/// the names the persistence layer uses). Run manifests embed this so a
+/// recorded run documents the exact generator inputs; it is not a
+/// round-trip format — scenarios persist via mec/scenario_io.hpp.
+JsonObject scenario_config_json(const ScenarioConfig& config);
 
 }  // namespace dmra

@@ -363,7 +363,7 @@ TEST(ExperimentTracing, CountsSweepPointsAndReplications) {
   spec.x_label = "x";
   spec.xs = {40.0, 60.0};
   spec.seeds = default_seeds(2);
-  spec.jobs = 1;  // recorder is thread-local: traced runs are serial
+  spec.jobs = 1;  // shard_test.cpp covers the parallel jobs>1 merge path
   spec.make_config = [](double x) {
     ScenarioConfig cfg;
     cfg.num_ues = static_cast<std::size_t>(x);

@@ -1,0 +1,251 @@
+// Tests for parallel-safe sharded tracing (obs/shard.hpp) and the
+// shard-merge primitive TraceRecorder::absorb(): the headline guarantee
+// is that a traced run's exports — Chrome trace JSON, round CSV, and the
+// deterministic metrics snapshot — are byte-identical for every --jobs
+// value, because per-task shards merge back in task order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/events.hpp"
+#include "obs/manifest.hpp"
+#include "obs/recorder.hpp"
+#include "obs/shard.hpp"
+#include "sim/experiment.hpp"
+#include "core/dmra_allocator.hpp"
+#include "util/json.hpp"
+#include "workload/generator.hpp"
+
+namespace dmra {
+namespace {
+
+obs::TraceEvent proposal(std::uint32_t ue) {
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::kProposal;
+  e.ue = ue;
+  return e;
+}
+
+// ---- absorb() --------------------------------------------------------------
+
+TEST(TraceRecorderAbsorb, RestampsSlotAndSeqKeepsRound) {
+  obs::TraceRecorder shard;
+  shard.set_round(3);
+  shard.record(proposal(1));
+  obs::RoundRow row;
+  row.source = "shard";
+  shard.finish_round(row);
+  shard.record(proposal(2));  // trailing event, slot 1, no closing row
+
+  obs::TraceRecorder target;
+  target.record(proposal(0));
+  obs::RoundRow trow;
+  trow.source = "target";
+  target.finish_round(trow);
+
+  target.absorb(shard);
+  ASSERT_EQ(target.events().size(), 3u);
+  ASSERT_EQ(target.rows().size(), 2u);
+  // Shard's slot-0 event lands in the target's next slot (1), before the
+  // shard's row; the trailing event opens slot 2.
+  EXPECT_EQ(target.events()[1].slot, 1u);
+  EXPECT_EQ(target.events()[1].seq, 0u);
+  EXPECT_EQ(target.events()[1].round, 3u);  // producer stamp survives
+  EXPECT_EQ(target.events()[2].slot, 2u);
+  EXPECT_EQ(target.rows()[1].source, "shard");
+}
+
+TEST(TraceRecorderAbsorb, EquivalentToRecordingSeriallyByteForByte) {
+  // One recorder records A then B directly; another absorbs them as two
+  // shards. Exports must match exactly.
+  const auto produce = [](obs::TraceRecorder& rec, std::uint32_t base) {
+    rec.set_round(base);
+    rec.record(proposal(base));
+    rec.record(proposal(base + 1));
+    obs::RoundRow row;
+    row.source = "core/solver";
+    row.proposals = 2;
+    rec.finish_round(row);
+    rec.metrics().add_counter("bus.rounds", base);
+  };
+  obs::TraceRecorder serial;
+  produce(serial, 10);
+  produce(serial, 20);
+
+  obs::TraceRecorder a, b, merged;
+  produce(a, 10);
+  produce(b, 20);
+  merged.absorb(a);
+  merged.absorb(b);
+
+  EXPECT_EQ(merged.to_chrome_trace_json(), serial.to_chrome_trace_json());
+  EXPECT_EQ(merged.to_round_csv(), serial.to_round_csv());
+  EXPECT_EQ(merged.metrics().counter("bus.rounds"), 30u);
+}
+
+TEST(TraceRecorderAbsorb, DoesNotBumpGlobalCounterOrProducerTally) {
+  obs::TraceRecorder shard;
+  shard.record(proposal(1));
+  obs::TraceRecorder target;
+  const std::uint64_t before = obs::events_recorded_total();
+  target.absorb(shard);
+  EXPECT_EQ(obs::events_recorded_total(), before);  // already counted once
+  EXPECT_EQ(target.take_tally().proposals, 0u);     // merge is not production
+}
+
+// ---- TraceShards -----------------------------------------------------------
+
+TEST(ShardedTracing, HooksInstallShardPerTaskAndRestore) {
+  obs::TraceRecorder outer;
+  obs::ScopedTraceRecorder install(&outer);
+  obs::TraceShards shards(2);
+  const TaskHooks hooks = shards.hooks();
+  hooks.before(0);
+  EXPECT_EQ(obs::recorder(), &shards.shard(0));
+  obs::recorder()->record(proposal(7));
+  hooks.after(0);
+  EXPECT_EQ(obs::recorder(), &outer);  // previous recorder restored
+  EXPECT_EQ(shards.shard(0).events().size(), 1u);
+  EXPECT_TRUE(outer.events().empty());
+
+  shards.merge_into(outer);
+  ASSERT_EQ(outer.events().size(), 1u);
+  EXPECT_EQ(outer.events()[0].ue, 7u);
+}
+
+TEST(ShardedTracing, TracedParallelMapIsPassthroughWhenDisabled) {
+  ASSERT_EQ(obs::recorder(), nullptr);
+  const std::uint64_t before = obs::events_recorded_total();
+  const auto out = obs::traced_parallel_map(4, 8, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[5], 25u);
+  EXPECT_EQ(obs::events_recorded_total(), before);
+}
+
+// ---- the golden jobs-invariance guarantee ----------------------------------
+
+struct Exports {
+  std::string trace;
+  std::string csv;
+  std::string metrics;
+};
+
+/// A traced replicated experiment at the given worker count.
+Exports traced_experiment(std::size_t jobs) {
+  ExperimentSpec spec;
+  spec.title = "sharded";
+  spec.x_label = "x";
+  spec.xs = {40.0, 60.0};
+  spec.seeds = default_seeds(4);
+  spec.jobs = jobs;
+  spec.make_config = [](double x) {
+    ScenarioConfig cfg;
+    cfg.num_ues = static_cast<std::size_t>(x);
+    return cfg;
+  };
+  spec.make_allocators = [](double) {
+    std::vector<AllocatorPtr> algos;
+    algos.push_back(std::make_unique<DmraAllocator>());
+    return algos;
+  };
+  obs::TraceRecorder rec;
+  {
+    obs::ScopedTraceRecorder install(&rec);
+    (void)run_experiment(spec);
+  }
+  return {rec.to_chrome_trace_json(), rec.to_round_csv(),
+          JsonValue(rec.metrics().deterministic_json()).dump(2)};
+}
+
+TEST(ShardedTracing, ExportsAreByteIdenticalAcrossJobs) {
+  const Exports serial = traced_experiment(1);
+  ASSERT_FALSE(serial.trace.empty());
+  ASSERT_FALSE(serial.csv.empty());
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+    const Exports parallel = traced_experiment(jobs);
+    EXPECT_EQ(parallel.trace, serial.trace) << "trace JSON diverged at jobs=" << jobs;
+    EXPECT_EQ(parallel.csv, serial.csv) << "round CSV diverged at jobs=" << jobs;
+    EXPECT_EQ(parallel.metrics, serial.metrics) << "metrics diverged at jobs=" << jobs;
+  }
+}
+
+TEST(ShardedTracing, ParallelRunLosesNoReplication) {
+  // Every one of the 2 sweep points x 4 seeds must contribute rows and
+  // counters through the shard merge.
+  const auto count_rows = [] {
+    obs::TraceRecorder rec;
+    ExperimentSpec spec;
+    spec.title = "counted";
+    spec.x_label = "x";
+    spec.xs = {40.0};
+    spec.seeds = default_seeds(4);
+    spec.jobs = 4;
+    spec.make_config = [](double x) {
+      ScenarioConfig cfg;
+      cfg.num_ues = static_cast<std::size_t>(x);
+      return cfg;
+    };
+    spec.make_allocators = [](double) {
+      std::vector<AllocatorPtr> algos;
+      algos.push_back(std::make_unique<DmraAllocator>());
+      return algos;
+    };
+    {
+      obs::ScopedTraceRecorder install(&rec);
+      (void)run_experiment(spec);
+    }
+    return std::pair{rec.rows().size(), rec.metrics().counter("experiment.replications")};
+  };
+  const auto [rows, replications] = count_rows();
+  EXPECT_EQ(replications, 4u);
+  EXPECT_GE(rows, 4u);  // at least one traced round per replication
+}
+
+// ---- manifests -------------------------------------------------------------
+
+TEST(Manifest, CarriesSchemaProvenanceAndOutputs) {
+  obs::MetricsRegistry metrics;
+  metrics.add_counter("bus.rounds", 5);
+  obs::ManifestInput input;
+  input.program = "unit-test";
+  input.flags = {{"jobs", "8"}, {"trace", "t.json"}};
+  input.scenario_config = scenario_config_json(ScenarioConfig{});
+  input.seeds = {1, 2, 3};
+  input.jobs = 8;
+  input.outputs = {{"trace", "t.json"}};
+  input.metrics = &metrics;
+
+  const JsonParseResult parsed = json_parse(obs::manifest_to_json(input));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const JsonValue& root = parsed.value;
+  EXPECT_EQ(root.at("schema").as_string(), obs::kManifestSchema);
+  EXPECT_EQ(root.at("program").as_string(), "unit-test");
+  EXPECT_FALSE(root.at("git").as_string().empty());
+  EXPECT_TRUE(root.at("build").has("sanitizers"));
+  EXPECT_TRUE(root.at("build").at("audit").is_bool());
+  EXPECT_EQ(root.at("flags").at("jobs").as_string(), "8");
+  EXPECT_EQ(root.at("seeds").as_array().size(), 3u);
+  EXPECT_EQ(root.at("scenario_config").at("num_sps").as_u32(), 5u);
+  EXPECT_EQ(root.at("outputs").as_array().at(0).at("kind").as_string(), "trace");
+  EXPECT_EQ(root.at("metrics").at("counters").at("bus.rounds").as_u32(), 5u);
+}
+
+TEST(Manifest, IsDeterministicForIdenticalInputs) {
+  obs::ManifestInput input;
+  input.program = "p";
+  input.seeds = {42};
+  EXPECT_EQ(obs::manifest_to_json(input), obs::manifest_to_json(input));
+}
+
+TEST(Manifest, EmptyInputStillValidates) {
+  const JsonParseResult parsed = json_parse(obs::manifest_to_json({}));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_TRUE(parsed.value.at("metrics").as_object().empty());  // no registry
+  EXPECT_TRUE(parsed.value.at("outputs").as_array().empty());
+}
+
+}  // namespace
+}  // namespace dmra

@@ -119,5 +119,26 @@ TEST(Cli, BoolAcceptsManySpellings) {
   EXPECT_FALSE(cli.get_bool("c"));
 }
 
+TEST(Cli, ValuesSnapshotsEveryFlagWithEffectiveValue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--ues=900"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  const auto values = cli.values();
+  ASSERT_EQ(values.size(), 4u);  // every declared flag, set or not
+  EXPECT_EQ(values.at("ues"), "900");
+  EXPECT_EQ(values.at("rho"), "100.5");  // default survives
+  EXPECT_EQ(values.at("verbose"), "false");
+  EXPECT_EQ(values.at("list"), "1,2,3");
+}
+
+TEST(Cli, IsSetDistinguishesExplicitFromDefault) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--ues=500"};  // explicit, equal to default
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.is_set("ues"));
+  EXPECT_FALSE(cli.is_set("rho"));
+  EXPECT_THROW(cli.is_set("ghost"), ContractViolation);
+}
+
 }  // namespace
 }  // namespace dmra

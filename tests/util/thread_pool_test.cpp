@@ -94,5 +94,41 @@ TEST(ParallelMap, MoveOnlyResultsSupported) {
   for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(*out[i], i);
 }
 
+TEST(ParallelMap, TaskHooksBracketEveryTaskOnBothPaths) {
+  // before(i)/after(i) run around each task on the thread executing it —
+  // the obs/shard.hpp contract — on the inline (jobs=1) path and the
+  // pooled path alike.
+  for (const std::size_t jobs : {1u, 4u}) {
+    std::vector<std::atomic<int>> befores(16), afters(16);
+    TaskHooks hooks;
+    hooks.before = [&](std::size_t i) { befores[i].fetch_add(1); };
+    hooks.after = [&](std::size_t i) {
+      EXPECT_EQ(befores[i].load(), 1) << "after ran without before, task " << i;
+      afters[i].fetch_add(1);
+    };
+    const auto out = parallel_map(jobs, 16, [](std::size_t i) { return i; }, hooks);
+    ASSERT_EQ(out.size(), 16u) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(befores[i].load(), 1) << "jobs=" << jobs << " task " << i;
+      EXPECT_EQ(afters[i].load(), 1) << "jobs=" << jobs << " task " << i;
+    }
+  }
+}
+
+TEST(ParallelMap, AfterHookRunsWhenTaskThrows) {
+  std::atomic<int> afters{0};
+  TaskHooks hooks;
+  hooks.after = [&](std::size_t) { afters.fetch_add(1); };
+  const auto fn = [](std::size_t i) -> int {
+    if (i == 2) throw std::runtime_error("task 2");
+    return static_cast<int>(i);
+  };
+  for (const std::size_t jobs : {1u, 4u}) {
+    afters.store(0);
+    EXPECT_THROW(parallel_map(jobs, 8, fn, hooks), std::runtime_error);
+    EXPECT_GE(afters.load(), 1) << "jobs=" << jobs;  // the thrower included
+  }
+}
+
 }  // namespace
 }  // namespace dmra

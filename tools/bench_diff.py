@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Noise-aware comparison of two perf_report outputs (BENCH_core.json).
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json
+        [--baseline-manifest M1.json] [--candidate-manifest M2.json]
+        [--warn-ratio 1.25] [--fail-ratio 1.5] [--min-ms 1.0]
+        [--fail-on fail|warn|never]
+
+Joins the three probe tables (scenario_build, decentralized_run,
+experiment) on the "ues" scale and classifies each wall-time row:
+
+    PASS  candidate/baseline ratio below --warn-ratio, or both sides are
+          under the --min-ms noise floor (sub-millisecond probes jitter
+          far more than 25% on shared machines)
+    WARN  ratio in [--warn-ratio, --fail-ratio)
+    FAIL  ratio >= --fail-ratio
+
+Semantic counters (rounds, messages_sent, matching_rounds) are protocol
+outputs, not timings: any change is reported as WARN so a "perf-only"
+change that silently altered protocol behaviour shows up. Peak RSS
+regressions beyond --fail-ratio are WARN (allocator noise). Experiment
+rows with different seed counts, and reports with different quick-mode
+scales, are skipped as incomparable rather than compared apples-to-pears.
+
+When run manifests (docs/PROVENANCE.md) sit next to the reports, pass
+them too: differing git revisions are expected and printed as context,
+but a build-flavor mismatch (sanitizers, build type) makes every timing
+row incomparable and is reported as WARN.
+
+Exit status: 1 when the worst class reaches --fail-on (default "fail");
+CI's perf-regression job runs with --fail-on never (warn-only gate).
+Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SEMANTIC_KEYS = ("rounds", "messages_sent", "matching_rounds")
+KNOWN_SCHEMAS = ("dmra-perf-report/1", "dmra-perf-report/1.1")
+
+
+def load_json(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+
+
+class Report:
+    """One comparison row: status + human-readable detail."""
+
+    def __init__(self) -> None:
+        self.rows: list[tuple[str, str, str]] = []  # (status, probe, detail)
+
+    def add(self, status: str, probe: str, detail: str) -> None:
+        self.rows.append((status, probe, detail))
+
+    def worst(self) -> str:
+        order = {"PASS": 0, "SKIP": 0, "WARN": 1, "FAIL": 2}
+        return max((r[0] for r in self.rows), key=lambda s: order.get(s, 0), default="PASS")
+
+
+def check_schema(report: Report, name: str, doc: dict) -> None:
+    schema = doc.get("schema", "<missing>")
+    if schema not in KNOWN_SCHEMAS:
+        report.add("WARN", "schema", f"{name}: unknown schema {schema!r}")
+
+
+def provenance_line(doc: dict, manifest: dict | None) -> str:
+    git = doc.get("git") or (manifest or {}).get("git") or "unknown"
+    build = doc.get("build") or (manifest or {}).get("build") or {}
+    flavor = build.get("type", "unknown")
+    san = build.get("sanitizers", "")
+    return f"git {git}, {flavor}" + (f" +{san}" if san else "")
+
+
+def build_flavor(doc: dict, manifest: dict | None) -> tuple:
+    build = doc.get("build") or (manifest or {}).get("build") or {}
+    return (build.get("type"), build.get("sanitizers"))
+
+
+def compare_wall(report: Report, probe: str, base: dict, cand: dict,
+                 args: argparse.Namespace) -> None:
+    b, c = base["wall_ms"], cand["wall_ms"]
+    if b < args.min_ms and c < args.min_ms:
+        report.add("PASS", probe, f"{b:.3f} -> {c:.3f} ms (below {args.min_ms} ms noise floor)")
+        return
+    if b <= 0.0:
+        report.add("SKIP", probe, f"non-positive baseline wall_ms {b}")
+        return
+    ratio = c / b
+    detail = f"{b:.3f} -> {c:.3f} ms ({ratio:.2f}x)"
+    if ratio >= args.fail_ratio:
+        report.add("FAIL", probe, detail)
+    elif ratio >= args.warn_ratio:
+        report.add("WARN", probe, detail)
+    else:
+        report.add("PASS", probe, detail)
+
+
+def compare_semantics(report: Report, probe: str, base: dict, cand: dict) -> None:
+    for key in SEMANTIC_KEYS:
+        if key not in base and key not in cand:
+            continue
+        if base.get(key) != cand.get(key):
+            report.add("WARN", f"{probe}.{key}",
+                       f"semantic counter changed: {base.get(key)} -> {cand.get(key)}")
+
+
+def join_rows(table_base: list, table_cand: list) -> list[tuple[dict, dict]]:
+    cand_by_ues = {row["ues"]: row for row in table_cand}
+    return [(row, cand_by_ues[row["ues"]]) for row in table_base if row["ues"] in cand_by_ues]
+
+
+def compare_reports(report: Report, base: dict, cand: dict, args: argparse.Namespace) -> None:
+    for table in ("scenario_build", "decentralized_run", "experiment"):
+        pairs = join_rows(base.get(table, []), cand.get(table, []))
+        if not pairs:
+            report.add("SKIP", table, "no common 'ues' scales (quick vs full reports?)")
+            continue
+        for brow, crow in pairs:
+            probe = f"{table}@{brow['ues']}"
+            if table == "experiment" and brow.get("seeds") != crow.get("seeds"):
+                report.add("SKIP", probe,
+                           f"seed counts differ ({brow.get('seeds')} vs {crow.get('seeds')})")
+                continue
+            compare_wall(report, probe, brow, crow, args)
+            compare_semantics(report, probe, brow, crow)
+    b_rss, c_rss = base.get("peak_rss_mib"), cand.get("peak_rss_mib")
+    if isinstance(b_rss, (int, float)) and isinstance(c_rss, (int, float)) and b_rss > 0:
+        ratio = c_rss / b_rss
+        status = "WARN" if ratio >= args.fail_ratio else "PASS"
+        report.add(status, "peak_rss_mib", f"{b_rss:.1f} -> {c_rss:.1f} MiB ({ratio:.2f}x)")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--baseline-manifest", help="dmra-manifest/1 next to the baseline report")
+    ap.add_argument("--candidate-manifest", help="dmra-manifest/1 next to the candidate report")
+    ap.add_argument("--warn-ratio", type=float, default=1.25,
+                    help="slowdown ratio that starts a WARN (default 1.25)")
+    ap.add_argument("--fail-ratio", type=float, default=1.5,
+                    help="slowdown ratio that starts a FAIL (default 1.5)")
+    ap.add_argument("--min-ms", type=float, default=1.0,
+                    help="noise floor: rows where both sides are faster pass (default 1.0)")
+    ap.add_argument("--fail-on", choices=("fail", "warn", "never"), default="fail",
+                    help="exit 1 when the worst row reaches this class (default fail)")
+    args = ap.parse_args()
+    if not args.warn_ratio <= args.fail_ratio:
+        ap.error("--warn-ratio must be <= --fail-ratio")
+
+    base = load_json(args.baseline)
+    cand = load_json(args.candidate)
+    base_manifest = load_json(args.baseline_manifest) if args.baseline_manifest else None
+    cand_manifest = load_json(args.candidate_manifest) if args.candidate_manifest else None
+
+    report = Report()
+    check_schema(report, "baseline", base)
+    check_schema(report, "candidate", cand)
+
+    print(f"baseline : {args.baseline} ({provenance_line(base, base_manifest)})")
+    print(f"candidate: {args.candidate} ({provenance_line(cand, cand_manifest)})")
+    bf, cf = build_flavor(base, base_manifest), build_flavor(cand, cand_manifest)
+    if bf != cf and any(bf) and any(cf):
+        report.add("WARN", "build-flavor",
+                   f"{bf} vs {cf}: timings are not comparable across build flavors")
+
+    compare_reports(report, base, cand, args)
+
+    width = max((len(p) for _, p, _ in report.rows), default=5)
+    print()
+    for status, probe, detail in report.rows:
+        print(f"{status:4} | {probe:<{width}} | {detail}")
+    worst = report.worst()
+    print(f"\nresult: {worst}")
+
+    threshold = {"fail": ("FAIL",), "warn": ("FAIL", "WARN"), "never": ()}[args.fail_on]
+    return 1 if worst in threshold else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

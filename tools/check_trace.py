@@ -2,17 +2,30 @@
 """Validate DMRA observability exports (stdlib only).
 
 Usage:
-    tools/check_trace.py --trace trace.json --round-csv rounds.csv
+    tools/check_trace.py --trace trace.json --round-csv rounds.csv \
+        [--manifest manifest.json]
 
 Checks the Chrome trace-event JSON against the dmra-trace/1 schema and the
 per-round CSV against the fixed column contract, then cross-checks that the
 two exports describe the same run (one "X" slice per CSV row).
+
+Timestamps must be strictly increasing per track (slices and instants per
+tid; counter samples per series). A traced parallel run is merged from
+per-task shards (obs/shard.hpp), so this ordering is exactly the
+determinism guarantee the merge makes — an interleaved merge shows up
+here as a ts inversion.
+
+With --manifest, also validates the run-provenance manifest against the
+dmra-manifest/1 schema (docs/PROVENANCE.md) and cross-checks that every
+--trace/--round-csv file passed on this command line is declared in the
+manifest's outputs list.
 
 Exit status 0 on success; 1 with a diagnostic on the first violation.
 """
 
 import argparse
 import json
+import os
 import sys
 
 EXPECTED_SCHEMA = "dmra-trace/1"
@@ -69,11 +82,29 @@ def check_trace(path: str) -> int:
         fail(f"{path}: traceEvents must be a non-empty array")
 
     phases = {ph: 0 for ph in KNOWN_PHASES}
+    last_ts = {}  # track key -> last seen ts, for the per-track ordering check
     for idx, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"traceEvents[{idx}] is not an object")
         check_event(idx, ev)
         phases[ev["ph"]] += 1
+        if ev["ph"] == "M":
+            continue
+        # Counters are per-series (one counter name can carry several
+        # sources at the same row); slices and instants are per-tid.
+        if ev["ph"] == "C":
+            series = next(iter(ev["args"]), "")
+            key = (ev["pid"], ev["tid"], ev["name"], series)
+        else:
+            key = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if key in last_ts and ts <= last_ts[key]:
+            fail(
+                f"traceEvents[{idx}]: ts {ts} is not strictly increasing on "
+                f"track {key} (previous {last_ts[key]}) — a sharded merge "
+                f"(obs/shard.hpp) must replay events in deterministic order"
+            )
+        last_ts[key] = ts
     if phases["M"] == 0:
         fail(f"{path}: no track-name metadata events")
     print(
@@ -116,13 +147,78 @@ def check_csv(path: str) -> int:
     return rows
 
 
+EXPECTED_MANIFEST_SCHEMA = "dmra-manifest/1"
+MANIFEST_FIELDS = {
+    "schema": str,
+    "program": str,
+    "git": str,
+    "build": dict,
+    "flags": dict,
+    "scenario_config": dict,
+    "seeds": list,
+    "jobs": (int, float),
+    "fault_spec": str,
+    "outputs": list,
+    "metrics": dict,
+}
+
+
+def check_manifest(path: str) -> dict:
+    """Validate the run-provenance manifest; returns {kind: [paths]}."""
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            root = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path} is not valid JSON: {e}")
+    if not isinstance(root, dict):
+        fail(f"{path}: root must be an object")
+    for field, ftype in MANIFEST_FIELDS.items():
+        if field not in root:
+            fail(f"{path}: missing required field '{field}'")
+        if not isinstance(root[field], ftype):
+            fail(f"{path}: field '{field}' has type {type(root[field]).__name__}")
+    if root["schema"] != EXPECTED_MANIFEST_SCHEMA:
+        fail(f"{path}: schema is {root['schema']!r}, expected {EXPECTED_MANIFEST_SCHEMA!r}")
+    for field in ("type", "sanitizers", "audit"):
+        if field not in root["build"]:
+            fail(f"{path}: build is missing '{field}'")
+    for i, seed in enumerate(root["seeds"]):
+        if not isinstance(seed, (int, float)) or seed != int(seed):
+            fail(f"{path}: seeds[{i}] ({seed!r}) is not an integer")
+    outputs = {}
+    for i, entry in enumerate(root["outputs"]):
+        if not isinstance(entry, dict) or "kind" not in entry or "path" not in entry:
+            fail(f"{path}: outputs[{i}] must be an object with 'kind' and 'path'")
+        if not entry["path"]:
+            fail(f"{path}: outputs[{i}] has an empty path")
+        outputs.setdefault(entry["kind"], []).append(entry["path"])
+    print(
+        f"check_trace: {path}: manifest OK "
+        f"(git {root['git']}, {len(root['seeds'])} seeds, "
+        f"{sum(len(v) for v in outputs.values())} outputs)"
+    )
+    return outputs
+
+
+def check_manifest_links(manifest_path: str, outputs: dict, kind: str, path: str) -> None:
+    """The export at `path` must be declared in the manifest's outputs."""
+    declared = outputs.get(kind, [])
+    if path in declared or os.path.basename(path) in map(os.path.basename, declared):
+        return
+    fail(
+        f"{manifest_path}: outputs do not link the {kind} export {path!r} "
+        f"(declared: {declared}) — the manifest and exports describe different runs"
+    )
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="Chrome trace-event JSON export")
     ap.add_argument("--round-csv", help="per-round metric CSV export")
+    ap.add_argument("--manifest", help="dmra-manifest/1 run-provenance JSON")
     args = ap.parse_args()
-    if not args.trace and not args.round_csv:
-        ap.error("nothing to check: pass --trace and/or --round-csv")
+    if not args.trace and not args.round_csv and not args.manifest:
+        ap.error("nothing to check: pass --trace, --round-csv, and/or --manifest")
 
     slices = check_trace(args.trace) if args.trace else None
     rows = check_csv(args.round_csv) if args.round_csv else None
@@ -131,6 +227,12 @@ def main() -> None:
             f"export mismatch: trace has {slices} round slices "
             f"but CSV has {rows} rows — the files describe different runs"
         )
+    if args.manifest:
+        outputs = check_manifest(args.manifest)
+        if args.trace:
+            check_manifest_links(args.manifest, outputs, "trace", args.trace)
+        if args.round_csv:
+            check_manifest_links(args.manifest, outputs, "round-csv", args.round_csv)
     print("check_trace: OK")
 
 

@@ -26,9 +26,11 @@ class SnapshotArena {
   explicit SnapshotArena(std::size_t num_services) : stride_(num_services) {}
 
   std::uint32_t publish(const BsLocalResources& r) {
+    // dmra::hotpath begin(snapshot-publish)
     crus_.insert(crus_.end(), r.crus.begin(), r.crus.end());
     rrbs_.push_back(r.rrbs);
     return static_cast<std::uint32_t>(rrbs_.size() - 1);
+    // dmra::hotpath end(snapshot-publish)
   }
 
   std::uint32_t crus(std::uint32_t snapshot, std::size_t service) const {
@@ -302,6 +304,13 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
   };
   std::size_t quiet_rounds = 0;
 
+  // BS-phase scratch, hoisted out of the round loop: per round the cost is
+  // a clear() that keeps capacity, not a fresh heap allocation per BS. Part
+  // of the hotpath allocation budget (docs/STATIC_ANALYSIS.md).
+  std::vector<ProposalInfo> fresh;
+  std::vector<UeId> reacks;
+  std::vector<UeId> accepted;
+
   bool converged = false;
   for (std::size_t round = 0; round < round_limit; ++round) {
     const std::uint64_t msgs_before = bus.stats().messages_sent;
@@ -354,6 +363,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
 
     // ---- UE phase: ingest broadcasts & decisions, then propose.
     std::size_t sent_this_round = 0;
+    // dmra::hotpath begin(ue-propose)
     for (UeAgent& a : ue_agents) {
       a.heard_serving = false;
       for (auto& env : bus.take_inbox(a.address)) {
@@ -437,6 +447,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
         rec->record(e);
       }
     }
+    // dmra::hotpath end(ue-propose)
     bus.deliver();
     if (sent_this_round == 0) {
       if (!faulty) {
@@ -455,6 +466,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     ++result.dmra.rounds;
 
     // ---- SP relay phase (up): forward offload requests to the BSs.
+    // dmra::hotpath begin(sp-relay-up)
     for (SpAgent& sp : sp_agents) {
       for (auto& env : bus.take_inbox(sp.address)) {
         const auto& req = std::get<MsgOffloadRequest>(env.payload);
@@ -462,10 +474,12 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
                  MsgPropose{req.ue, req.f_u});
       }
     }
+    // dmra::hotpath end(sp-relay-up)
     bus.deliver();
 
     // ---- BS phase: select, commit locally, reply, broadcast.
     std::size_t accepted_this_round = 0;
+    // dmra::hotpath begin(bs-accept)
     for (BsAgent& b : bs_agents) {
       // A crashed BS is a black hole: proposals die in its inbox and no
       // decision or broadcast ever leaves. UEs must discover this through
@@ -474,8 +488,8 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
         bus.take_inbox(b.address);
         continue;
       }
-      std::vector<ProposalInfo> fresh;
-      std::vector<UeId> reacks;
+      fresh.clear();
+      reacks.clear();
       for (auto& env : bus.take_inbox(b.address)) {
         const auto& p = std::get<MsgPropose>(env.payload);
         // A UE this BS already admitted can only re-propose because the
@@ -501,7 +515,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
       }
       if (fresh.empty() && reacks.empty() && !unreliable) continue;
 
-      std::vector<UeId> accepted;
+      accepted.clear();
       if (!fresh.empty()) accepted = bs_select(scenario, b.bs, fresh, b.resources, config);
 
       for (UeId u : accepted) {
@@ -553,6 +567,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
         }
       }
     }
+    // dmra::hotpath end(bs-accept)
     bus.deliver();
     // Delayed proposals can make a round accept more than it sent; clamp
     // instead of letting the size_t difference wrap.
@@ -584,12 +599,14 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     }
 
     // ---- SP relay phase (down): forward decisions to the UEs.
+    // dmra::hotpath begin(sp-relay-down)
     for (SpAgent& sp : sp_agents) {
       for (auto& env : bus.take_inbox(sp.address)) {
         const auto& dec = std::get<MsgDecision>(env.payload);
         bus.send(sp.address, ue_agents[dec.ue.idx()].address, dec);
       }
     }
+    // dmra::hotpath end(sp-relay-down)
     bus.deliver();
 
     if (rec != nullptr) {

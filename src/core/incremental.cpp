@@ -23,6 +23,7 @@ IncrementalResult solve_incremental_dmra(const Scenario& scenario,
   // Phase 1: carry over what still works. Commit in UE-id order so a BS
   // that can no longer hold *all* its previous UEs keeps a deterministic
   // prefix of them.
+  // dmra::hotpath begin(carry-over)
   for (std::size_t ui = 0; ui < scenario.num_ues(); ++ui) {
     const UeId u{static_cast<std::uint32_t>(ui)};
     const auto bs = previous.bs_of(u);
@@ -35,10 +36,12 @@ IncrementalResult solve_incremental_dmra(const Scenario& scenario,
     allocation.assign(u, *bs);
     matched[ui] = true;
   }
+  // dmra::hotpath end(carry-over)
 
   // Phase 2: hysteresis — release kept UEs whose current deal has drifted
   // far from their best alternative. (Release before re-matching so the
   // freed capacity is visible to the rematch round.)
+  // dmra::hotpath begin(hysteresis)
   if (config.hysteresis_margin < 1e17) {
     for (std::size_t ui = 0; ui < scenario.num_ues(); ++ui) {
       if (!matched[ui]) continue;
@@ -55,6 +58,7 @@ IncrementalResult solve_incremental_dmra(const Scenario& scenario,
       }
     }
   }
+  // dmra::hotpath end(hysteresis)
   result.kept = allocation.num_served();
   // Audit the carry-over + hysteresis state before the rematch: catches a
   // kept assignment that is no longer feasible or an unpaired release.

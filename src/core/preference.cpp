@@ -120,12 +120,13 @@ void record_decision(obs::TraceRecorder& rec, const Scenario& scenario, BsId i,
 }  // namespace
 
 std::vector<UeId> bs_select(const Scenario& scenario, BsId i,
-                            std::vector<ProposalInfo> proposals,
+                            const std::vector<ProposalInfo>& proposals,
                             const BsLocalResources& local, const DmraConfig& config) {
   DMRA_REQUIRE(local.crus.size() == scenario.num_services());
   // Tracing: one pointer test when disabled; all event work is behind it.
   obs::TraceRecorder* const rec = obs::recorder();
 
+  // dmra::hotpath begin(bs-select)
   // Group by requested service (Alg. 1 line 13), buckets in ServiceId
   // order — the same iteration order the previous std::map grouping gave.
   std::vector<std::vector<KeyedProposal>> by_service(scenario.num_services());
@@ -200,6 +201,7 @@ std::vector<UeId> bs_select(const Scenario& scenario, BsId i,
   for (const KeyedProposal& p : winners) accepted.push_back(p.ue);
   std::sort(accepted.begin(), accepted.end());
   return accepted;
+  // dmra::hotpath end(bs-select)
 }
 
 }  // namespace dmra

@@ -95,8 +95,10 @@ struct BsLocalResources {
 /// budget by dropping the BS's least-preferred winners. Returns accepted
 /// UEs sorted by id. The input order of `proposals` does not matter.
 /// `config`'s ablation switches control which tie-breaks participate.
+/// Takes `proposals` by const reference: both callers sit on the per-round
+/// hot path and reuse their proposal buffers across rounds.
 std::vector<UeId> bs_select(const Scenario& scenario, BsId i,
-                            std::vector<ProposalInfo> proposals,
+                            const std::vector<ProposalInfo>& proposals,
                             const BsLocalResources& local,
                             const DmraConfig& config = {});
 

@@ -1,7 +1,6 @@
 #include "core/solver.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "mec/audit.hpp"
 #include "mec/resources.hpp"
@@ -74,13 +73,24 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
 
   const std::size_t round_limit = config.max_rounds > 0 ? config.max_rounds : nu + 1;
 
+  // Per-BS proposal buckets and the BS-local resource scratch, hoisted out
+  // of the round loop. Scanning the buckets in index order reproduces the
+  // former std::map<BsId, ...> iteration order exactly, without a map-node
+  // allocation per proposal per round; bucket capacity persists across
+  // rounds. Part of the hotpath allocation budget (docs/STATIC_ANALYSIS.md).
+  const std::size_t nb = scenario.num_bss();
+  std::vector<std::vector<ProposalInfo>> proposals(nb);
+  BsLocalResources local;
+  local.crus.resize(scenario.num_services());
+
   bool converged = false;
   for (std::size_t round = 0; round < round_limit; ++round) {
     if (rec != nullptr) rec->set_round(round);
     // --- UE proposal phase: everything is evaluated against the state at
     // the start of the round, exactly like the broadcast view a
     // decentralized UE would hold.
-    std::map<BsId, std::vector<ProposalInfo>> proposals;
+    // dmra::hotpath begin(solver-propose)
+    for (std::vector<ProposalInfo>& bucket : proposals) bucket.clear();
     std::size_t sent_this_round = 0;
     for (std::size_t ui = 0; ui < nu; ++ui) {
       if (matched[ui] || at_cloud[ui]) continue;
@@ -91,7 +101,7 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
         continue;
       }
       const std::uint32_t f_u = live_coverage_count(scenario, view, u);
-      proposals[*choice].push_back(ProposalInfo{u, f_u});
+      proposals[choice->idx()].push_back(ProposalInfo{u, f_u});
       ++sent_this_round;
       if (rec != nullptr) {
         obs::TraceEvent e;
@@ -103,6 +113,7 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
         rec->record(e);
       }
     }
+    // dmra::hotpath end(solver-propose)
     if (sent_this_round == 0) {
       converged = true;
       break;
@@ -112,10 +123,12 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
 
     // --- BS acceptance phase: each BS decides from its own local
     // resources only, then commits.
+    // dmra::hotpath begin(solver-accept)
     std::size_t accepted_this_round = 0;
-    for (auto& [bs, props] : proposals) {
-      BsLocalResources local;
-      local.crus.resize(scenario.num_services());
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      const std::vector<ProposalInfo>& props = proposals[bi];
+      if (props.empty()) continue;
+      const BsId bs{static_cast<std::uint32_t>(bi)};
       for (std::size_t j = 0; j < scenario.num_services(); ++j)
         local.crus[j] = state.remaining_crus(bs, ServiceId{static_cast<std::uint32_t>(j)});
       local.rrbs = state.remaining_rrbs(bs);
@@ -136,6 +149,7 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
         }
       }
     }
+    // dmra::hotpath end(solver-accept)
     result.rejections += sent_this_round - accepted_this_round;
     if (DMRA_AUDIT_ACTIVE())
       audit::report_state_round("core/solver", result.rounds - 1, scenario, allocation,

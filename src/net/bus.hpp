@@ -58,10 +58,12 @@ class MessageBus {
 
   /// Queue a message for delivery at the next deliver() call.
   void send(AgentId from, AgentId to, Payload payload) {
+    // dmra::hotpath begin(bus-send)
     DMRA_REQUIRE(from.idx() < inboxes_.size());
     DMRA_REQUIRE(to.idx() < inboxes_.size());
     pending_.push_back(Envelope<Payload>{from, to, round_, seq_++, std::move(payload)});
     stats_.messages_sent++;
+    // dmra::hotpath end(bus-send)
   }
 
   /// Make every delivery lossy: each pending message is dropped
@@ -111,6 +113,7 @@ class MessageBus {
   /// call and are then delivered unconditionally, before that round's
   /// fresh messages, in send-sequence order.
   std::size_t deliver() {
+    // dmra::hotpath begin(bus-deliver)
     std::size_t delivered = 0;
     if (!delayed_.empty()) {
       std::size_t kept = 0;
@@ -152,13 +155,18 @@ class MessageBus {
     stats_.rounds = round_;
     stats_.messages_delivered += delivered;
     return delivered;
+    // dmra::hotpath end(bus-deliver)
   }
 
   /// Drain an agent's inbox (messages are in send order; the bus never
-  /// reorders messages to the same recipient).
+  /// reorders messages to the same recipient). The returned vector takes
+  /// the inbox's heap buffer with it, so the slot re-grows from empty next
+  /// round — the flat ring-buffer inbox of ROADMAP item 2 removes this.
   std::vector<Envelope<Payload>> take_inbox(AgentId agent) {
+    // dmra::hotpath begin(bus-take-inbox)
     DMRA_REQUIRE(agent.idx() < inboxes_.size());
     return std::exchange(inboxes_[agent.idx()], {});
+    // dmra::hotpath end(bus-take-inbox)
   }
 
   bool inbox_empty(AgentId agent) const { return inboxes_[agent.idx()].empty(); }

@@ -57,7 +57,10 @@ JsonObject manifest_json(const ManifestInput& input) {
     JsonObject entry;
     entry["kind"] = kind;
     entry["path"] = path;
-    outputs.push_back(std::move(entry));
+    // emplace_back constructs the JsonValue in place: the push_back form
+    // moves through a variant temporary that gcc 12 (RelWithDebInfo)
+    // flags with a spurious -Wmaybe-uninitialized.
+    outputs.emplace_back(std::move(entry));
   }
   o["outputs"] = std::move(outputs);
 

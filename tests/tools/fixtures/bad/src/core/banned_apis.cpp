@@ -1,0 +1,16 @@
+// expect: banned-rand banned-random-device banned-raw-engine banned-float
+// One of each entry in the banned-API table.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+float jitter() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  const int r = rand() % 100;
+  float noise = static_cast<float>(r + static_cast<int>(gen() % 10u));
+  return noise;
+}
+
+}  // namespace fixture

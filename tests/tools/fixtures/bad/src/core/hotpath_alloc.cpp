@@ -1,0 +1,31 @@
+// expect: hotpath-new hotpath-make hotpath-std-function hotpath-container-decl hotpath-growth
+// One of every allocation construct the hotpath pass must flag inside an
+// annotated region.
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Msg {
+  int payload = 0;
+};
+
+int drain(std::size_t n) {
+  int total = 0;
+  // dmra::hotpath begin(drain-loop)
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Msg> batch;                       // container constructed per iteration
+    batch.push_back(Msg{static_cast<int>(i)});    // growth with no visible reserve
+    auto owned = std::make_unique<Msg>(Msg{1});   // heap allocation per message
+    Msg* raw = new Msg{2};                        // raw operator new
+    std::function<int(int)> op = [](int x) { return x + 1; };  // may heap-allocate
+    total += op(batch.back().payload + owned->payload + raw->payload);
+    delete raw;
+  }
+  // dmra::hotpath end(drain-loop)
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// expect: hotpath-region-syntax
+// A region that is opened and never closed: the annotation itself is
+// broken, which is a hard (unwaivable) error.
+#include <cstddef>
+
+namespace fixture {
+
+std::size_t spin(std::size_t n) {
+  std::size_t acc = 0;
+  // dmra::hotpath begin(never-closed)
+  for (std::size_t i = 0; i < n; ++i) acc += i;
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// expect: layering-violation
+// core reaching *up* into sim: the fixture layers.json only allows
+// core -> util.
+#include "sim/feasibility.hpp"
+#include "util/rng.hpp"
+
+namespace fixture {
+
+int check() { return 1; }
+
+}  // namespace fixture

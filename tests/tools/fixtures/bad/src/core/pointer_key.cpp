@@ -1,0 +1,18 @@
+// expect: det-pointer-key
+// A container keyed by pointer orders (or hashes) by allocation address,
+// which varies run to run.
+#include <map>
+
+namespace fixture {
+
+struct Agent {
+  int id = 0;
+};
+
+int sum_ranks(const std::map<Agent*, int>& ranks) {
+  int total = 0;
+  for (const auto& kv : ranks) total = total * 31 + kv.second;
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// expect: det-unordered-container det-unordered-iter
+// Iterating an unordered container straight into an exported result: the
+// canonical determinism hazard the lint exists to catch.
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::vector<int> export_totals(const std::vector<int>& xs) {
+  std::unordered_map<int, int> totals;
+  for (int x : xs) totals[x % 7] += x;
+  std::vector<int> out;
+  for (const auto& kv : totals) out.push_back(kv.second);  // hash order leaks
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// expect: det-unseeded-rng
+// A default-constructed engine draws from an unseeded, fixed stream that
+// silently couples every call site; the repo requires named dmra::Rng
+// child streams.
+#include <random>
+
+namespace fixture {
+
+int roll() {
+  std::mt19937 gen;
+  return static_cast<int>(gen() % 6u) + 1;
+}
+
+}  // namespace fixture

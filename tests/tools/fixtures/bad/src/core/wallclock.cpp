@@ -1,0 +1,13 @@
+// expect: det-wallclock
+// Wall-clock reads in result-affecting code (anywhere outside src/obs).
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t tiebreak_seed() {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(now.time_since_epoch().count());
+}
+
+}  // namespace fixture

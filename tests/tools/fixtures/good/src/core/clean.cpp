@@ -1,0 +1,45 @@
+// Clean counterpart for every rule: ordered containers, id keys, no
+// wall-clock, seeded engines, a hotpath region whose only growth is
+// licensed by a visible reserve(), and only layer-legal includes.
+//
+// Prose mentions of rand(), srand(), std::random_device, float, and
+// std::unordered_map are comment-only and must NOT trip the linter —
+// comment stripping is part of what this fixture locks in.
+#include "util/rng.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+struct Msg {
+  std::uint32_t id = 0;
+  int payload = 0;
+};
+
+// Deterministic aggregation: std::map iterates in key order, unlike
+// std::unordered_map.
+int export_totals(const std::vector<Msg>& msgs) {
+  std::map<std::uint32_t, int> totals;  // keyed by stable id, not pointer
+  for (const Msg& m : msgs) totals[m.id] += m.payload;
+  int acc = 0;
+  for (const auto& kv : totals) acc = acc * 31 + kv.second;
+  return acc;
+}
+
+int drain(std::vector<Msg>& scratch, const std::vector<Msg>& inbox) {
+  scratch.reserve(inbox.size());
+  int total = 0;
+  // dmra::hotpath begin(drain-loop)
+  for (const Msg& m : inbox) {
+    scratch.push_back(m);  // growth licensed by the reserve above
+    total += m.payload;
+  }
+  // dmra::hotpath end(drain-loop)
+  scratch.clear();
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// sim may include core and util under the fixture layers.json — both
+// edges point downward.
+#include "core/solver.hpp"
+#include "util/rng.hpp"
+
+namespace fixture {
+
+int run() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,593 @@
+#!/usr/bin/env python3
+"""dmra-lint: the repo's static-analysis suite (stdlib only).
+
+Usage:
+    tools/dmra_lint.py [--root DIR] [--pass NAME ...] [--json] [--no-waivers]
+
+Four passes over the first-party C++ sources, each with a committed,
+justification-required waiver file under tools/waivers/:
+
+  determinism   nondeterministic constructs in result-affecting code:
+                unordered-container declarations and iteration, pointer-keyed
+                associative containers, wall-clock reads outside src/obs,
+                default-constructed (unseeded) <random> engines.
+  hotpath       heap allocation inside `// dmra::hotpath begin(x)` ...
+                `// dmra::hotpath end(x)` regions: new / make_unique /
+                make_shared, std::function construction, allocating-container
+                declarations, and container growth with no visible reserve().
+                The waiver file is the allocation budget for ROADMAP item 2 —
+                its entry count must only shrink.
+  layering      every `#include "lib/..."` edge between src/ libraries must be
+                allowed by tools/layers.json (the machine-readable form of the
+                docs/ARCHITECTURE.md dependency map).
+  banned        the historical banned-API table (ex tools/check_banned.sh):
+                raw rand()/srand(), std::random_device, raw <random> engines,
+                and float arithmetic in money/rate code.
+
+A finding is suppressed only by a waiver entry naming its rule, file, and a
+`contains` substring of the offending line, plus a non-empty justification.
+Waivers that no longer match anything are themselves errors (stale), so the
+waiver ledger can only shrink unless a commit consciously grows it.
+
+Exit status 0 when every pass is clean (after waivers); 1 otherwise, with one
+diagnostic per finding. Comments and string literals are stripped before rule
+matching, so prose like "unlike rand()" never trips a rule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+PASSES = ("determinism", "hotpath", "layering", "banned")
+
+MIN_JUSTIFICATION = 10  # characters; "perf" is not a justification
+
+HOTPATH_DIRECTIVE_RE = re.compile(
+    r"//\s*dmra::hotpath\s+(begin|end)\s*\(\s*([A-Za-z0-9_.-]+)\s*\)"
+)
+
+# ---------------------------------------------------------------------------
+# Source model: per-line raw text plus a comment/string-stripped shadow.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SourceFile:
+    path: str  # repo-relative, forward slashes
+    raw: list[str]
+    code: list[str]  # comments and string/char literals blanked out
+    regions: list[tuple[int, int, str]] = field(default_factory=list)  # 1-based, inclusive
+    region_errors: list[tuple[int, str]] = field(default_factory=list)
+
+    def in_region(self, lineno: int) -> str | None:
+        for lo, hi, name in self.regions:
+            if lo <= lineno <= hi:
+                return name
+        return None
+
+
+def strip_line(line: str, in_block: bool) -> tuple[str, bool]:
+    """Blank out comments and string/char literals, preserving length-ish
+    structure (replaced with spaces) so column-free regexes stay honest."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        if in_block:
+            close = line.find("*/", i)
+            if close < 0:
+                out.append(" " * (n - i))
+                i = n
+            else:
+                out.append(" " * (close + 2 - i))
+                i = close + 2
+                in_block = False
+            continue
+        ch = line[i]
+        if ch == "/" and i + 1 < n and line[i + 1] == "/":
+            out.append(" " * (n - i))
+            i = n
+        elif ch == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block = True
+            out.append("  ")
+            i += 2
+        elif ch == '"' or ch == "'":
+            quote = ch
+            j = i + 1
+            while j < n:
+                if line[j] == "\\":
+                    j += 2
+                    continue
+                if line[j] == quote:
+                    break
+                j += 1
+            j = min(j, n - 1)
+            out.append(quote + " " * (j - i - 1) + (line[j] if j < n else ""))
+            i = j + 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out), in_block
+
+
+def load_source(root: Path, rel: str) -> SourceFile:
+    raw = (root / rel).read_text(encoding="utf-8").splitlines()
+    code: list[str] = []
+    in_block = False
+    for line in raw:
+        stripped, in_block = strip_line(line, in_block)
+        code.append(stripped)
+    sf = SourceFile(path=rel, raw=raw, code=code)
+    parse_regions(sf)
+    return sf
+
+
+def parse_regions(sf: SourceFile) -> None:
+    """Extract // dmra::hotpath begin(x)/end(x) pairs from the raw text
+    (directives live in comments, which the code shadow blanks out)."""
+    open_name: str | None = None
+    open_line = 0
+    for lineno, line in enumerate(sf.raw, start=1):
+        m = HOTPATH_DIRECTIVE_RE.search(line)
+        if not m:
+            continue
+        verb, name = m.group(1), m.group(2)
+        if verb == "begin":
+            if open_name is not None:
+                sf.region_errors.append(
+                    (lineno, f"nested hotpath region '{name}' inside '{open_name}'")
+                )
+                continue
+            open_name, open_line = name, lineno
+        else:
+            if open_name is None:
+                sf.region_errors.append((lineno, f"hotpath end('{name}') with no open region"))
+            elif name != open_name:
+                sf.region_errors.append(
+                    (lineno, f"hotpath end('{name}') does not match begin('{open_name}')")
+                )
+                open_name = None
+            else:
+                sf.regions.append((open_line, lineno, name))
+                open_name = None
+    if open_name is not None:
+        sf.region_errors.append((open_line, f"hotpath region '{open_name}' is never closed"))
+
+
+# ---------------------------------------------------------------------------
+# Findings and waivers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Finding:
+    pass_name: str
+    rule: str
+    file: str
+    line: int  # 1-based; 0 for file-level findings
+    text: str  # offending raw line (stripped of trailing whitespace)
+    message: str
+    waived_by: str | None = None  # justification, when waived
+
+    def key(self):
+        return (self.file, self.line, self.rule)
+
+
+class WaiverSet:
+    def __init__(self, pass_name: str, path: Path):
+        self.pass_name = pass_name
+        self.path = path
+        self.entries: list[dict] = []
+        self.used: list[bool] = []
+        self.errors: list[str] = []
+        if not path.is_file():
+            return
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as e:
+            self.errors.append(f"{path}: not valid JSON: {e}")
+            return
+        entries = doc.get("waivers") if isinstance(doc, dict) else doc
+        if not isinstance(entries, list):
+            self.errors.append(f"{path}: expected a list under 'waivers'")
+            return
+        for idx, w in enumerate(entries):
+            label = f"{path}: waiver #{idx + 1}"
+            if not isinstance(w, dict):
+                self.errors.append(f"{label}: not an object")
+                continue
+            missing = [k for k in ("rule", "file", "contains", "justification") if k not in w]
+            if missing:
+                self.errors.append(f"{label}: missing field(s): {', '.join(missing)}")
+                continue
+            just = str(w["justification"]).strip()
+            if len(just) < MIN_JUSTIFICATION:
+                self.errors.append(
+                    f"{label}: justification too short "
+                    f"(≥{MIN_JUSTIFICATION} chars of actual reasoning required)"
+                )
+                continue
+            self.entries.append(w)
+            self.used.append(False)
+
+    def try_waive(self, f: Finding) -> bool:
+        for idx, w in enumerate(self.entries):
+            if w["rule"] == f.rule and w["file"] == f.file and w["contains"] in f.text:
+                self.used[idx] = True
+                f.waived_by = w["justification"]
+                return True
+        return False
+
+    def stale(self) -> list[str]:
+        out = []
+        for idx, w in enumerate(self.entries):
+            if not self.used[idx]:
+                out.append(
+                    f"{self.path}: stale waiver (matches nothing): "
+                    f"rule={w['rule']} file={w['file']} contains={w['contains']!r} — delete it"
+                )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: determinism
+# ---------------------------------------------------------------------------
+
+UNORDERED_USE_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s+(\w+)\s*[;{=(]"
+)
+POINTER_KEY_RE = re.compile(
+    r"\b(?:unordered_)?(?:map|multimap|set|multiset)\s*<\s*(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*"
+)
+WALLCLOCK_RES = [
+    (re.compile(r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)::now"),
+     "wall-clock read — result-affecting code must be a pure function of the seed"),
+    (re.compile(r"(?:^|[^\w:.>])time\s*\(\s*(?:NULL|nullptr|0|&\w+)?\s*\)"),
+     "time() — wall-clock reads are banned outside src/obs"),
+    (re.compile(r"(?:^|[^\w:.>])(?:clock|gettimeofday|clock_gettime|localtime|gmtime)\s*\("),
+     "C clock API — wall-clock reads are banned outside src/obs"),
+]
+UNSEEDED_RNG_RE = re.compile(
+    r"\b(?:std::)?(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
+    r"ranlux(?:24|48)(?:_base)?|knuth_b)\s+\w+\s*;"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*&?(\w+(?:\.\w+|->\w+)*)\s*\)")
+
+
+def pass_determinism(files: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    for sf in files:
+        unordered_names: set[str] = set()
+        for code in sf.code:
+            for m in UNORDERED_DECL_RE.finditer(code):
+                unordered_names.add(m.group(1))
+        in_obs = sf.path.startswith("src/obs/")
+        for lineno, code in enumerate(sf.code, start=1):
+            text = sf.raw[lineno - 1].rstrip()
+            if UNORDERED_USE_RE.search(code):
+                findings.append(Finding(
+                    "determinism", "det-unordered-container", sf.path, lineno, text,
+                    "unordered container — iteration order is implementation-defined; "
+                    "use std::map / a sorted vector, or waive with proof that no "
+                    "iteration feeds output or message order"))
+            for m in RANGE_FOR_RE.finditer(code):
+                base = m.group(1).split(".")[0].split("->")[0]
+                if m.group(1) in unordered_names or base in unordered_names:
+                    findings.append(Finding(
+                        "determinism", "det-unordered-iter", sf.path, lineno, text,
+                        f"iteration over unordered container '{m.group(1)}' — "
+                        "ordering is nondeterministic across implementations"))
+            for name in unordered_names:
+                if re.search(rf"\b{re.escape(name)}\s*\.\s*begin\s*\(", code):
+                    findings.append(Finding(
+                        "determinism", "det-unordered-iter", sf.path, lineno, text,
+                        f"begin() on unordered container '{name}' — "
+                        "ordering is nondeterministic across implementations"))
+            if POINTER_KEY_RE.search(code):
+                findings.append(Finding(
+                    "determinism", "det-pointer-key", sf.path, lineno, text,
+                    "pointer-keyed container — ordering/hashing follows allocation "
+                    "addresses, which vary run to run; key by a stable id instead"))
+            if not in_obs:
+                for rx, msg in WALLCLOCK_RES:
+                    if rx.search(code):
+                        findings.append(Finding(
+                            "determinism", "det-wallclock", sf.path, lineno, text, msg))
+            if UNSEEDED_RNG_RE.search(code):
+                findings.append(Finding(
+                    "determinism", "det-unseeded-rng", sf.path, lineno, text,
+                    "default-constructed random engine — unseeded; derive a named "
+                    "child stream from dmra::Rng instead"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: hot-path allocation
+# ---------------------------------------------------------------------------
+
+NEW_RE = re.compile(r"(?:^|[^\w:.])new\b(?!\s*\()")
+PLACEMENT_NEW_RE = re.compile(r"(?:^|[^\w:.])new\b")
+MAKE_RE = re.compile(r"\bmake_(?:unique|shared)\s*<")
+STD_FUNCTION_RE = re.compile(r"\bstd::function\s*<")
+CONTAINER_DECL_RE = re.compile(
+    r"\b(?:std::)?(?:vector|deque|list|forward_list|map|multimap|set|multiset|"
+    r"unordered_map|unordered_set|unordered_multimap|unordered_multiset|"
+    r"queue|stack|priority_queue)\s*<[^;{}]*?>\s+\w+\s*[;{=(]"
+)
+STRING_DECL_RE = re.compile(r"\bstd::(?:string|wstring)\s+\w+\s*[;{=(]")
+GROWTH_RE = re.compile(
+    r"\b(\w+(?:\[[^][]*\])?(?:(?:\.|->)\w+(?:\[[^][]*\])?)*)\s*(?:\.|->)\s*"
+    r"(push_back|emplace_back|emplace_front|push_front|emplace|insert|append|resize)\s*\("
+)
+RESERVE_METHODS = ("reserve", "assign")
+
+
+def has_visible_reserve(sf: SourceFile, receiver: str) -> bool:
+    """True if the receiver (or its terminal member) calls reserve()/assign()
+    anywhere in the file — the 'visible reserve' that licenses growth calls.
+    Subscripts are erased first: any growth on any element of `inboxes_[i]`
+    is licensed by a reserve on any element, which is the best a line-based
+    scan can honestly claim."""
+    receiver = re.sub(r"\[[^][]*\]", "", receiver)
+    tail = receiver.split(".")[-1].split("->")[-1]
+    for cand in {receiver, tail}:
+        pat = re.compile(
+            rf"\b{re.escape(cand)}\s*(?:\.|->)\s*(?:{'|'.join(RESERVE_METHODS)})\s*\("
+        )
+        for code in sf.code:
+            if pat.search(code):
+                return True
+    return False
+
+
+def pass_hotpath(files: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    for sf in files:
+        for lineno, msg in sf.region_errors:
+            findings.append(Finding(
+                "hotpath", "hotpath-region-syntax", sf.path, lineno,
+                sf.raw[lineno - 1].rstrip(), msg))
+        if not sf.regions:
+            continue
+        for lo, hi, name in sf.regions:
+            for lineno in range(lo, hi + 1):
+                code = sf.code[lineno - 1]
+                text = sf.raw[lineno - 1].rstrip()
+                where = f"hotpath region '{name}'"
+                if PLACEMENT_NEW_RE.search(code):
+                    findings.append(Finding(
+                        "hotpath", "hotpath-new", sf.path, lineno, text,
+                        f"operator new in {where} — allocate outside the region "
+                        "and reuse"))
+                if MAKE_RE.search(code):
+                    findings.append(Finding(
+                        "hotpath", "hotpath-make", sf.path, lineno, text,
+                        f"make_unique/make_shared in {where} — heap allocation per call"))
+                if STD_FUNCTION_RE.search(code):
+                    findings.append(Finding(
+                        "hotpath", "hotpath-std-function", sf.path, lineno, text,
+                        f"std::function in {where} — may heap-allocate its target; "
+                        "use a template parameter or function_ref pattern"))
+                if CONTAINER_DECL_RE.search(code) or STRING_DECL_RE.search(code):
+                    findings.append(Finding(
+                        "hotpath", "hotpath-container-decl", sf.path, lineno, text,
+                        f"allocating container constructed in {where} — hoist it out "
+                        "of the loop and clear()/reuse"))
+                for m in GROWTH_RE.finditer(code):
+                    receiver = m.group(1)
+                    if not has_visible_reserve(sf, receiver):
+                        findings.append(Finding(
+                            "hotpath", "hotpath-growth", sf.path, lineno, text,
+                            f"{receiver}.{m.group(2)}() in {where} with no visible "
+                            f"{receiver}.reserve()/assign() in this file — growth may "
+                            "reallocate mid-round"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: layering
+# ---------------------------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+def pass_layering(files: list[SourceFile], layers_path: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    if not layers_path.is_file():
+        return [Finding("layering", "layering-config", str(layers_path), 0, "",
+                        "tools/layers.json not found — the layering pass has no map "
+                        "to check against")]
+    try:
+        doc = json.loads(layers_path.read_text(encoding="utf-8"))
+        layers = doc["layers"]
+        umbrella = set(doc.get("umbrella", []))
+    except (json.JSONDecodeError, KeyError, TypeError) as e:
+        return [Finding("layering", "layering-config", str(layers_path), 0, "",
+                        f"tools/layers.json unreadable: {e}")]
+
+    lib_names = set(layers) | umbrella
+    for sf in files:
+        parts = sf.path.split("/")
+        if len(parts) < 3 or parts[0] != "src":
+            continue
+        lib = parts[1]
+        if lib in umbrella:
+            continue
+        if lib not in layers:
+            findings.append(Finding(
+                "layering", "layering-unmapped", sf.path, 0, "",
+                f"src/{lib} is not declared in tools/layers.json — add it with its "
+                "allowed dependencies"))
+            continue
+        allowed = set(layers[lib]) | {lib}
+        # Include paths live inside string literals, which the code shadow
+        # blanks out — match the raw line instead. A commented-out include
+        # never matches: '//' or '*' prefixes break the ^#include anchor.
+        for lineno, raw in enumerate(sf.raw, start=1):
+            m = INCLUDE_RE.match(raw)
+            if not m:
+                continue
+            target = m.group(1).split("/")[0]
+            if target not in lib_names or target in allowed:
+                continue
+            findings.append(Finding(
+                "layering", "layering-violation", sf.path, lineno,
+                sf.raw[lineno - 1].rstrip(),
+                f"src/{lib} may not include from src/{target} "
+                f"(allowed: {', '.join(sorted(allowed - {lib})) or 'nothing'}) — "
+                "either fix the dependency or amend tools/layers.json, the "
+                "ARCHITECTURE.md map, and the CMake link graph together"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Pass 4: banned APIs (ex tools/check_banned.sh)
+# ---------------------------------------------------------------------------
+
+BANNED_TABLE = [
+    ("banned-rand",
+     re.compile(r"(?:^|[^\w:.])s?rand\s*\("),
+     "raw C rand()/srand() — use the seeded named-stream dmra::Rng"),
+    ("banned-random-device",
+     re.compile(r"\bstd::random_device\b"),
+     "std::random_device is nondeterministic — seed dmra::Rng explicitly"),
+    ("banned-raw-engine",
+     re.compile(r"\bstd::(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine)\b"),
+     "raw <random> engine — use dmra::Rng (util/rng.hpp) so streams are named "
+     "and seeded"),
+    ("banned-float",
+     re.compile(r"(?:^|[^\w])float(?:[^\w]|$)"),
+     "float arithmetic — money/profit/rate math must use double"),
+]
+
+
+def pass_banned(files: list[SourceFile]) -> list[Finding]:
+    findings: list[Finding] = []
+    for sf in files:
+        for lineno, code in enumerate(sf.code, start=1):
+            for rule, rx, msg in BANNED_TABLE:
+                if rx.search(code):
+                    findings.append(Finding(
+                        "banned", rule, sf.path, lineno,
+                        sf.raw[lineno - 1].rstrip(), msg))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def collect(root: Path, globs: list[str]) -> list[str]:
+    out: set[str] = set()
+    for g in globs:
+        for p in root.glob(g):
+            if p.is_file() and "third_party" not in p.parts:
+                out.add(p.relative_to(root).as_posix())
+    return sorted(out)
+
+
+SRC_GLOBS = ["src/**/*.cpp", "src/**/*.hpp"]
+BANNED_GLOBS = SRC_GLOBS + ["bench/**/*.cpp", "bench/**/*.hpp",
+                            "examples/**/*.cpp", "examples/**/*.hpp"]
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent,
+                    help="repo root to lint (default: this script's repo)")
+    ap.add_argument("--pass", dest="passes", action="append", choices=PASSES,
+                    help="run only the named pass(es); default: all four")
+    ap.add_argument("--json", action="store_true",
+                    help="machine-readable findings on stdout")
+    ap.add_argument("--no-waivers", action="store_true",
+                    help="report findings even when a waiver matches (audit view)")
+    args = ap.parse_args(argv)
+
+    root = args.root.resolve()
+    selected = tuple(args.passes) if args.passes else PASSES
+
+    src_files = [load_source(root, rel) for rel in collect(root, SRC_GLOBS)]
+    banned_files = [load_source(root, rel) for rel in collect(root, BANNED_GLOBS)]
+
+    all_findings: list[Finding] = []
+    config_errors: list[str] = []
+    stale: list[str] = []
+    per_pass: dict[str, dict[str, int]] = {}
+
+    for pass_name in selected:
+        if pass_name == "determinism":
+            findings = pass_determinism(src_files)
+        elif pass_name == "hotpath":
+            findings = pass_hotpath(src_files)
+        elif pass_name == "layering":
+            findings = pass_layering(src_files, root / "tools" / "layers.json")
+        else:
+            findings = pass_banned(banned_files)
+
+        waivers = WaiverSet(pass_name, root / "tools" / "waivers" / f"{pass_name}.json")
+        config_errors.extend(waivers.errors)
+        waived = 0
+        if not args.no_waivers:
+            for f in findings:
+                # Structural/config findings are never waivable: a broken
+                # region annotation or layers map must be fixed, not excused.
+                if f.rule in ("hotpath-region-syntax", "layering-config",
+                              "layering-unmapped"):
+                    continue
+                if waivers.try_waive(f):
+                    waived += 1
+            stale.extend(waivers.stale())
+        per_pass[pass_name] = {
+            "findings": len(findings),
+            "waived": waived,
+            "active": len([f for f in findings if f.waived_by is None]),
+        }
+        all_findings.extend(findings)
+
+    active = [f for f in all_findings if f.waived_by is None]
+    failed = bool(active) or bool(stale) or bool(config_errors)
+
+    if args.json:
+        print(json.dumps({
+            "root": str(root),
+            "passes": per_pass,
+            "findings": [
+                {"pass": f.pass_name, "rule": f.rule, "file": f.file,
+                 "line": f.line, "text": f.text, "message": f.message,
+                 "waived": f.waived_by is not None}
+                for f in all_findings
+            ],
+            "stale_waivers": stale,
+            "config_errors": config_errors,
+            "ok": not failed,
+        }, indent=2))
+        return 1 if failed else 0
+
+    for e in config_errors:
+        print(f"dmra-lint: CONFIG: {e}", file=sys.stderr)
+    for f in sorted(active, key=Finding.key):
+        loc = f"{f.file}:{f.line}" if f.line else f.file
+        print(f"dmra-lint: {f.rule}: {loc}: {f.message}", file=sys.stderr)
+        if f.text:
+            print(f"    {f.text.strip()}", file=sys.stderr)
+    for s in stale:
+        print(f"dmra-lint: STALE: {s}", file=sys.stderr)
+
+    for pass_name in selected:
+        c = per_pass[pass_name]
+        status = "clean" if c["active"] == 0 else f"{c['active']} finding(s)"
+        print(f"dmra-lint: {pass_name}: {status}"
+              f" ({c['waived']} waived, {c['findings']} total)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Self-test for tools/dmra_lint.py (stdlib only, pytest-free; run by ctest).
+
+Three suites:
+
+  1. bad fixtures   — every file under tests/tools/fixtures/bad/ declares the
+                      rules it must trigger in a leading `// expect:` line;
+                      the linter must report each of them for that file.
+  2. good fixtures  — everything under tests/tools/fixtures/good/ must come
+                      back with zero findings across all four passes.
+  3. waiver machinery — a justified waiver suppresses a finding, a stale
+                      waiver fails the run, a thin justification is rejected,
+                      and structural findings (broken region annotations)
+                      cannot be waived at all.
+
+Each check builds a throwaway repo root in a temp dir (fixture file at its
+src/<lib>/ path + the fixture layers.json) so fixtures can't interfere with
+each other or with the real repo's waivers.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINT = REPO / "tools" / "dmra_lint.py"
+FIXTURES = REPO / "tests" / "tools" / "fixtures"
+
+EXPECT_RE = re.compile(r"^//\s*expect:\s*(.+)$")
+
+failures: list[str] = []
+
+
+def check(ok: bool, label: str, detail: str = "") -> None:
+    if ok:
+        print(f"  ok: {label}")
+    else:
+        failures.append(label + (f" — {detail}" if detail else ""))
+        print(f"  FAIL: {label}" + (f" — {detail}" if detail else ""))
+
+
+def run_lint(root: Path, *extra: str) -> dict:
+    proc = subprocess.run(
+        [sys.executable, str(LINT), "--root", str(root), "--json", *extra],
+        capture_output=True, text=True)
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        raise SystemExit(
+            f"dmra_lint_test: linter emitted invalid JSON for {root}:\n"
+            f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+    doc["exit_code"] = proc.returncode
+    return doc
+
+
+def make_root(tmp: Path, files: dict[str, str | Path]) -> Path:
+    """Build a throwaway repo root: {relpath: source-path-or-content}."""
+    root = tmp
+    for rel, src in files.items():
+        dst = root / rel
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        if isinstance(src, Path):
+            shutil.copyfile(src, dst)
+        else:
+            dst.write_text(src, encoding="utf-8")
+    return root
+
+
+def expected_rules(path: Path) -> list[str]:
+    first = path.read_text(encoding="utf-8").splitlines()[0]
+    m = EXPECT_RE.match(first)
+    if not m:
+        raise SystemExit(f"{path}: bad fixture without a leading // expect: line")
+    return m.group(1).split()
+
+
+def test_bad_fixtures() -> None:
+    print("== bad fixtures: every declared rule must fire ==")
+    bad = sorted((FIXTURES / "bad").rglob("*.cpp"))
+    if not bad:
+        raise SystemExit("no bad fixtures found")
+    for fixture in bad:
+        rel = fixture.relative_to(FIXTURES / "bad").as_posix()
+        with tempfile.TemporaryDirectory(prefix="dmra-lint-") as td:
+            root = make_root(Path(td), {
+                rel: fixture,
+                "tools/layers.json": FIXTURES / "layers.json",
+            })
+            doc = run_lint(root)
+            fired = {f["rule"] for f in doc["findings"] if f["file"] == rel}
+            for rule in expected_rules(fixture):
+                check(rule in fired, f"{rel}: triggers {rule}",
+                      f"fired: {sorted(fired) or 'nothing'}")
+            check(doc["exit_code"] == 1, f"{rel}: lint exits nonzero")
+
+
+def test_good_fixtures() -> None:
+    print("== good fixtures: all passes silent ==")
+    good = sorted((FIXTURES / "good").rglob("*.cpp"))
+    if not good:
+        raise SystemExit("no good fixtures found")
+    with tempfile.TemporaryDirectory(prefix="dmra-lint-") as td:
+        files: dict[str, str | Path] = {
+            g.relative_to(FIXTURES / "good").as_posix(): g for g in good}
+        files["tools/layers.json"] = FIXTURES / "layers.json"
+        root = make_root(Path(td), files)
+        doc = run_lint(root)
+        check(doc["findings"] == [], "no findings on clean sources",
+              f"got: {[ (f['rule'], f['file'], f['line']) for f in doc['findings'] ]}")
+        check(doc["exit_code"] == 0, "lint exits zero")
+
+
+BAD_HOTPATH = FIXTURES / "bad" / "src" / "core" / "hotpath_alloc.cpp"
+BAD_REGION = FIXTURES / "bad" / "src" / "core" / "hotpath_region_syntax.cpp"
+
+
+def waiver_json(entries: list[dict]) -> str:
+    return json.dumps({"waivers": entries})
+
+
+def test_waiver_machinery() -> None:
+    print("== waiver machinery ==")
+    rel = "src/core/hotpath_alloc.cpp"
+    full_waivers = [
+        {"rule": "hotpath-new", "file": rel, "contains": "new Msg{2}",
+         "justification": "fixture: raw new exercised deliberately by the self-test"},
+        {"rule": "hotpath-make", "file": rel, "contains": "std::make_unique<Msg>",
+         "justification": "fixture: make_unique exercised deliberately by the self-test"},
+        {"rule": "hotpath-std-function", "file": rel, "contains": "std::function<int(int)>",
+         "justification": "fixture: std::function exercised deliberately by the self-test"},
+        {"rule": "hotpath-container-decl", "file": rel, "contains": "std::vector<Msg> batch;",
+         "justification": "fixture: per-iteration vector exercised deliberately by the self-test"},
+        {"rule": "hotpath-growth", "file": rel, "contains": "batch.push_back",
+         "justification": "fixture: unreserved growth exercised deliberately by the self-test"},
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="dmra-lint-") as td:
+        root = make_root(Path(td), {
+            rel: BAD_HOTPATH,
+            "tools/layers.json": FIXTURES / "layers.json",
+            "tools/waivers/hotpath.json": waiver_json(full_waivers),
+        })
+        doc = run_lint(root, "--pass", "hotpath")
+        check(doc["exit_code"] == 0, "justified waivers suppress all findings",
+              f"stale={doc['stale_waivers']} findings="
+              f"{[f['rule'] for f in doc['findings'] if not f['waived']]}")
+        check(all(f["waived"] for f in doc["findings"]),
+              "findings are reported as waived, not dropped")
+
+        audit = run_lint(root, "--pass", "hotpath", "--no-waivers")
+        check(audit["exit_code"] == 1, "--no-waivers re-surfaces the findings")
+
+    with tempfile.TemporaryDirectory(prefix="dmra-lint-") as td:
+        stale = full_waivers + [{
+            "rule": "hotpath-new", "file": rel, "contains": "no such line anywhere",
+            "justification": "stale on purpose: matches nothing in the fixture"}]
+        root = make_root(Path(td), {
+            rel: BAD_HOTPATH,
+            "tools/layers.json": FIXTURES / "layers.json",
+            "tools/waivers/hotpath.json": waiver_json(stale),
+        })
+        doc = run_lint(root, "--pass", "hotpath")
+        check(doc["exit_code"] == 1 and doc["stale_waivers"],
+              "a stale waiver fails the run")
+
+    with tempfile.TemporaryDirectory(prefix="dmra-lint-") as td:
+        thin = [dict(full_waivers[0], justification="perf")]
+        root = make_root(Path(td), {
+            rel: BAD_HOTPATH,
+            "tools/layers.json": FIXTURES / "layers.json",
+            "tools/waivers/hotpath.json": waiver_json(thin),
+        })
+        doc = run_lint(root, "--pass", "hotpath")
+        check(doc["exit_code"] == 1 and doc["config_errors"],
+              "a one-word justification is rejected")
+
+    with tempfile.TemporaryDirectory(prefix="dmra-lint-") as td:
+        rel_syntax = "src/core/hotpath_region_syntax.cpp"
+        root = make_root(Path(td), {
+            rel_syntax: BAD_REGION,
+            "tools/layers.json": FIXTURES / "layers.json",
+            "tools/waivers/hotpath.json": waiver_json([{
+                "rule": "hotpath-region-syntax", "file": rel_syntax,
+                "contains": "dmra::hotpath begin(never-closed)",
+                "justification": "attempting to waive a structural error must not work"}]),
+        })
+        doc = run_lint(root, "--pass", "hotpath")
+        active = [f for f in doc["findings"] if not f["waived"]]
+        check(doc["exit_code"] == 1 and any(
+            f["rule"] == "hotpath-region-syntax" for f in active),
+            "broken region annotations cannot be waived")
+
+
+def main() -> int:
+    test_bad_fixtures()
+    test_good_fixtures()
+    test_waiver_machinery()
+    if failures:
+        print(f"\ndmra_lint_test: {len(failures)} FAILURE(S)")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\ndmra_lint_test: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

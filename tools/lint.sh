@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Static-analysis entry point: banned-pattern scan (always) + clang-tidy
-# (when available). Degrades gracefully on machines without clang-tidy —
-# the tidy pass is reported as skipped, not failed — so the script is safe
-# to run in any dev container while still gating hard in CI.
+# Static-analysis entry point: dmra-lint (always; pure python3 stdlib) +
+# clang-tidy (when available). Degrades gracefully on machines without
+# clang-tidy — the tidy pass is reported as skipped, not failed — so the
+# script is safe to run in any dev container while still gating hard in CI.
+#
+# dmra-lint runs all four passes (determinism, hotpath, layering, banned)
+# against the committed waiver ledger in tools/waivers/. The former
+# tools/check_banned.sh scan is now the `banned` pass.
 #
 # Usage: tools/lint.sh [build-dir]
 #   build-dir must contain compile_commands.json (any CMake preset emits
@@ -14,8 +18,8 @@ cd "$repo_root"
 
 status=0
 
-echo "== banned-pattern scan =="
-if ! tools/check_banned.sh; then
+echo "== dmra-lint (determinism / hotpath / layering / banned) =="
+if ! python3 tools/dmra_lint.py --root "$repo_root"; then
   status=1
 fi
 

@@ -81,6 +81,33 @@ void BM_BsSelect(benchmark::State& state) {
 }
 BENCHMARK(BM_BsSelect);
 
+// Raw bus throughput: N sends fanned across a fixed agent population,
+// one batch deliver(), then every inbox drained. items_per_second is the
+// msgs/sec figure tracked in docs/PERFORMANCE.md (ISSUE 7 before/after).
+void BM_BusSendDeliver(benchmark::State& state) {
+  const auto total = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kAgents = 256;
+  dmra::MessageBus<std::uint64_t> bus;
+  std::vector<dmra::AgentId> agents;
+  agents.reserve(kAgents);
+  for (std::size_t a = 0; a < kAgents; ++a)
+    agents.push_back(bus.register_agent());
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (std::size_t m = 0; m < total; ++m)
+      bus.send(agents[m % kAgents], agents[(m * 7 + 3) % kAgents], m);
+    bus.deliver();
+    for (const dmra::AgentId id : agents) {
+      const auto inbox = bus.take_inbox(id);
+      for (const auto& env : inbox) sink += env.payload;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_BusSendDeliver)->Arg(10000)->Arg(100000)->Arg(1000000);
+
 dmra::PreferenceLists random_prefs(std::size_t n, std::size_t m, dmra::Rng& rng) {
   dmra::PreferenceLists prefs(n);
   for (auto& list : prefs) {

@@ -27,6 +27,7 @@
 #include <utility>
 
 #include "bench_common.hpp"
+#include "util/alloc_count.hpp"
 
 namespace {
 
@@ -77,6 +78,7 @@ int main(int argc, char** argv) {
     std::cout << cli.help_text(argv[0]);
     return 0;
   }
+  dmra::allocprobe::install();  // count heap allocations in the probes below
   const bool quick = cli.get_bool("quick");
   const std::size_t reps = cli.get_int("reps") > 0
                                ? static_cast<std::size_t>(cli.get_int("reps"))
@@ -121,6 +123,17 @@ int main(int argc, char** argv) {
     dec_row["rounds"] = last.bus.rounds;
     dec_row["messages_sent"] = last.bus.messages_sent;
     dec_row["matching_rounds"] = static_cast<std::uint64_t>(last.dmra.rounds);
+    // Derived throughput (wall-clock based, noisy like wall_ms) plus the
+    // deterministic allocation counters (schema 1.2): this binary links
+    // the counting allocator, so steady_state_allocations is an exact,
+    // reproducible number — 0 is the tracked budget.
+    dec_row["messages_per_sec"] =
+        run_ms > 0.0 ? static_cast<double>(last.bus.messages_sent) / (run_ms / 1e3)
+                     : 0.0;
+    dec_row["alloc_measured"] = last.alloc.measured;
+    dec_row["alloc_settle_rounds"] = last.alloc.settle_rounds;
+    dec_row["steady_state_allocations"] = last.alloc.steady_state_allocations;
+    dec_row["round_loop_allocations"] = last.alloc.total_allocations;
     decentralized_rows.push_back(std::move(dec_row));
     std::cout << "decentralized " << ues << " UEs: " << dmra::fmt(run_ms, 2)
               << " ms, " << dmra::to_string(last.bus) << '\n';
@@ -154,7 +167,7 @@ int main(int argc, char** argv) {
   }
 
   dmra::JsonObject root;
-  root["schema"] = "dmra-perf-report/1.1";
+  root["schema"] = "dmra-perf-report/1.2";
   root["git"] = std::string(dmra::obs::git_describe());
   root["build"] = dmra::obs::build_flavor_json();
   root["quick"] = quick;

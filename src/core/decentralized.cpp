@@ -1,12 +1,14 @@
 #include "core/decentralized.hpp"
 
 #include <algorithm>
+#include <span>
 #include <variant>
 
 #include "mec/audit.hpp"
 #include "mec/resources.hpp"
 #include "net/bus.hpp"
 #include "obs/recorder.hpp"
+#include "util/alloc_hook.hpp"
 #include "util/require.hpp"
 
 namespace dmra {
@@ -15,33 +17,61 @@ namespace {
 
 // ---- Resource snapshots ----------------------------------------------------
 
-/// Append-only store of the resource levels BSs have broadcast. A
-/// broadcast publishes ONE snapshot and fans out a {BsId, index} message
-/// to every covered UE, so the per-round messaging cost is O(audience)
+/// Bounded ring of the resource levels BSs have broadcast. A broadcast
+/// publishes ONE snapshot and fans out a {BsId, index} message to every
+/// covered UE, so the per-round messaging cost is O(audience)
 /// trivially-copyable envelopes instead of O(audience) heap-allocated
 /// CRU vectors. Indices are monotonically increasing, so they double as
 /// the epoch stamp: a UE slot holding a larger index is strictly newer.
-class SnapshotArena {
+///
+/// UEs copy the values they care about at ingest (see the view arrays in
+/// run_decentralized_dmra), so a snapshot only has to outlive the bus
+/// transit of the broadcasts that reference it — a handful of rounds even
+/// under maximal delay faults. The ring is sized for that window once at
+/// construction and publish() is thereafter allocation-free; every read
+/// revalidates its stamp so an undersized ring is a loud contract
+/// violation, never a silently stale view.
+class SnapshotRing {
  public:
-  explicit SnapshotArena(std::size_t num_services) : stride_(num_services) {}
+  SnapshotRing(std::size_t num_services, std::size_t capacity)
+      : stride_(num_services),
+        cap_(capacity),
+        crus_(capacity * num_services, 0),
+        rrbs_(capacity, 0),
+        stamp_(capacity, kFree) {}
 
   std::uint32_t publish(const BsLocalResources& r) {
     // dmra::hotpath begin(snapshot-publish)
-    crus_.insert(crus_.end(), r.crus.begin(), r.crus.end());
-    rrbs_.push_back(r.rrbs);
-    return static_cast<std::uint32_t>(rrbs_.size() - 1);
+    const std::size_t idx = static_cast<std::size_t>(next_ % cap_);
+    std::copy(r.crus.begin(), r.crus.end(), crus_.begin() + idx * stride_);
+    rrbs_[idx] = r.rrbs;
+    stamp_[idx] = next_;
+    return static_cast<std::uint32_t>(next_++);
     // dmra::hotpath end(snapshot-publish)
   }
 
   std::uint32_t crus(std::uint32_t snapshot, std::size_t service) const {
-    return crus_[snapshot * stride_ + service];
+    return crus_[index_of(snapshot) * stride_ + service];
   }
-  std::uint32_t rrbs(std::uint32_t snapshot) const { return rrbs_[snapshot]; }
+  std::uint32_t rrbs(std::uint32_t snapshot) const { return rrbs_[index_of(snapshot)]; }
 
  private:
+  static constexpr std::uint64_t kFree = ~std::uint64_t{0};
+
+  std::size_t index_of(std::uint32_t snapshot) const {
+    const std::size_t idx = snapshot % cap_;
+    DMRA_REQUIRE_MSG(stamp_[idx] == snapshot,
+                     "snapshot evicted before ingest: ring sized below the "
+                     "in-flight broadcast window");
+    return idx;
+  }
+
   std::size_t stride_;
-  std::vector<std::uint32_t> crus_;  // stride_ words per snapshot
+  std::size_t cap_;
+  std::uint64_t next_ = 0;
+  std::vector<std::uint32_t> crus_;  // stride_ words per slot
   std::vector<std::uint32_t> rrbs_;
+  std::vector<std::uint64_t> stamp_;  // snapshot id currently held per slot
 };
 
 // ---- Message types -------------------------------------------------------
@@ -78,64 +108,21 @@ using Bus = MessageBus<Payload>;
 
 // ---- Agents ---------------------------------------------------------------
 
-/// ResourceView over whatever the BSs last broadcast to this UE, stored
-/// as one snapshot index per candidate BS (flat array parallel to the
-/// UE's sorted candidate list — no per-UE hash map). For a candidate
-/// never heard from (possible only on a lossy network — the reliable
-/// bootstrap covers everyone), the UE falls back to the BS's static
-/// capacity: an optimistic prior it is allowed to hold, and the safe
-/// one — a pessimistic prior would make choose_proposal erase a live
-/// candidate permanently.
-class BroadcastView final : public ResourceView {
- public:
-  void attach(const Scenario& scenario, UeId ue, const SnapshotArena& arena) {
-    scenario_ = &scenario;
-    arena_ = &arena;
-    cands_ = scenario.candidates(ue);
-    slots_.assign(cands_.size(), kUnknown);
-  }
-
-  std::uint32_t remaining_crus(BsId i, ServiceId j) const override {
-    DMRA_REQUIRE(scenario_ != nullptr);
-    const std::uint32_t snapshot = slot(i);
-    if (snapshot == kUnknown) return scenario_->bs(i).cru_capacity[j.idx()];
-    return arena_->crus(snapshot, j.idx());
-  }
-  std::uint32_t remaining_rrbs(BsId i) const override {
-    DMRA_REQUIRE(scenario_ != nullptr);
-    const std::uint32_t snapshot = slot(i);
-    if (snapshot == kUnknown) return scenario_->bs(i).num_rrbs;
-    return arena_->rrbs(snapshot);
-  }
-  void update(BsId i, std::uint32_t snapshot) {
-    const auto it = std::lower_bound(cands_.begin(), cands_.end(), i);
-    // Broadcasts from covering-but-non-candidate BSs carry no information
-    // this UE will ever query; the proposal logic only reads candidates.
-    if (it == cands_.end() || *it != i) return;
-    slots_[static_cast<std::size_t>(it - cands_.begin())] = snapshot;
-  }
-
- private:
-  static constexpr std::uint32_t kUnknown = 0xffffffffu;
-
-  std::uint32_t slot(BsId i) const {
-    const auto it = std::lower_bound(cands_.begin(), cands_.end(), i);
-    if (it == cands_.end() || *it != i) return kUnknown;
-    return slots_[static_cast<std::size_t>(it - cands_.begin())];
-  }
-
-  const Scenario* scenario_ = nullptr;
-  const SnapshotArena* arena_ = nullptr;
-  std::span<const BsId> cands_;
-  std::vector<std::uint32_t> slots_;
-};
+// A UE's view of its candidates' remaining resources lives in two flat
+// run-level arrays (one CRU word — the UE's own service — and one RRB
+// word per candidate slot, indexed by Scenario::candidate_offset). They
+// are prefilled with the BSs' static capacities — the optimistic prior a
+// UE is allowed to hold for a candidate it has not heard from (possible
+// only on a lossy network; the reliable bootstrap covers everyone), and
+// the safe one: a pessimistic prior would make choose_proposal erase a
+// live candidate permanently. Broadcast ingest overwrites the slot with
+// the ring values in arrival order, which is exactly the last-write-wins
+// the old lazily-dereferenced per-UE snapshot view computed.
 
 struct UeAgent {
   UeId ue;
   AgentId address;
   AgentId sp_address;
-  std::vector<BsId> b_u;
-  BroadcastView view;
   bool matched = false;
   bool at_cloud = false;
 
@@ -195,7 +182,18 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
   const std::size_t nb = scenario.num_bss();
   const std::size_t nk = scenario.num_sps();
 
-  SnapshotArena arena(scenario.num_services());
+  // Ring capacity: a snapshot only has to survive from publish until the
+  // broadcasts referencing it are ingested — at most a couple of protocol
+  // rounds plus whatever delay faults can add, during which every live BS
+  // publishes at most once per round. 8 rounds of slack is far beyond
+  // that window; an eviction would trip the ring's stamp check.
+  const std::size_t ring_cap = std::max<std::size_t>(
+      1, nb * (8 + (faulty ? static_cast<std::size_t>(plan->link.max_delay_rounds) : 0)));
+  SnapshotRing arena(scenario.num_services(), ring_cap);
+  LiveCandidates b_u;
+  b_u.build(scenario);
+  std::vector<std::uint32_t> view_crus(scenario.num_candidate_slots());
+  std::vector<std::uint32_t> view_rrbs(scenario.num_candidate_slots());
   std::vector<UeAgent> ue_agents(nu);
   std::vector<SpAgent> sp_agents(nk);
   std::vector<BsAgent> bs_agents(nb);
@@ -209,10 +207,15 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     a.ue = UeId{static_cast<std::uint32_t>(ui)};
     a.address = bus.register_agent();
     a.sp_address = sp_agents[scenario.ue(a.ue).sp.idx()].address;
-    a.view.attach(scenario, a.ue, arena);
     const auto cands = scenario.candidates(a.ue);
-    a.b_u.assign(cands.begin(), cands.end());
-    if (a.b_u.empty()) a.at_cloud = true;
+    const std::size_t off = scenario.candidate_offset(a.ue);
+    const std::size_t svc = scenario.ue(a.ue).service.idx();
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+      const BaseStation& bsc = scenario.bs(cands[c]);
+      view_crus[off + c] = bsc.cru_capacity[svc];
+      view_rrbs[off + c] = bsc.num_rrbs;
+    }
+    if (b_u.empty(a.ue)) a.at_cloud = true;
   }
   for (std::size_t bi = 0; bi < nb; ++bi) {
     BsAgent& a = bs_agents[bi];
@@ -225,6 +228,14 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     for (const UeAgent& u : ue_agents)
       if (scenario.link(u.ue, a.bs).in_coverage) a.covered_ues.push_back(u.address);
   }
+
+  // Warm the bus pools to the per-deliver high-water mark: the BS phase is
+  // the widest (one decision per proposer plus a broadcast per covered
+  // UE), so after this the steady-state round loop never grows a bus
+  // buffer.
+  std::size_t sum_covered = 0;
+  for (const BsAgent& b : bs_agents) sum_covered += b.covered_ues.size();
+  bus.reserve(2 * nu + sum_covered);
 
   DecentralizedResult result;
   result.dmra.allocation = Allocation(nu);
@@ -304,12 +315,35 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
   };
   std::size_t quiet_rounds = 0;
 
-  // BS-phase scratch, hoisted out of the round loop: per round the cost is
-  // a clear() that keeps capacity, not a fresh heap allocation per BS. Part
-  // of the hotpath allocation budget (docs/STATIC_ANALYSIS.md).
+  // BS-phase scratch, hoisted out of the round loop and reserved to the
+  // worst case (every UE proposing to one BS), so per round the cost is a
+  // clear() that keeps capacity, not a fresh heap allocation per BS.
   std::vector<ProposalInfo> fresh;
   std::vector<UeId> reacks;
-  std::vector<UeId> accepted;
+  fresh.reserve(nu);
+  reacks.reserve(nu);
+  BsSelectWorkspace ws;
+  ws.reserve(scenario.num_services(), nu);
+  const std::vector<UeId> empty_accepts;
+
+  // Heap-allocation accounting: one count() sample per round when a probe
+  // is installed (perf_report, the zero-allocation test), one dead branch
+  // otherwise. The first rounds warm the lazily-grown pools (trace sinks,
+  // libstdc++ internals); rounds past the settle window are asserted
+  // allocation-free.
+  constexpr std::uint64_t kAllocSettleRounds = 2;
+  const bool measuring = alloc_hook::active();
+  result.alloc.measured = measuring;
+  result.alloc.settle_rounds = kAllocSettleRounds;
+  std::uint64_t alloc_mark = measuring ? alloc_hook::count() : 0;
+  const auto sample_round = [&](std::size_t round) {
+    if (!measuring) return;
+    const std::uint64_t now = alloc_hook::count();
+    const std::uint64_t delta = now - alloc_mark;
+    alloc_mark = now;
+    result.alloc.total_allocations += delta;
+    if (round >= kAllocSettleRounds) result.alloc.steady_state_allocations += delta;
+  };
 
   bool converged = false;
   for (std::size_t round = 0; round < round_limit; ++round) {
@@ -366,9 +400,20 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     // dmra::hotpath begin(ue-propose)
     for (UeAgent& a : ue_agents) {
       a.heard_serving = false;
+      const std::span<const BsId> cands = scenario.candidates(a.ue);
+      const std::size_t off = scenario.candidate_offset(a.ue);
+      const std::size_t svc = scenario.ue(a.ue).service.idx();
       for (auto& env : bus.take_inbox(a.address)) {
         if (auto* upd = std::get_if<MsgResourceUpdate>(&env.payload)) {
-          a.view.update(upd->bs, upd->snapshot);
+          // Broadcasts from covering-but-non-candidate BSs carry no
+          // information this UE will ever query; the proposal logic only
+          // reads candidate slots.
+          const auto it = std::lower_bound(cands.begin(), cands.end(), upd->bs);
+          if (it != cands.end() && *it == upd->bs) {
+            const std::size_t slot = off + static_cast<std::size_t>(it - cands.begin());
+            view_crus[slot] = arena.crus(upd->snapshot, svc);
+            view_rrbs[slot] = arena.rrbs(upd->snapshot);
+          }
           if (faulty && a.has_serving && upd->bs == a.serving_bs) a.heard_serving = true;
         } else if (auto* dec = std::get_if<MsgDecision>(&env.payload)) {
           if (faulty) {
@@ -387,7 +432,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
               a.heard_serving = true;
             }
           } else if (config.drop_rejected) {
-            std::erase(a.b_u, dec->bs);  // move down the list, GS-style
+            b_u.erase_bs(scenario, a.ue, dec->bs);  // move down the list, GS-style
           }
         }
       }
@@ -416,7 +461,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
         ++a.unanswered;
         ++result.recovery.reproposals;
         if (a.unanswered >= net.recovery.max_reproposals) {
-          std::erase(a.b_u, a.last_target);
+          b_u.erase_bs(scenario, a.ue, a.last_target);
           a.awaiting = false;
           a.unanswered = 0;
           ++result.recovery.presumed_dead;
@@ -424,12 +469,15 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
                        a.last_target.value, round);
         }
       }
-      const auto choice = choose_proposal(scenario, a.view, a.ue, a.b_u, config.rho);
+      const auto view = [&view_crus, &view_rrbs](std::size_t slot, BsId) {
+        return std::pair<std::uint32_t, std::uint32_t>{view_crus[slot], view_rrbs[slot]};
+      };
+      const auto choice = choose_proposal_soa(scenario, b_u, a.ue, config.rho, view);
       if (!choice) {
         a.at_cloud = true;
         continue;
       }
-      const auto f_u = live_coverage_count(scenario, a.view, a.ue);
+      const auto f_u = live_coverage_count_soa(scenario, a.ue, view);
       bus.send(a.address, a.sp_address, MsgOffloadRequest{a.ue, *choice, f_u});
       ++sent_this_round;
       if (faulty) {
@@ -452,11 +500,13 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     if (sent_this_round == 0) {
       if (!faulty) {
         converged = true;
+        sample_round(round);
         break;
       }
       ++quiet_rounds;
       if (quiet_rounds > quiet_grace && bus.in_flight() == 0 && !schedule_ahead(round)) {
         converged = true;
+        sample_round(round);
         break;
       }
     } else {
@@ -515,8 +565,9 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
       }
       if (fresh.empty() && reacks.empty() && !unreliable) continue;
 
-      accepted.clear();
-      if (!fresh.empty()) accepted = bs_select(scenario, b.bs, fresh, b.resources, config);
+      const std::vector<UeId>& accepted =
+          fresh.empty() ? empty_accepts
+                        : bs_select(scenario, b.bs, fresh, b.resources, ws, config);
 
       for (UeId u : accepted) {
         const UserEquipment& e = scenario.ue(u);
@@ -635,6 +686,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
       }
       rec->finish_round(row);
     }
+    sample_round(round);
   }
 
   // ---- Final repair pass: orphans the live protocol could not re-place

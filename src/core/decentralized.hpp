@@ -27,6 +27,8 @@
 // byte-identical to the unhardened runtime (golden-tested).
 #pragma once
 
+#include <cstdint>
+
 #include "core/preference.hpp"
 #include "core/solver.hpp"
 #include "net/fault_plan.hpp"
@@ -71,12 +73,27 @@ struct FaultRecoveryStats {
   double recovered_profit = 0.0;           ///< Eq. 5 profit of re-placed orphans
 };
 
+/// Heap-allocation accounting for the protocol's round loop, sampled from
+/// util/alloc_hook.hpp. Only meaningful when the running binary installed
+/// a counting probe (perf_report and the zero-allocation test link the
+/// dmra_alloc_count overrides); otherwise measured stays false and the
+/// sampling costs one branch per round. Deterministic: counts operator
+/// new calls on this thread, not bytes or malloc internals.
+struct AllocCounters {
+  bool measured = false;             ///< a counting probe was installed
+  std::uint64_t settle_rounds = 0;   ///< warmup rounds excluded from steady state
+  std::uint64_t steady_state_allocations = 0;  ///< allocations in rounds >= settle_rounds
+  std::uint64_t total_allocations = 0;         ///< allocations across the whole round loop
+};
+
 /// DmraResult plus the communication cost of reaching it.
 struct DecentralizedResult {
   DmraResult dmra;  ///< allocation + convergence diagnostics
   BusStats bus;     ///< message-bus traffic, incl. fault-injected drops/dups/delays
   /// Fault and recovery accounting; all zeros without a fault plan.
   FaultRecoveryStats recovery;
+  /// Round-loop heap-allocation accounting (see AllocCounters).
+  AllocCounters alloc;
 };
 
 /// Optional network impairment for the protocol run. With loss enabled

@@ -47,10 +47,13 @@ IncrementalResult solve_incremental_dmra(const Scenario& scenario,
       if (!matched[ui]) continue;
       const UeId u{static_cast<std::uint32_t>(ui)};
       const BsId current = *allocation.bs_of(u);
-      double best_price = scenario.price(u, current);
-      for (BsId i : scenario.candidates(u))
-        best_price = std::min(best_price, scenario.price(u, i));
-      if (scenario.price(u, current) - best_price > config.hysteresis_margin) {
+      const double current_price = scenario.price(u, current);
+      double best_price = current_price;
+      // Candidate prices are precomputed per slot at scenario build; the
+      // carried BS may have left the candidate set, so it is priced above.
+      for (const double p : scenario.candidate_prices(u))
+        best_price = std::min(best_price, p);
+      if (current_price - best_price > config.hysteresis_margin) {
         state.release(u, current);
         allocation.assign_cloud(u);
         matched[ui] = false;

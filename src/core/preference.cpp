@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <tuple>
 
 #include "obs/recorder.hpp"
 #include "util/require.hpp"
@@ -59,149 +58,176 @@ std::optional<BsId> choose_proposal(const Scenario& scenario, const ResourceView
   return std::nullopt;
 }
 
+void LiveCandidates::build(const Scenario& scenario) {
+  const std::size_t nu = scenario.num_ues();
+  const std::size_t total = scenario.num_candidate_slots();
+  offsets_.assign(nu, 0);
+  len_.assign(nu, 0);
+  slots_.assign(total, 0);
+  for (std::size_t ui = 0; ui < nu; ++ui) {
+    const UeId u{static_cast<std::uint32_t>(ui)};
+    const std::size_t base = scenario.candidate_offset(u);
+    const std::size_t row = scenario.candidates(u).size();
+    offsets_[ui] = base;
+    len_[ui] = row;
+    for (std::size_t k = 0; k < row; ++k)
+      slots_[base + k] = static_cast<std::uint32_t>(k);
+  }
+}
+
 namespace {
 
-/// Lexicographic BS-side preference: same-SP first, then fewest covering
-/// BSs, then smallest resource footprint, then smallest id. Smaller is
-/// more preferred.
-struct BsPrefKey {
-  bool cross_sp;
-  std::uint32_t f_u;
-  std::uint32_t footprint;
-  std::uint32_t ue;
-
-  friend bool operator<(const BsPrefKey& a, const BsPrefKey& b) {
-    return std::tie(a.cross_sp, a.f_u, a.footprint, a.ue) <
-           std::tie(b.cross_sp, b.f_u, b.footprint, b.ue);
-  }
-};
-
 BsPrefKey pref_key(const Scenario& scenario, BsId i, const ProposalInfo& p,
-                   const DmraConfig& config) {
+                   std::uint32_t n_rrbs, const DmraConfig& config) {
   const UserEquipment& e = scenario.ue(p.ue);
-  const std::uint32_t footprint = scenario.link(p.ue, i).n_rrbs + e.cru_demand;
+  const std::uint32_t footprint = n_rrbs + e.cru_demand;
   return BsPrefKey{config.prefer_same_sp ? !scenario.same_sp(p.ue, i) : false,
                    config.use_coverage_count ? p.f_u : 0,
                    config.use_footprint ? footprint : 0, p.ue.value};
 }
 
-/// A proposal with its preference key and RRB demand computed exactly
-/// once — the min/sort below only compare precomputed keys instead of
-/// re-deriving them (link lookup + SP check) inside every comparator call.
-struct KeyedProposal {
-  BsPrefKey key;
-  UeId ue;
-  std::uint32_t n_rrbs;
-};
-
-}  // namespace
-
-namespace {
-
 obs::TiebreakKey to_obs_key(const BsPrefKey& k) {
   return obs::TiebreakKey{k.cross_sp, k.f_u, k.footprint, k.ue};
 }
 
-/// Emits one kDecision event for `p` at BS `i`. Losing decisions carry the
-/// tiebreak key so a trace viewer can show *why* the proposal lost.
-void record_decision(obs::TraceRecorder& rec, const Scenario& scenario, BsId i,
-                     const KeyedProposal& p, bool accepted, obs::DecisionReason reason) {
+/// Emits one kDecision event for proposer `ue` at BS `i`. Losing decisions
+/// carry the tiebreak key so a trace viewer can show *why* it lost.
+void record_decision(obs::TraceRecorder& rec, const Scenario& scenario, BsId i, UeId ue,
+                     const BsPrefKey& key, bool accepted, obs::DecisionReason reason) {
   obs::TraceEvent e;
   e.kind = obs::EventKind::kDecision;
   e.reason = reason;
   e.flag = accepted;
-  e.ue = p.ue.value;
+  e.ue = ue.value;
   e.bs = i.value;
-  e.service = scenario.ue(p.ue).service.value;
-  if (!accepted) e.key = to_obs_key(p.key);
+  e.service = scenario.ue(ue).service.value;
+  if (!accepted) e.key = to_obs_key(key);
   rec.record(e);
 }
 
 }  // namespace
 
-std::vector<UeId> bs_select(const Scenario& scenario, BsId i,
-                            const std::vector<ProposalInfo>& proposals,
-                            const BsLocalResources& local, const DmraConfig& config) {
+void BsSelectWorkspace::reserve(std::size_t num_services, std::size_t max_proposals) {
+  counts_.reserve(num_services);
+  offsets_.reserve(num_services + 1);
+  keys_.reserve(max_proposals);
+  ues_.reserve(max_proposals);
+  rrbs_.reserve(max_proposals);
+  demands_.reserve(max_proposals);
+  winners_.reserve(num_services);
+  accepted_.reserve(num_services);
+}
+
+const std::vector<UeId>& bs_select(const Scenario& scenario, BsId i,
+                                   std::span<const ProposalInfo> proposals,
+                                   const BsLocalResources& local, BsSelectWorkspace& ws,
+                                   const DmraConfig& config) {
   DMRA_REQUIRE(local.crus.size() == scenario.num_services());
   // Tracing: one pointer test when disabled; all event work is behind it.
   obs::TraceRecorder* const rec = obs::recorder();
 
   // dmra::hotpath begin(bs-select)
-  // Group by requested service (Alg. 1 line 13), buckets in ServiceId
-  // order — the same iteration order the previous std::map grouping gave.
-  std::vector<std::vector<KeyedProposal>> by_service(scenario.num_services());
+  // Group by requested service (Alg. 1 line 13) with a stable counting
+  // sort into the workspace's SoA rows: buckets in ServiceId order,
+  // within-bucket in proposal order — the same iteration order the
+  // per-service vector buckets (and before them std::map) gave.
+  const std::size_t ns = scenario.num_services();
+  const std::size_t np = proposals.size();
+  ws.counts_.assign(ns, 0);
+  for (const ProposalInfo& p : proposals) ++ws.counts_[scenario.ue(p.ue).service.idx()];
+  ws.offsets_.assign(ns + 1, 0);
+  for (std::size_t j = 0; j < ns; ++j) ws.offsets_[j + 1] = ws.offsets_[j] + ws.counts_[j];
+  ws.keys_.resize(np);
+  ws.ues_.resize(np);
+  ws.rrbs_.resize(np);
+  ws.demands_.resize(np);
+  for (std::size_t j = 0; j < ns; ++j) ws.counts_[j] = ws.offsets_[j];  // cursors
   for (const ProposalInfo& p : proposals) {
+    const UserEquipment& e = scenario.ue(p.ue);
     const LinkStats& l = scenario.link(p.ue, i);
     DMRA_REQUIRE_MSG(l.in_coverage, "proposal from uncovered UE");
-    by_service[scenario.ue(p.ue).service.idx()].push_back(
-        KeyedProposal{pref_key(scenario, i, p, config), p.ue, l.n_rrbs});
+    const std::uint32_t row = ws.counts_[e.service.idx()]++;
+    ws.keys_[row] = pref_key(scenario, i, p, l.n_rrbs, config);
+    ws.ues_[row] = p.ue;
+    ws.rrbs_[row] = l.n_rrbs;
+    ws.demands_[row] = e.cru_demand;
   }
 
   // Per service: one winner (lines 14–21). Same-SP UEs form the preferred
   // pool; the BsPrefKey ordering already puts every same-SP proposer ahead
   // of every cross-SP one, so a straight min implements the pool split.
-  std::vector<KeyedProposal> winners;
-  for (std::size_t j = 0; j < by_service.size(); ++j) {
-    const std::vector<KeyedProposal>& cands = by_service[j];
-    const auto feasible = [&](const KeyedProposal& p) {
-      return local.crus[j] >= scenario.ue(p.ue).cru_demand && local.rrbs >= p.n_rrbs;
+  constexpr std::uint32_t kNoRow = std::numeric_limits<std::uint32_t>::max();
+  ws.winners_.clear();
+  for (std::size_t j = 0; j < ns; ++j) {
+    const auto feasible = [&](std::uint32_t row) {
+      return local.crus[j] >= ws.demands_[row] && local.rrbs >= ws.rrbs_[row];
     };
     // Pick the best proposal the BS can still honour (CRU view at round
     // start) in one pass — no feasible-subset copy.
-    const KeyedProposal* best = nullptr;
-    for (const KeyedProposal& p : cands) {
-      if (!feasible(p)) {
+    std::uint32_t best = kNoRow;
+    for (std::uint32_t row = ws.offsets_[j]; row < ws.offsets_[j + 1]; ++row) {
+      if (!feasible(row)) {
         if (rec != nullptr)
-          record_decision(*rec, scenario, i, p, false, obs::DecisionReason::kInfeasible);
+          record_decision(*rec, scenario, i, ws.ues_[row], ws.keys_[row], false,
+                          obs::DecisionReason::kInfeasible);
         continue;
       }
-      if (best == nullptr || p.key < best->key) best = &p;
+      if (best == kNoRow || ws.keys_[row] < ws.keys_[best]) best = row;
     }
-    if (rec != nullptr && best != nullptr) {
+    if (rec != nullptr && best != kNoRow) {
       // Second pass, traced runs only: every feasible non-winner lost the
       // lexicographic tiebreak to `best`; record the losing key.
-      for (const KeyedProposal& p : cands) {
-        if (&p == best || !feasible(p)) continue;
-        record_decision(*rec, scenario, i, p, false, obs::DecisionReason::kLostTiebreak);
+      for (std::uint32_t row = ws.offsets_[j]; row < ws.offsets_[j + 1]; ++row) {
+        if (row == best || !feasible(row)) continue;
+        record_decision(*rec, scenario, i, ws.ues_[row], ws.keys_[row], false,
+                        obs::DecisionReason::kLostTiebreak);
       }
     }
-    if (best != nullptr) winners.push_back(*best);
+    if (best != kNoRow) ws.winners_.push_back(best);
   }
 
   // Radio trim (lines 22–25): if the winners' aggregate RRB demand
   // overshoots the budget, drop the least-preferred winners until it fits.
   std::uint64_t total_rrbs = 0;
-  for (const KeyedProposal& p : winners) total_rrbs += p.n_rrbs;
+  for (const std::uint32_t row : ws.winners_) total_rrbs += ws.rrbs_[row];
   if (total_rrbs > local.rrbs) {
-    std::sort(winners.begin(), winners.end(),
-              [](const KeyedProposal& a, const KeyedProposal& b) { return a.key < b.key; });
-    while (!winners.empty() && total_rrbs > local.rrbs) {
-      const KeyedProposal& victim = winners.back();
+    std::sort(ws.winners_.begin(), ws.winners_.end(),
+              [&](std::uint32_t a, std::uint32_t b) { return ws.keys_[a] < ws.keys_[b]; });
+    while (!ws.winners_.empty() && total_rrbs > local.rrbs) {
+      const std::uint32_t victim = ws.winners_.back();
       if (rec != nullptr) {
         obs::TraceEvent t;
         t.kind = obs::EventKind::kTrimEviction;
-        t.ue = victim.ue.value;
+        t.ue = ws.ues_[victim].value;
         t.bs = i.value;
-        t.service = scenario.ue(victim.ue).service.value;
-        t.value = victim.n_rrbs;
-        t.key = to_obs_key(victim.key);
+        t.service = scenario.ue(ws.ues_[victim]).service.value;
+        t.value = ws.rrbs_[victim];
+        t.key = to_obs_key(ws.keys_[victim]);
         rec->record(t);
-        record_decision(*rec, scenario, i, victim, false, obs::DecisionReason::kTrimmed);
+        record_decision(*rec, scenario, i, ws.ues_[victim], ws.keys_[victim], false,
+                        obs::DecisionReason::kTrimmed);
       }
-      total_rrbs -= victim.n_rrbs;
-      winners.pop_back();
+      total_rrbs -= ws.rrbs_[victim];
+      ws.winners_.pop_back();
     }
   }
   if (rec != nullptr)
-    for (const KeyedProposal& p : winners)
-      record_decision(*rec, scenario, i, p, true, obs::DecisionReason::kAccepted);
+    for (const std::uint32_t row : ws.winners_)
+      record_decision(*rec, scenario, i, ws.ues_[row], ws.keys_[row], true,
+                      obs::DecisionReason::kAccepted);
 
-  std::vector<UeId> accepted;
-  accepted.reserve(winners.size());
-  for (const KeyedProposal& p : winners) accepted.push_back(p.ue);
-  std::sort(accepted.begin(), accepted.end());
-  return accepted;
+  ws.accepted_.clear();
+  for (const std::uint32_t row : ws.winners_) ws.accepted_.push_back(ws.ues_[row]);
+  std::sort(ws.accepted_.begin(), ws.accepted_.end());
+  return ws.accepted_;
   // dmra::hotpath end(bs-select)
+}
+
+std::vector<UeId> bs_select(const Scenario& scenario, BsId i,
+                            std::span<const ProposalInfo> proposals,
+                            const BsLocalResources& local, const DmraConfig& config) {
+  BsSelectWorkspace ws;
+  return bs_select(scenario, i, proposals, local, ws, config);
 }
 
 }  // namespace dmra

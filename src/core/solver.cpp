@@ -1,6 +1,7 @@
 #include "core/solver.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "mec/audit.hpp"
 #include "mec/resources.hpp"
@@ -25,19 +26,6 @@ void sum_headroom(const Scenario& scenario, const ResourceState& state,
   }
 }
 
-/// ResourceView over the authoritative global ledger.
-class GlobalView final : public ResourceView {
- public:
-  explicit GlobalView(const ResourceState& state) : state_(&state) {}
-  std::uint32_t remaining_crus(BsId i, ServiceId j) const override {
-    return state_->remaining_crus(i, j);
-  }
-  std::uint32_t remaining_rrbs(BsId i) const override { return state_->remaining_rrbs(i); }
-
- private:
-  const ResourceState* state_;
-};
-
 }  // namespace
 
 DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config,
@@ -47,7 +35,6 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
   DMRA_REQUIRE(allocation.num_ues() == scenario.num_ues());
   DMRA_REQUIRE(matched.size() == scenario.num_ues());
 
-  const GlobalView view(state);
   DmraResult result;
   result.allocation = Allocation(0);  // filled at the end
 
@@ -61,27 +48,41 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
     traced_profit = total_profit(scenario, allocation);
   }
 
+  // The proposal pass reads the ledger directly (no virtual ResourceView
+  // hop): remaining CRUs of the proposer's service plus remaining RRBs,
+  // per candidate slot.
   const std::size_t nu = scenario.num_ues();
-  std::vector<std::vector<BsId>> b_u(nu);
+  LiveCandidates b_u;
+  b_u.build(scenario);
   std::vector<bool> at_cloud(nu, false);
   for (std::size_t ui = 0; ui < nu; ++ui) {
-    if (matched[ui]) continue;
-    const auto cands = scenario.candidates(UeId{static_cast<std::uint32_t>(ui)});
-    b_u[ui].assign(cands.begin(), cands.end());
-    if (b_u[ui].empty()) at_cloud[ui] = true;
+    const UeId u{static_cast<std::uint32_t>(ui)};
+    if (!matched[ui] && b_u.empty(u)) at_cloud[ui] = true;
   }
 
   const std::size_t round_limit = config.max_rounds > 0 ? config.max_rounds : nu + 1;
 
-  // Per-BS proposal buckets and the BS-local resource scratch, hoisted out
-  // of the round loop. Scanning the buckets in index order reproduces the
-  // former std::map<BsId, ...> iteration order exactly, without a map-node
-  // allocation per proposal per round; bucket capacity persists across
-  // rounds. Part of the hotpath allocation budget (docs/STATIC_ANALYSIS.md).
+  // Per-round scratch, hoisted out of the round loop so every buffer
+  // settles at its high-water capacity: the flat proposal log (UE order),
+  // its counting-sort grouping by BS — scanning groups in BS index order
+  // reproduces the former std::map<BsId, ...> iteration order exactly —
+  // and the bs_select workspace.
   const std::size_t nb = scenario.num_bss();
-  std::vector<std::vector<ProposalInfo>> proposals(nb);
+  const std::size_t ns = scenario.num_services();
+  std::vector<std::uint32_t> prop_bs;      // proposal m went to this BS
+  std::vector<ProposalInfo> prop_info;     // …carrying this (ue, f_u)
+  std::vector<ProposalInfo> grouped;       // proposals regrouped by BS
+  std::vector<std::uint32_t> group_count;  // per-BS counts, then cursors
+  std::vector<std::size_t> group_begin;    // per-BS group offsets (nb + 1)
+  prop_bs.reserve(nu);
+  prop_info.reserve(nu);
+  grouped.reserve(nu);
+  group_count.reserve(nb);
+  group_begin.reserve(nb + 1);
   BsLocalResources local;
-  local.crus.resize(scenario.num_services());
+  local.crus.resize(ns);
+  BsSelectWorkspace ws;
+  ws.reserve(ns, nu);
 
   bool converged = false;
   for (std::size_t round = 0; round < round_limit; ++round) {
@@ -90,18 +91,25 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
     // the start of the round, exactly like the broadcast view a
     // decentralized UE would hold.
     // dmra::hotpath begin(solver-propose)
-    for (std::vector<ProposalInfo>& bucket : proposals) bucket.clear();
+    prop_bs.clear();
+    prop_info.clear();
     std::size_t sent_this_round = 0;
     for (std::size_t ui = 0; ui < nu; ++ui) {
       if (matched[ui] || at_cloud[ui]) continue;
       const UeId u{static_cast<std::uint32_t>(ui)};
-      const auto choice = choose_proposal(scenario, view, u, b_u[ui], config.rho);
+      const ServiceId j = scenario.ue(u).service;
+      const auto view = [&state, j](std::size_t, BsId i) {
+        return std::pair<std::uint32_t, std::uint32_t>{state.remaining_crus(i, j),
+                                                       state.remaining_rrbs(i)};
+      };
+      const auto choice = choose_proposal_soa(scenario, b_u, u, config.rho, view);
       if (!choice) {
         at_cloud[ui] = true;  // Alg. 1: B_u exhausted → remote cloud
         continue;
       }
-      const std::uint32_t f_u = live_coverage_count(scenario, view, u);
-      proposals[choice->idx()].push_back(ProposalInfo{u, f_u});
+      const std::uint32_t f_u = live_coverage_count_soa(scenario, u, view);
+      prop_bs.push_back(choice->value);
+      prop_info.push_back(ProposalInfo{u, f_u});
       ++sent_this_round;
       if (rec != nullptr) {
         obs::TraceEvent e;
@@ -124,16 +132,31 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
     // --- BS acceptance phase: each BS decides from its own local
     // resources only, then commits.
     // dmra::hotpath begin(solver-accept)
+    // Stable counting sort of the proposal log by BS: groups in BS index
+    // order, within-group in UE (send) order — the append order the
+    // per-BS bucket vectors used to produce.
+    group_count.assign(nb, 0);
+    for (const std::uint32_t b : prop_bs) ++group_count[b];
+    group_begin.assign(nb + 1, 0);
+    for (std::size_t bi = 0; bi < nb; ++bi)
+      group_begin[bi + 1] = group_begin[bi] + group_count[bi];
+    if (grouped.size() < prop_info.size()) grouped.resize(prop_info.size());
+    for (std::size_t bi = 0; bi < nb; ++bi)
+      group_count[bi] = static_cast<std::uint32_t>(group_begin[bi]);
+    for (std::size_t m = 0; m < prop_info.size(); ++m)
+      grouped[group_count[prop_bs[m]]++] = prop_info[m];
+
     std::size_t accepted_this_round = 0;
     for (std::size_t bi = 0; bi < nb; ++bi) {
-      const std::vector<ProposalInfo>& props = proposals[bi];
+      const std::span<const ProposalInfo> props{grouped.data() + group_begin[bi],
+                                                group_begin[bi + 1] - group_begin[bi]};
       if (props.empty()) continue;
       const BsId bs{static_cast<std::uint32_t>(bi)};
-      for (std::size_t j = 0; j < scenario.num_services(); ++j)
+      for (std::size_t j = 0; j < ns; ++j)
         local.crus[j] = state.remaining_crus(bs, ServiceId{static_cast<std::uint32_t>(j)});
       local.rrbs = state.remaining_rrbs(bs);
 
-      const std::vector<UeId> accepted = bs_select(scenario, bs, props, local, config);
+      const auto& accepted = bs_select(scenario, bs, props, local, ws, config);
       for (UeId u : accepted) {
         state.commit(u, bs);
         allocation.assign(u, bs);
@@ -144,8 +167,7 @@ DmraResult solve_dmra_partial(const Scenario& scenario, const DmraConfig& config
       if (config.drop_rejected) {
         for (const ProposalInfo& p : props) {
           if (std::binary_search(accepted.begin(), accepted.end(), p.ue)) continue;
-          auto& list = b_u[p.ue.idx()];
-          std::erase(list, bs);
+          b_u.erase_bs(scenario, p.ue, bs);
         }
       }
     }

@@ -111,6 +111,8 @@ void Scenario::build_links() {
                  (data_.link_build == LinkBuild::kAuto && nu * nb <= kDenseLinkThreshold);
   cand_offsets_.assign(nu + 1, 0);
   candidates_.clear();
+  cand_price_.clear();
+  cand_rrbs_.clear();
   links_.clear();
   link_cols_.clear();
   link_offsets_.clear();
@@ -154,8 +156,12 @@ void Scenario::build_links() {
         if (d > data_.coverage_radius_m) continue;  // stays all-zero
         const LinkStats l = compute_link(u, b, d);
         links_[ui * nb + bi] = l;
-        if (is_candidate(u, b, l))
+        if (is_candidate(u, b, l)) {
           candidates_.push_back(BsId{static_cast<std::uint32_t>(bi)});
+          cand_price_.push_back(b.price_multiplier *
+                                cru_price(data_.pricing, l.distance_m, u.sp == b.sp));
+          cand_rrbs_.push_back(l.n_rrbs);
+        }
       }
       cand_offsets_[ui + 1] = candidates_.size();
     }
@@ -178,7 +184,12 @@ void Scenario::build_links() {
       const LinkStats l = compute_link(u, b, d);
       links_.push_back(l);
       link_cols_.push_back(bi);
-      if (is_candidate(u, b, l)) candidates_.push_back(BsId{bi});
+      if (is_candidate(u, b, l)) {
+        candidates_.push_back(BsId{bi});
+        cand_price_.push_back(b.price_multiplier *
+                              cru_price(data_.pricing, l.distance_m, u.sp == b.sp));
+        cand_rrbs_.push_back(l.n_rrbs);
+      }
     }
     link_offsets_[ui + 1] = links_.size();
     cand_offsets_[ui + 1] = candidates_.size();

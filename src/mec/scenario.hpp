@@ -143,6 +143,30 @@ class Scenario {
   /// live resource state — this is the static upper bound).
   std::size_t coverage_count(UeId u) const { return candidates(u).size(); }
 
+  /// p(i,u) per candidate slot, parallel to candidates(u) — the same
+  /// doubles price() computes, hoisted to construction so the per-round
+  /// preference passes read a contiguous array instead of re-deriving
+  /// multiplier × cru_price per evaluation.
+  std::span<const double> candidate_prices(UeId u) const {
+    return {cand_price_.data() + cand_offsets_[u.idx()],
+            cand_offsets_[u.idx() + 1] - cand_offsets_[u.idx()]};
+  }
+
+  /// n(u,i) per candidate slot, parallel to candidates(u). Nonzero for
+  /// every slot (a zero-RRB link is never a candidate).
+  std::span<const std::uint32_t> candidate_rrbs(UeId u) const {
+    return {cand_rrbs_.data() + cand_offsets_[u.idx()],
+            cand_offsets_[u.idx() + 1] - cand_offsets_[u.idx()]};
+  }
+
+  /// Base of u's row in the flat candidate-slot index space [0,
+  /// num_candidate_slots()). Runtimes keep per-slot side arrays (e.g. the
+  /// decentralized broadcast view) indexed by candidate_offset(u) + k.
+  std::size_t candidate_offset(UeId u) const { return cand_offsets_[u.idx()]; }
+
+  /// Total candidate slots across all UEs.
+  std::size_t num_candidate_slots() const { return candidates_.size(); }
+
   bool same_sp(UeId u, BsId i) const { return ue(u).sp == bs(i).sp; }
 
   /// p(i,u) of Eq. 9/10.
@@ -165,6 +189,8 @@ class Scenario {
   std::vector<std::size_t> link_offsets_;
   std::vector<BsId> candidates_;          // concatenated per-UE candidate lists
   std::vector<std::size_t> cand_offsets_; // |U| + 1 offsets into candidates_
+  std::vector<double> cand_price_;        // p(i,u) per candidate slot
+  std::vector<std::uint32_t> cand_rrbs_;  // n(u,i) per candidate slot
 
   void validate() const;
   void build_links();

@@ -11,6 +11,18 @@
 // from "decentralized" is the information structure (who can know what,
 // and when), not OS-level parallelism; a deterministic bus makes the
 // equivalence proof against the direct solver an exact, testable claim.
+//
+// Storage model (ROADMAP item 2): envelopes live in two pooled flat
+// buffers that the bus reuses round after round. deliver() drains the
+// pending pool in one batch — fault draws first, then a per-recipient
+// counting pass, then placement into per-agent segments of one
+// contiguous buffer — and swaps the buffers. After the first few rounds
+// reach their high-water marks, the steady state performs zero heap
+// allocations; reserve() warms the pools up front. take_inbox() hands
+// out a non-owning InboxView into the segment instead of moving a heap
+// vector out. Payload must be default-constructible (the pool is sized
+// with value-initialized envelopes before placement move-assigns into
+// it).
 #pragma once
 
 #include <cstdint>
@@ -42,6 +54,31 @@ struct Envelope {
   Payload payload;
 };
 
+/// Non-owning window over one agent's drained inbox segment. Valid until
+/// the next deliver() call on the bus that produced it (delivery swaps
+/// the underlying pool); drain-and-dispatch immediately, don't store.
+template <typename Payload>
+class InboxView {
+ public:
+  InboxView() = default;
+  InboxView(const Envelope<Payload>* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  const Envelope<Payload>* begin() const { return data_; }
+  const Envelope<Payload>* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Envelope<Payload>& operator[](std::size_t n) const { return data_[n]; }
+  const Envelope<Payload>& at(std::size_t n) const {
+    DMRA_REQUIRE(n < size_);
+    return data_[n];
+  }
+
+ private:
+  const Envelope<Payload>* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 template <typename Payload>
 class MessageBus {
  public:
@@ -49,18 +86,36 @@ class MessageBus {
   /// before the first send.
   AgentId register_agent() {
     DMRA_REQUIRE_MSG(seq_ == 0, "register agents before any send");
-    const AgentId id{static_cast<std::uint32_t>(inboxes_.size())};
-    inboxes_.emplace_back();
+    const AgentId id{static_cast<std::uint32_t>(num_agents_)};
+    ++num_agents_;
+    seg_begin_.push_back(0);
+    cursor_.push_back(0);
+    seg_end_.push_back(0);
+    write_pos_.push_back(0);
     return id;
   }
 
-  std::size_t num_agents() const { return inboxes_.size(); }
+  std::size_t num_agents() const { return num_agents_; }
+
+  /// Warm the pools to a per-deliver()-batch high-water mark so the
+  /// steady state never allocates. The inbox pool is sized for two
+  /// batches because an agent may leave one generation undrained while
+  /// the next arrives (the runtime's UEs do exactly this with broadcasts
+  /// and decisions). Also the growth license for the pool push/resize
+  /// calls in the hot regions below.
+  void reserve(std::size_t messages_per_deliver) {
+    pending_.reserve(messages_per_deliver);
+    fates_.reserve(messages_per_deliver);
+    inbox_data_.reserve(2 * messages_per_deliver);
+    inbox_next_.reserve(2 * messages_per_deliver);
+    delayed_.reserve(messages_per_deliver / 4 + 16);
+  }
 
   /// Queue a message for delivery at the next deliver() call.
   void send(AgentId from, AgentId to, Payload payload) {
     // dmra::hotpath begin(bus-send)
-    DMRA_REQUIRE(from.idx() < inboxes_.size());
-    DMRA_REQUIRE(to.idx() < inboxes_.size());
+    DMRA_REQUIRE(from.idx() < num_agents_);
+    DMRA_REQUIRE(to.idx() < num_agents_);
     pending_.push_back(Envelope<Payload>{from, to, round_, seq_++, std::move(payload)});
     stats_.messages_sent++;
     // dmra::hotpath end(bus-send)
@@ -104,54 +159,117 @@ class MessageBus {
       fault_rng_.emplace("bus-faults", seed);
   }
 
-  /// Move pending messages into recipient inboxes and advance the round.
-  /// Returns the number delivered (dropped messages are counted in
+  /// Move pending messages into recipient inbox segments and advance the
+  /// round. Returns the number delivered (dropped messages are counted in
   /// stats().messages_dropped instead). Per fresh message the draw order
   /// is fixed — drop, then duplicate, then delay — so each fault class
   /// consumes its stream identically whether or not the others fire.
   /// Delayed messages (and duplicate copies) come due at a later deliver()
   /// call and are then delivered unconditionally, before that round's
   /// fresh messages, in send-sequence order.
+  ///
+  /// Batch mechanics: one fault pass over the pending pool fixes each
+  /// message's fate and consumes the RNG streams in send order; a
+  /// counting pass sizes per-agent segments [undrained carryover | due
+  /// delayed | surviving fresh]; placement move-assigns into the spare
+  /// pool at per-agent cursors; the pools swap. Per-agent order is
+  /// exactly the append order of the historical per-agent vectors.
   std::size_t deliver() {
     // dmra::hotpath begin(bus-deliver)
-    std::size_t delivered = 0;
-    if (!delayed_.empty()) {
-      std::size_t kept = 0;
-      for (auto& d : delayed_) {
-        if (d.due <= round_) {
-          inboxes_[d.env.to.idx()].push_back(std::move(d.env));
-          ++delivered;
-        } else {
-          delayed_[kept++] = std::move(d);
-        }
+    const std::size_t na = num_agents_;
+    // Phase 1a: per-recipient counts, seeded with undrained carryover.
+    for (std::size_t a = 0; a < na; ++a) write_pos_[a] = seg_end_[a] - cursor_[a];
+    std::size_t due_count = 0;
+    for (const Delayed& d : delayed_) {
+      if (d.due <= round_) {
+        ++write_pos_[d.env.to.idx()];
+        ++due_count;
       }
-      delayed_.resize(kept);
     }
-    for (auto& env : pending_) {
-      if (drop_probability_ > 0.0 && loss_rng_->bernoulli(drop_probability_)) {
-        stats_.messages_dropped++;
-        continue;
-      }
-      if (fault_rng_.has_value()) {
-        if (faults_.duplicate_probability > 0.0 &&
-            fault_rng_->bernoulli(faults_.duplicate_probability)) {
-          stats_.messages_duplicated++;
-          delayed_.push_back(Delayed{round_ + 1, env});  // copy arrives next round
-        }
-        if (faults_.delay_probability > 0.0 &&
-            fault_rng_->bernoulli(faults_.delay_probability)) {
-          stats_.messages_delayed++;
-          const auto d = static_cast<std::uint64_t>(fault_rng_->uniform_int(
-              1, static_cast<std::int64_t>(faults_.max_delay_rounds)));
-          delayed_.push_back(Delayed{round_ + d, std::move(env)});
+    // Phase 1b: fault draws in send order, one draw sequence per message
+    // (drop, then duplicate, then delay), recording each fate. Duplicate
+    // copies and delayed originals park in delayed_; they are not due
+    // this round (due >= round_ + 1), so the counting above is complete.
+    std::size_t fresh_kept = 0;
+    const bool faulty = loss_rng_.has_value();
+    if (faulty) {
+      fates_.resize(pending_.size());
+      for (std::size_t m = 0; m < pending_.size(); ++m) {
+        Envelope<Payload>& env = pending_[m];
+        if (drop_probability_ > 0.0 && loss_rng_->bernoulli(drop_probability_)) {
+          stats_.messages_dropped++;
+          fates_[m] = kDropped;
           continue;
         }
+        if (fault_rng_.has_value()) {
+          if (faults_.duplicate_probability > 0.0 &&
+              fault_rng_->bernoulli(faults_.duplicate_probability)) {
+            stats_.messages_duplicated++;
+            delayed_.push_back(Delayed{round_ + 1, env});  // copy arrives next round
+          }
+          if (faults_.delay_probability > 0.0 &&
+              fault_rng_->bernoulli(faults_.delay_probability)) {
+            stats_.messages_delayed++;
+            const auto d = static_cast<std::uint64_t>(fault_rng_->uniform_int(
+                1, static_cast<std::int64_t>(faults_.max_delay_rounds)));
+            delayed_.push_back(Delayed{round_ + d, std::move(env)});
+            fates_[m] = kDelayedFate;
+            continue;
+          }
+        }
+        fates_[m] = kFresh;
+        ++write_pos_[env.to.idx()];
+        ++fresh_kept;
       }
-      inboxes_[env.to.idx()].push_back(std::move(env));
-      ++delivered;
+    } else {
+      for (const Envelope<Payload>& env : pending_) ++write_pos_[env.to.idx()];
+      fresh_kept = pending_.size();
+    }
+    // Phase 2: prefix-sum the counts into segment offsets and size the
+    // spare pool (grow-only; stale tail entries are never readable).
+    std::size_t total = 0;
+    for (std::size_t a = 0; a < na; ++a) {
+      const std::size_t count = write_pos_[a];
+      seg_begin_[a] = total;
+      write_pos_[a] = total;  // becomes the placement cursor
+      total += count;
+    }
+    if (inbox_next_.size() < total) inbox_next_.resize(total);
+    // Phase 3a: undrained carryover, preserving per-agent order.
+    for (std::size_t a = 0; a < na; ++a)
+      for (std::size_t k = cursor_[a]; k < seg_end_[a]; ++k)
+        inbox_next_[write_pos_[a]++] = std::move(inbox_data_[k]);
+    // Phase 3b: due delayed messages in storage order, compacting the
+    // survivors in place (entries appended by phase 1b sit at the tail
+    // with due > round_, so they are all kept, in order).
+    std::size_t kept = 0;
+    for (std::size_t k = 0; k < delayed_.size(); ++k) {
+      Delayed& d = delayed_[k];
+      if (d.due <= round_) {
+        inbox_next_[write_pos_[d.env.to.idx()]++] = std::move(d.env);
+      } else {
+        if (kept != k) delayed_[kept] = std::move(d);
+        ++kept;
+      }
+    }
+    delayed_.resize(kept);
+    // Phase 3c: surviving fresh messages in send-sequence order.
+    if (faulty) {
+      for (std::size_t m = 0; m < pending_.size(); ++m)
+        if (fates_[m] == kFresh)
+          inbox_next_[write_pos_[pending_[m].to.idx()]++] = std::move(pending_[m]);
+    } else {
+      for (Envelope<Payload>& env : pending_)
+        inbox_next_[write_pos_[env.to.idx()]++] = std::move(env);
+    }
+    inbox_data_.swap(inbox_next_);
+    for (std::size_t a = 0; a < na; ++a) {
+      cursor_[a] = seg_begin_[a];
+      seg_end_[a] = write_pos_[a];
     }
     pending_.clear();
     ++round_;
+    const std::size_t delivered = due_count + fresh_kept;
     stats_.rounds = round_;
     stats_.messages_delivered += delivered;
     return delivered;
@@ -159,17 +277,22 @@ class MessageBus {
   }
 
   /// Drain an agent's inbox (messages are in send order; the bus never
-  /// reorders messages to the same recipient). The returned vector takes
-  /// the inbox's heap buffer with it, so the slot re-grows from empty next
-  /// round — the flat ring-buffer inbox of ROADMAP item 2 removes this.
-  std::vector<Envelope<Payload>> take_inbox(AgentId agent) {
+  /// reorders messages to the same recipient). Returns a non-owning view
+  /// into the pooled segment — valid until the next deliver() — and
+  /// marks the segment drained so the next deliver() reclaims it.
+  InboxView<Payload> take_inbox(AgentId agent) {
     // dmra::hotpath begin(bus-take-inbox)
-    DMRA_REQUIRE(agent.idx() < inboxes_.size());
-    return std::exchange(inboxes_[agent.idx()], {});
+    DMRA_REQUIRE(agent.idx() < num_agents_);
+    const std::size_t b = cursor_[agent.idx()];
+    const std::size_t e = seg_end_[agent.idx()];
+    cursor_[agent.idx()] = e;
+    return InboxView<Payload>(inbox_data_.data() + b, e - b);
     // dmra::hotpath end(bus-take-inbox)
   }
 
-  bool inbox_empty(AgentId agent) const { return inboxes_[agent.idx()].empty(); }
+  bool inbox_empty(AgentId agent) const {
+    return cursor_[agent.idx()] == seg_end_[agent.idx()];
+  }
 
   std::uint64_t round() const { return round_; }
   const BusStats& stats() const { return stats_; }
@@ -189,8 +312,23 @@ class MessageBus {
     Envelope<Payload> env;
   };
 
-  std::vector<std::vector<Envelope<Payload>>> inboxes_;
+  /// Per-message outcome of the phase-1b fault pass.
+  static constexpr std::uint8_t kFresh = 0;
+  static constexpr std::uint8_t kDropped = 1;
+  static constexpr std::uint8_t kDelayedFate = 2;
+
+  std::size_t num_agents_ = 0;
+  // Double-buffered envelope pool: inbox_data_ holds the live per-agent
+  // segments [seg_begin_, seg_end_) with cursor_ marking the drained
+  // prefix; inbox_next_ is the spare the next deliver() packs into.
+  std::vector<Envelope<Payload>> inbox_data_;
+  std::vector<Envelope<Payload>> inbox_next_;
+  std::vector<std::size_t> seg_begin_;
+  std::vector<std::size_t> cursor_;
+  std::vector<std::size_t> seg_end_;
+  std::vector<std::size_t> write_pos_;  ///< counts, then placement cursors
   std::vector<Envelope<Payload>> pending_;
+  std::vector<std::uint8_t> fates_;
   std::vector<Delayed> delayed_;
   std::uint64_t round_ = 0;
   std::uint64_t seq_ = 0;

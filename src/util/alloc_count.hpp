@@ -1,0 +1,17 @@
+// Public face of the counting-allocator library (dmra_alloc_count).
+// See alloc_count.cpp for the operator new/delete overrides; link that
+// library only into binaries that measure allocations.
+#pragma once
+
+#include <cstdint>
+
+namespace dmra::allocprobe {
+
+/// Publish the thread-local allocation counter through alloc_hook. Call
+/// once at startup, before the code under measurement runs.
+void install() noexcept;
+
+/// The calling thread's running operator-new count.
+std::uint64_t thread_count() noexcept;
+
+}  // namespace dmra::allocprobe

@@ -1,0 +1,20 @@
+#include "util/alloc_hook.hpp"
+
+#include <atomic>
+
+namespace dmra::alloc_hook {
+
+namespace {
+std::atomic<Probe> g_probe{nullptr};
+}  // namespace
+
+void set_probe(Probe probe) noexcept { g_probe.store(probe, std::memory_order_release); }
+
+bool active() noexcept { return g_probe.load(std::memory_order_acquire) != nullptr; }
+
+std::uint64_t count() noexcept {
+  const Probe p = g_probe.load(std::memory_order_acquire);
+  return p != nullptr ? p() : 0;
+}
+
+}  // namespace dmra::alloc_hook

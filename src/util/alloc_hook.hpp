@@ -1,0 +1,34 @@
+// Pluggable heap-allocation counting probe (ROADMAP item 2).
+//
+// The zero-allocation claim of the hot-path rework is *test-asserted*,
+// not just linted: binaries that want to measure link the dmra_alloc_count
+// library (alloc_count.cpp), whose global operator new overrides bump a
+// thread-local counter and install a probe here. Everything else never
+// defines a probe, so the runtimes' sampling code costs one branch and
+// the allocator is the system one.
+//
+// The counter is a count of operator-new calls on the calling thread —
+// a deterministic quantity for a deterministic run, unlike bytes or
+// malloc-internal events. That is what makes it safe to gate in CI.
+#pragma once
+
+#include <cstdint>
+
+namespace dmra::alloc_hook {
+
+/// A probe returns the calling thread's running allocation count.
+using Probe = std::uint64_t (*)() noexcept;
+
+/// Install (or clear, with nullptr) the process-wide probe. Called once at
+/// startup by binaries linking the counting allocator.
+void set_probe(Probe probe) noexcept;
+
+/// Whether a probe is installed.
+bool active() noexcept;
+
+/// Current allocation count of the calling thread; 0 when no probe is
+/// installed (callers must check active() to distinguish "none" from
+/// "not measuring").
+std::uint64_t count() noexcept;
+
+}  // namespace dmra::alloc_hook

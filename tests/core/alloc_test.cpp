@@ -1,0 +1,87 @@
+// The zero-allocation claim of ROADMAP item 2, test-asserted.
+//
+// This binary (and only this binary, plus bench/perf_report) links
+// dmra_alloc_count, whose global operator new overrides count every heap
+// allocation on the calling thread. run_decentralized_dmra samples the
+// counter once per protocol round; after the settle window (pools grown
+// to their high-water marks) the matching loop must not allocate at all.
+//
+// The dmra-lint hotpath rule proves no *unlicensed* growth calls exist in
+// the hot regions; this test proves the licensed ones (reserve-backed
+// push_backs, grow-only resizes) actually stop allocating once warm —
+// the dynamic half of the static budget in docs/STATIC_ANALYSIS.md.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/decentralized.hpp"
+#include "util/alloc_count.hpp"
+#include "util/alloc_hook.hpp"
+#include "workload/generator.hpp"
+
+namespace dmra {
+namespace {
+
+DecentralizedResult run_at(std::size_t num_ues, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.num_ues = num_ues;
+  const Scenario s = generate_scenario(cfg, seed);
+  return run_decentralized_dmra(s);
+}
+
+TEST(AllocBudget, ProbeIsInstalled) {
+  allocprobe::install();
+  ASSERT_TRUE(alloc_hook::active());
+  const std::uint64_t before = alloc_hook::count();
+  // A runtime-sized vector defeats allocation elision (a bare `new int`
+  // is legally optimized away in release builds).
+  std::vector<int> v(static_cast<std::size_t>(before % 7) + 1);
+  EXPECT_GT(alloc_hook::count(), before);
+  EXPECT_EQ(v.front(), 0);
+}
+
+TEST(AllocBudget, DecentralizedSteadyStateAllocationFreeAt2kUes) {
+  if (std::getenv("DMRA_AUDIT") != nullptr)
+    GTEST_SKIP() << "auditor snapshots allocate by design";
+  allocprobe::install();
+  const DecentralizedResult r = run_at(2000, 7);
+  ASSERT_TRUE(r.alloc.measured);
+  // The run must actually exercise steady-state rounds for the zero to
+  // mean anything.
+  ASSERT_GT(r.dmra.rounds, r.alloc.settle_rounds);
+  // Everything is reserved before the round loop, so in practice even the
+  // settle-window rounds come out allocation-free; the hard assertion is
+  // on the steady state.
+  EXPECT_EQ(r.alloc.total_allocations, r.alloc.steady_state_allocations + 0u);
+  EXPECT_EQ(r.alloc.steady_state_allocations, 0u)
+      << "matching rounds past the settle window must not touch the heap";
+}
+
+TEST(AllocBudget, SteadyStateZeroHoldsAcrossSeedsAndSizes) {
+  if (std::getenv("DMRA_AUDIT") != nullptr)
+    GTEST_SKIP() << "auditor snapshots allocate by design";
+  allocprobe::install();
+  for (const std::size_t n : {200u, 800u}) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      const DecentralizedResult r = run_at(n, seed);
+      ASSERT_TRUE(r.alloc.measured);
+      EXPECT_EQ(r.alloc.steady_state_allocations, 0u)
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(AllocBudget, CountersZeroWhenNotMeasuring) {
+  // A fresh result from a run before install() in some other process
+  // can't be simulated here (the probe is process-wide and sticky), but
+  // the default-constructed counters document the unmeasured shape.
+  const AllocCounters c;
+  EXPECT_FALSE(c.measured);
+  EXPECT_EQ(c.steady_state_allocations, 0u);
+  EXPECT_EQ(c.total_allocations, 0u);
+}
+
+}  // namespace
+}  // namespace dmra

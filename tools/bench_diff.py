@@ -16,9 +16,15 @@ experiment) on the "ues" scale and classifies each wall-time row:
     WARN  ratio in [--warn-ratio, --fail-ratio)
     FAIL  ratio >= --fail-ratio
 
-Semantic counters (rounds, messages_sent, matching_rounds) are protocol
-outputs, not timings: any change is reported as WARN so a "perf-only"
-change that silently altered protocol behaviour shows up. Peak RSS
+Semantic counters (rounds, messages_sent, matching_rounds, and — since
+schema 1.2 — the allocation counters when both reports measured them)
+are protocol outputs, not timings: any change is reported as WARN so a
+"perf-only" change that silently altered protocol behaviour shows up.
+With --fail-on-semantic those changes are FAIL instead (the CI hard
+gate: wall-clock stays warn-only, deterministic counters do not drift),
+except that an allocation-count *decrease* stays WARN — fewer
+allocations is an improvement that just needs a baseline refresh.
+messages_per_sec is wall-clock derived and never compared. Peak RSS
 regressions beyond --fail-ratio are WARN (allocator noise). Experiment
 rows with different seed counts, and reports with different quick-mode
 scales, are skipped as incomparable rather than compared apples-to-pears.
@@ -40,7 +46,10 @@ import json
 import sys
 
 SEMANTIC_KEYS = ("rounds", "messages_sent", "matching_rounds")
-KNOWN_SCHEMAS = ("dmra-perf-report/1", "dmra-perf-report/1.1")
+# Schema 1.2 allocation counters: deterministic, but only meaningful when
+# the emitting binary linked the counting allocator (alloc_measured).
+ALLOC_KEYS = ("alloc_settle_rounds", "steady_state_allocations", "round_loop_allocations")
+KNOWN_SCHEMAS = ("dmra-perf-report/1", "dmra-perf-report/1.1", "dmra-perf-report/1.2")
 
 
 def load_json(path: str) -> dict:
@@ -56,6 +65,7 @@ class Report:
 
     def __init__(self) -> None:
         self.rows: list[tuple[str, str, str]] = []  # (status, probe, detail)
+        self.semantic_fail = False  # a deterministic counter drifted under the hard gate
 
     def add(self, status: str, probe: str, detail: str) -> None:
         self.rows.append((status, probe, detail))
@@ -103,13 +113,26 @@ def compare_wall(report: Report, probe: str, base: dict, cand: dict,
         report.add("PASS", probe, detail)
 
 
-def compare_semantics(report: Report, probe: str, base: dict, cand: dict) -> None:
-    for key in SEMANTIC_KEYS:
-        if key not in base and key not in cand:
+def compare_semantics(report: Report, probe: str, base: dict, cand: dict,
+                      args: argparse.Namespace) -> None:
+    keys = SEMANTIC_KEYS
+    if base.get("alloc_measured") and cand.get("alloc_measured"):
+        keys = SEMANTIC_KEYS + ALLOC_KEYS
+    for key in keys:
+        if key not in base or key not in cand:
+            continue  # pre-1.2 report on one side: nothing to compare
+        b, c = base[key], cand[key]
+        if b == c:
             continue
-        if base.get(key) != cand.get(key):
-            report.add("WARN", f"{probe}.{key}",
-                       f"semantic counter changed: {base.get(key)} -> {cand.get(key)}")
+        status = "WARN"
+        if args.fail_on_semantic:
+            improved = (key in ALLOC_KEYS
+                        and isinstance(b, (int, float)) and isinstance(c, (int, float))
+                        and c < b)
+            status = "WARN" if improved else "FAIL"
+            report.semantic_fail = report.semantic_fail or status == "FAIL"
+        report.add(status, f"{probe}.{key}",
+                   f"semantic counter changed: {b} -> {c}")
 
 
 def join_rows(table_base: list, table_cand: list) -> list[tuple[dict, dict]]:
@@ -130,7 +153,7 @@ def compare_reports(report: Report, base: dict, cand: dict, args: argparse.Names
                            f"seed counts differ ({brow.get('seeds')} vs {crow.get('seeds')})")
                 continue
             compare_wall(report, probe, brow, crow, args)
-            compare_semantics(report, probe, brow, crow)
+            compare_semantics(report, probe, brow, crow, args)
     b_rss, c_rss = base.get("peak_rss_mib"), cand.get("peak_rss_mib")
     if isinstance(b_rss, (int, float)) and isinstance(c_rss, (int, float)) and b_rss > 0:
         ratio = c_rss / b_rss
@@ -153,6 +176,9 @@ def main() -> int:
                     help="noise floor: rows where both sides are faster pass (default 1.0)")
     ap.add_argument("--fail-on", choices=("fail", "warn", "never"), default="fail",
                     help="exit 1 when the worst row reaches this class (default fail)")
+    ap.add_argument("--fail-on-semantic", action="store_true",
+                    help="deterministic-counter drift is FAIL instead of WARN "
+                         "(allocation-count decreases stay WARN); the CI hard gate")
     args = ap.parse_args()
     if not args.warn_ratio <= args.fail_ratio:
         ap.error("--warn-ratio must be <= --fail-ratio")
@@ -182,6 +208,11 @@ def main() -> int:
     worst = report.worst()
     print(f"\nresult: {worst}")
 
+    # The semantic hard gate bypasses --fail-on: CI runs wall-clock
+    # comparisons with --fail-on never (noisy runners) but still must not
+    # let a deterministic counter drift through.
+    if report.semantic_fail:
+        return 1
     threshold = {"fail": ("FAIL",), "warn": ("FAIL", "WARN"), "never": ()}[args.fail_on]
     return 1 if worst in threshold else 0
 

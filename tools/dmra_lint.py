@@ -195,6 +195,19 @@ class WaiverSet:
         if not isinstance(entries, list):
             self.errors.append(f"{path}: expected a list under 'waivers'")
             return
+        # Ratchet: a ledger that declares max_entries may never grow past
+        # it. Raising the number is possible but must happen in the same
+        # diff as the new waiver, where a reviewer will see both.
+        budget = doc.get("max_entries") if isinstance(doc, dict) else None
+        if budget is not None:
+            if not isinstance(budget, int) or isinstance(budget, bool) or budget < 0:
+                self.errors.append(f"{path}: max_entries must be a non-negative integer")
+            elif len(entries) > budget:
+                self.errors.append(
+                    f"{path}: waiver ledger grew past its budget "
+                    f"({len(entries)} entries > max_entries={budget}); this ledger "
+                    f"only shrinks — design the allocation out instead of waiving it"
+                )
         for idx, w in enumerate(entries):
             label = f"{path}: waiver #{idx + 1}"
             if not isinstance(w, dict):

@@ -120,8 +120,11 @@ BAD_HOTPATH = FIXTURES / "bad" / "src" / "core" / "hotpath_alloc.cpp"
 BAD_REGION = FIXTURES / "bad" / "src" / "core" / "hotpath_region_syntax.cpp"
 
 
-def waiver_json(entries: list[dict]) -> str:
-    return json.dumps({"waivers": entries})
+def waiver_json(entries: list[dict], max_entries: int | None = None) -> str:
+    doc: dict = {"waivers": entries}
+    if max_entries is not None:
+        doc["max_entries"] = max_entries
+    return json.dumps(doc)
 
 
 def test_waiver_machinery() -> None:
@@ -195,6 +198,43 @@ def test_waiver_machinery() -> None:
         check(doc["exit_code"] == 1 and any(
             f["rule"] == "hotpath-region-syntax" for f in active),
             "broken region annotations cannot be waived")
+
+    # max_entries ratchet: a ledger within budget is fine; one past its
+    # declared budget is a config error even when every entry is justified
+    # and matches a real finding.
+    with tempfile.TemporaryDirectory(prefix="dmra-lint-") as td:
+        root = make_root(Path(td), {
+            rel: BAD_HOTPATH,
+            "tools/layers.json": FIXTURES / "layers.json",
+            "tools/waivers/hotpath.json": waiver_json(full_waivers,
+                                                      max_entries=len(full_waivers)),
+        })
+        doc = run_lint(root, "--pass", "hotpath")
+        check(doc["exit_code"] == 0 and not doc["config_errors"],
+              "a ledger at its max_entries budget passes")
+
+    with tempfile.TemporaryDirectory(prefix="dmra-lint-") as td:
+        root = make_root(Path(td), {
+            rel: BAD_HOTPATH,
+            "tools/layers.json": FIXTURES / "layers.json",
+            "tools/waivers/hotpath.json": waiver_json(full_waivers,
+                                                      max_entries=len(full_waivers) - 1),
+        })
+        doc = run_lint(root, "--pass", "hotpath")
+        check(doc["exit_code"] == 1 and any(
+            "max_entries" in e for e in doc["config_errors"]),
+            "a ledger past its max_entries budget is a config error")
+
+    with tempfile.TemporaryDirectory(prefix="dmra-lint-") as td:
+        root = make_root(Path(td), {
+            rel: BAD_HOTPATH,
+            "tools/layers.json": FIXTURES / "layers.json",
+            "tools/waivers/hotpath.json": waiver_json(full_waivers, max_entries=-1),
+        })
+        doc = run_lint(root, "--pass", "hotpath")
+        check(doc["exit_code"] == 1 and any(
+            "max_entries" in e for e in doc["config_errors"]),
+            "a negative max_entries is a config error")
 
 
 def main() -> int:

@@ -155,6 +155,61 @@ int main(int argc, char** argv) {
     experiment_rows.push_back(std::move(exp_row));
   }
 
+  // Probe 4 (schema 1.3): the region-sharded runtime at production scale.
+  // One big scenario, a shard-count sweep against the single-bus oracle.
+  // The per-shard counters (shards, boundary UEs, reconcile stats) and the
+  // bus/message totals are deterministic semantic outputs; profit columns
+  // are informational (the quality contract itself lives in
+  // tests/core/sharded_test.cpp).
+  dmra::JsonArray sharded_rows;
+  {
+    const std::size_t big_ues = quick ? 20'000 : 100'000;
+    const dmra::ScenarioConfig big_cfg = config_at(big_ues);
+    const dmra::Scenario big = dmra::generate_scenario(big_cfg, kSeed);
+    dmra::DecentralizedResult oracle{};
+    const double oracle_ms =
+        time_ms(quick ? 1 : reps, [&] { oracle = dmra::run_decentralized_dmra(big); });
+    const double oracle_profit = dmra::total_profit(big, oracle.dmra.allocation);
+    std::cout << "oracle (single bus) " << big_ues << " UEs: " << dmra::fmt(oracle_ms, 2)
+              << " ms\n";
+    for (const std::size_t shards : {1u, 4u, 16u}) {
+      dmra::ShardedResult last{};
+      const double run_ms = time_ms(quick ? 1 : reps, [&] {
+        last = dmra::run_sharded_dmra(big, {},
+                                      {.num_shards = shards, .jobs = jobs});
+      });
+      dmra::JsonObject row;
+      row["ues"] = static_cast<std::uint64_t>(big_ues);
+      row["shards"] = static_cast<std::uint64_t>(last.shard.num_shards);
+      row["wall_ms"] = run_ms;
+      row["oracle_wall_ms"] = oracle_ms;
+      row["rounds"] = last.bus.rounds;
+      row["messages_sent"] = last.bus.messages_sent;
+      row["matching_rounds"] = static_cast<std::uint64_t>(last.dmra.rounds);
+      row["interior_ues"] = static_cast<std::uint64_t>(last.shard.interior_ues);
+      row["boundary_ues"] = static_cast<std::uint64_t>(last.shard.boundary_ues);
+      row["boundary_ues_reconciled"] =
+          static_cast<std::uint64_t>(last.shard.boundary_ues_reconciled);
+      row["cloud_only_ues"] = static_cast<std::uint64_t>(last.shard.cloud_only_ues);
+      row["reconcile_rounds"] = static_cast<std::uint64_t>(last.shard.reconcile_rounds);
+      row["max_shard_rounds"] = static_cast<std::uint64_t>(last.shard.max_shard_rounds);
+      const double profit = dmra::total_profit(big, last.dmra.allocation);
+      const double vs_oracle = oracle_profit > 0.0 ? profit / oracle_profit : 1.0;
+      row["profit"] = profit;
+      row["profit_vs_oracle"] = vs_oracle;
+      row["messages_per_sec"] =
+          run_ms > 0.0
+              ? static_cast<double>(last.bus.messages_sent) / (run_ms / 1e3)
+              : 0.0;
+      std::cout << "sharded " << big_ues << " UEs, " << shards
+                << " shards: " << dmra::fmt(run_ms, 2) << " ms, profit/oracle "
+                << dmra::fmt(vs_oracle, 4) << ", boundary "
+                << last.shard.boundary_ues << " (reconciled "
+                << last.shard.boundary_ues_reconciled << ")\n";
+      sharded_rows.push_back(std::move(row));
+    }
+  }
+
   if (!obs_session.enabled()) {
     const std::uint64_t delta =
         dmra::obs::events_recorded_total() - trace_events_before;
@@ -167,7 +222,7 @@ int main(int argc, char** argv) {
   }
 
   dmra::JsonObject root;
-  root["schema"] = "dmra-perf-report/1.2";
+  root["schema"] = "dmra-perf-report/1.3";
   root["git"] = std::string(dmra::obs::git_describe());
   root["build"] = dmra::obs::build_flavor_json();
   root["quick"] = quick;
@@ -178,6 +233,7 @@ int main(int argc, char** argv) {
   root["scenario_build"] = std::move(scenario_rows);
   root["decentralized_run"] = std::move(decentralized_rows);
   root["experiment"] = std::move(experiment_rows);
+  root["sharded_run"] = std::move(sharded_rows);
   root["peak_rss_mib"] = peak_rss_mib();
   const dmra::JsonValue report{std::move(root)};
 

@@ -4,6 +4,7 @@
 #include <span>
 #include <variant>
 
+#include "core/runtime_detail.hpp"
 #include "mec/audit.hpp"
 #include "mec/resources.hpp"
 #include "net/bus.hpp"
@@ -15,96 +16,13 @@ namespace dmra {
 
 namespace {
 
-// ---- Resource snapshots ----------------------------------------------------
-
-/// Bounded ring of the resource levels BSs have broadcast. A broadcast
-/// publishes ONE snapshot and fans out a {BsId, index} message to every
-/// covered UE, so the per-round messaging cost is O(audience)
-/// trivially-copyable envelopes instead of O(audience) heap-allocated
-/// CRU vectors. Indices are monotonically increasing, so they double as
-/// the epoch stamp: a UE slot holding a larger index is strictly newer.
-///
-/// UEs copy the values they care about at ingest (see the view arrays in
-/// run_decentralized_dmra), so a snapshot only has to outlive the bus
-/// transit of the broadcasts that reference it — a handful of rounds even
-/// under maximal delay faults. The ring is sized for that window once at
-/// construction and publish() is thereafter allocation-free; every read
-/// revalidates its stamp so an undersized ring is a loud contract
-/// violation, never a silently stale view.
-class SnapshotRing {
- public:
-  SnapshotRing(std::size_t num_services, std::size_t capacity)
-      : stride_(num_services),
-        cap_(capacity),
-        crus_(capacity * num_services, 0),
-        rrbs_(capacity, 0),
-        stamp_(capacity, kFree) {}
-
-  std::uint32_t publish(const BsLocalResources& r) {
-    // dmra::hotpath begin(snapshot-publish)
-    const std::size_t idx = static_cast<std::size_t>(next_ % cap_);
-    std::copy(r.crus.begin(), r.crus.end(), crus_.begin() + idx * stride_);
-    rrbs_[idx] = r.rrbs;
-    stamp_[idx] = next_;
-    return static_cast<std::uint32_t>(next_++);
-    // dmra::hotpath end(snapshot-publish)
-  }
-
-  std::uint32_t crus(std::uint32_t snapshot, std::size_t service) const {
-    return crus_[index_of(snapshot) * stride_ + service];
-  }
-  std::uint32_t rrbs(std::uint32_t snapshot) const { return rrbs_[index_of(snapshot)]; }
-
- private:
-  static constexpr std::uint64_t kFree = ~std::uint64_t{0};
-
-  std::size_t index_of(std::uint32_t snapshot) const {
-    const std::size_t idx = snapshot % cap_;
-    DMRA_REQUIRE_MSG(stamp_[idx] == snapshot,
-                     "snapshot evicted before ingest: ring sized below the "
-                     "in-flight broadcast window");
-    return idx;
-  }
-
-  std::size_t stride_;
-  std::size_t cap_;
-  std::uint64_t next_ = 0;
-  std::vector<std::uint32_t> crus_;  // stride_ words per slot
-  std::vector<std::uint32_t> rrbs_;
-  std::vector<std::uint64_t> stamp_;  // snapshot id currently held per slot
-};
-
-// ---- Message types -------------------------------------------------------
-
-/// UE → its SP: "propose on my behalf to BS `target`".
-struct MsgOffloadRequest {
-  UeId ue;
-  BsId target;
-  std::uint32_t f_u;
-};
-
-/// SP → BS: relayed proposal.
-struct MsgPropose {
-  UeId ue;
-  std::uint32_t f_u;
-};
-
-/// BS → SP → UE: outcome of a proposal.
-struct MsgDecision {
-  UeId ue;
-  BsId bs;
-  bool accept;
-};
-
-/// BS → covered UEs: remaining resources after this round, as an index
-/// into the snapshot arena the BS published at send time.
-struct MsgResourceUpdate {
-  BsId bs;
-  std::uint32_t snapshot;
-};
-
-using Payload = std::variant<MsgOffloadRequest, MsgPropose, MsgDecision, MsgResourceUpdate>;
-using Bus = MessageBus<Payload>;
+using runtime_detail::Bus;
+using runtime_detail::MsgDecision;
+using runtime_detail::MsgOffloadRequest;
+using runtime_detail::MsgPropose;
+using runtime_detail::MsgResourceUpdate;
+using runtime_detail::SnapshotRing;
+using runtime_detail::stable_sort_by_ue;
 
 // ---- Agents ---------------------------------------------------------------
 
@@ -174,6 +92,17 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
   // lossy path and the fault-plan path (re-acks, rebroadcasts, relaxed
   // audits). "faulty" alone gates the recovery machinery.
   const bool unreliable = lossy || faulty;
+  // Under link faults a UE's proposal can reach a BS in several
+  // generations at once (the fresh send, a duplicate copy, and delayed
+  // originals from up to max_delay_rounds earlier rounds); every
+  // proposal-sized pool is reserved with this headroom so faulted rounds
+  // stay allocation-free. Without faults the bound is one per UE.
+  const std::size_t generations =
+      faulty && plan->link.any()
+          ? 2 + (plan->link.delay_probability > 0.0
+                     ? static_cast<std::size_t>(plan->link.max_delay_rounds)
+                     : 0)
+          : 1;
 
   Bus bus;
   if (lossy) bus.set_loss(net.drop_probability, net.seed);
@@ -230,12 +159,14 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
   }
 
   // Warm the bus pools to the per-deliver high-water mark: the BS phase is
-  // the widest (one decision per proposer plus a broadcast per covered
-  // UE), so after this the steady-state round loop never grows a bus
-  // buffer.
+  // the widest (one decision per proposer — times the fault generation
+  // headroom the SP relays can forward in one round — plus a broadcast
+  // per covered UE), so after this the steady-state round loop never
+  // grows a bus buffer. reserve() runs after set_faults() above, so it
+  // also sizes the delay parking queue from the armed fault rates.
   std::size_t sum_covered = 0;
   for (const BsAgent& b : bs_agents) sum_covered += b.covered_ues.size();
-  bus.reserve(2 * nu + sum_covered);
+  bus.reserve(2 * nu * generations + sum_covered);
 
   DecentralizedResult result;
   result.dmra.allocation = Allocation(nu);
@@ -316,14 +247,17 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
   std::size_t quiet_rounds = 0;
 
   // BS-phase scratch, hoisted out of the round loop and reserved to the
-  // worst case (every UE proposing to one BS), so per round the cost is a
-  // clear() that keeps capacity, not a fresh heap allocation per BS.
+  // worst case (one proposal per UE per generation — see `generations`
+  // above), so per round the cost is a clear() that keeps capacity, not a
+  // fresh heap allocation per BS.
   std::vector<ProposalInfo> fresh;
   std::vector<UeId> reacks;
-  fresh.reserve(nu);
-  reacks.reserve(nu);
+  std::vector<ProposalInfo> sort_scratch;
+  fresh.reserve(nu * generations);
+  reacks.reserve(nu * generations);
+  sort_scratch.reserve(nu * generations);
   BsSelectWorkspace ws;
-  ws.reserve(scenario.num_services(), nu);
+  ws.reserve(scenario.num_services(), nu * generations);
   const std::vector<UeId> empty_accepts;
 
   // Heap-allocation accounting: one count() sample per round when a probe
@@ -515,13 +449,20 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     result.dmra.proposals_sent += sent_this_round;
     ++result.dmra.rounds;
 
-    // ---- SP relay phase (up): forward offload requests to the BSs.
+    // ---- SP relay phase (up): forward offload requests to the BSs. On a
+    // phase-aligned bus only requests can be here, but delay faults land
+    // messages at ANY deliver(), so a relay must route whatever shows up:
+    // a late decision goes down immediately instead of throwing.
     // dmra::hotpath begin(sp-relay-up)
     for (SpAgent& sp : sp_agents) {
       for (auto& env : bus.take_inbox(sp.address)) {
-        const auto& req = std::get<MsgOffloadRequest>(env.payload);
-        bus.send(sp.address, bs_agents[req.target.idx()].address,
-                 MsgPropose{req.ue, req.f_u});
+        if (const auto* req = std::get_if<MsgOffloadRequest>(&env.payload)) {
+          bus.send(sp.address, bs_agents[req->target.idx()].address,
+                   MsgPropose{req->ue, req->f_u});
+        } else {
+          const auto& dec = std::get<MsgDecision>(env.payload);
+          bus.send(sp.address, ue_agents[dec.ue.idx()].address, dec);
+        }
       }
     }
     // dmra::hotpath end(sp-relay-up)
@@ -553,10 +494,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
       // Duplication/delay can land two generations of the same UE's
       // proposal in one inbox; admit (and answer) each UE at most once.
       if (faulty && fresh.size() > 1) {
-        std::stable_sort(fresh.begin(), fresh.end(),
-                         [](const ProposalInfo& x, const ProposalInfo& y) {
-                           return x.ue < y.ue;
-                         });
+        stable_sort_by_ue(fresh, sort_scratch);
         fresh.erase(std::unique(fresh.begin(), fresh.end(),
                                 [](const ProposalInfo& x, const ProposalInfo& y) {
                                   return x.ue == y.ue;
@@ -649,12 +587,19 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
       audit::observer()->on_round(ctx);
     }
 
-    // ---- SP relay phase (down): forward decisions to the UEs.
+    // ---- SP relay phase (down): forward decisions to the UEs (and, like
+    // the up phase, route any delay-displaced request onward to its BS,
+    // which drains its inbox again next round).
     // dmra::hotpath begin(sp-relay-down)
     for (SpAgent& sp : sp_agents) {
       for (auto& env : bus.take_inbox(sp.address)) {
-        const auto& dec = std::get<MsgDecision>(env.payload);
-        bus.send(sp.address, ue_agents[dec.ue.idx()].address, dec);
+        if (const auto* dec = std::get_if<MsgDecision>(&env.payload)) {
+          bus.send(sp.address, ue_agents[dec->ue.idx()].address, *dec);
+        } else {
+          const auto& req = std::get<MsgOffloadRequest>(env.payload);
+          bus.send(sp.address, bs_agents[req.target.idx()].address,
+                   MsgPropose{req.ue, req.f_u});
+        }
       }
     }
     // dmra::hotpath end(sp-relay-down)

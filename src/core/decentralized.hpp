@@ -124,4 +124,65 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
                                            const DmraConfig& config = {},
                                            const NetworkConditions& net = {});
 
+// ---- Region-sharded runtime ------------------------------------------------
+
+/// How to shard a run_sharded_dmra call. The partition itself is derived
+/// from the scenario (mec/scenario.hpp: partition_regions).
+struct ShardConfig {
+  /// Number of spatial regions / worker shards. Clamped to
+  /// [1, max(1, |B|)] by the partition; 1 reproduces the single-bus
+  /// allocation exactly.
+  std::size_t num_shards = 1;
+  /// Worker threads for the shard fan-out: 0 = hardware concurrency,
+  /// 1 = run shards inline on the calling thread. The result is
+  /// byte-identical for every value (obs::traced_parallel_map contract).
+  std::size_t jobs = 1;
+};
+
+/// What the shard pass and the reconcile pass did. The boundary counters
+/// are semantic outputs: tools/bench_diff.py fails a perf diff that moves
+/// them (they change only when the partition or the protocol changes).
+struct ShardStats {
+  std::size_t num_shards = 0;        ///< regions actually used (post-clamp)
+  std::size_t jobs = 0;              ///< resolved worker count
+  std::size_t interior_ues = 0;      ///< UEs matched inside one shard
+  std::size_t boundary_ues = 0;      ///< UEs whose candidates straddle a cut
+  std::size_t cloud_only_ues = 0;    ///< UEs with no candidates at all
+  std::size_t boundary_ues_reconciled = 0;  ///< boundary UEs the reconcile pass placed
+  std::size_t reconcile_rounds = 0;  ///< matching rounds of the reconcile pass
+  std::size_t max_shard_rounds = 0;  ///< deepest shard's protocol rounds
+  std::vector<std::size_t> rounds_per_shard;  ///< indexed by region
+};
+
+/// DmraResult plus the aggregated communication cost and shard accounting.
+struct ShardedResult {
+  DmraResult dmra;   ///< merged allocation + summed convergence diagnostics
+  BusStats bus;      ///< field-wise sum over the per-shard buses
+  ShardStats shard;  ///< partition + reconcile accounting
+};
+
+/// Run DMRA as parallel region-local protocols over per-shard message
+/// buses, then reconcile boundary UEs deterministically.
+///
+/// The arena is partitioned into `shard.num_shards` vertical strips
+/// (partition_regions); each region gets its own MessageBus carrying only
+/// that region's UE and BS agents (every SP registers a relay on every
+/// bus — SPs are operators, not places). Interior UEs — candidates all in
+/// one region — run the standard reliable protocol against their region's
+/// bus, in parallel across shards with zero shared mutable state.
+/// Boundary UEs sit out the shard pass and are matched afterwards by a
+/// deterministic single-threaded solve_dmra_partial against the residual
+/// post-shard resources, so every shard count yields a feasible
+/// allocation and num_shards == 1 is bit-identical to the single-bus
+/// oracle (tests/core/sharded_test.cpp). For num_shards > 1 the profit
+/// may differ from the oracle only through boundary UEs being matched
+/// after interior ones — a bounded, measured gap (docs/PERFORMANCE.md).
+///
+/// Deterministic for a fixed (scenario, config, num_shards) triple and
+/// every jobs value. Fault injection is not supported on the sharded
+/// path (the single-bus runtime is the fault-tolerance story); there is
+/// deliberately no NetworkConditions parameter.
+ShardedResult run_sharded_dmra(const Scenario& scenario, const DmraConfig& config = {},
+                               const ShardConfig& shard = {});
+
 }  // namespace dmra

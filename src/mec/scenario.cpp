@@ -206,4 +206,93 @@ double Scenario::pair_profit(UeId u, BsId i) const {
   return static_cast<double>(ue(u).cru_demand) * margin;
 }
 
+RegionPartition partition_regions(const Scenario& scenario, std::size_t num_regions) {
+  const std::size_t nb = scenario.num_bss();
+  const std::size_t nu = scenario.num_ues();
+  RegionPartition part;
+  part.num_regions = std::clamp<std::size_t>(num_regions, 1, std::max<std::size_t>(1, nb));
+  const std::size_t nr = part.num_regions;
+
+  // BS strips: equal-width x intervals over the BS bounding box. The last
+  // strip is closed on the right so max_x lands in region nr - 1.
+  part.bs_region.resize(nb);
+  if (nb > 0) {
+    double min_x = scenario.bs(BsId{0}).position.x;
+    double max_x = min_x;
+    for (const BaseStation& b : scenario.bss()) {
+      min_x = std::min(min_x, b.position.x);
+      max_x = std::max(max_x, b.position.x);
+    }
+    const double width = (max_x - min_x) / static_cast<double>(nr);
+    for (std::size_t bi = 0; bi < nb; ++bi) {
+      std::size_t r = 0;
+      if (width > 0.0) {
+        const double rel = (scenario.bs(BsId{static_cast<std::uint32_t>(bi)}).position.x -
+                            min_x) / width;
+        r = std::min(static_cast<std::size_t>(rel), nr - 1);
+      }
+      part.bs_region[bi] = static_cast<std::uint32_t>(r);
+    }
+  }
+
+  // UE classification from candidate-set regions alone: a UE belongs to a
+  // region iff every BS it could ever propose to lives there.
+  part.ue_region.resize(nu);
+  for (std::size_t ui = 0; ui < nu; ++ui) {
+    const UeId u{static_cast<std::uint32_t>(ui)};
+    const auto cands = scenario.candidates(u);
+    if (cands.empty()) {
+      part.ue_region[ui] = RegionPartition::kCloudOnly;
+      part.cloud_ues.push_back(u);
+      continue;
+    }
+    const std::uint32_t first = part.bs_region[cands[0].idx()];
+    bool interior = true;
+    for (const BsId i : cands)
+      if (part.bs_region[i.idx()] != first) {
+        interior = false;
+        break;
+      }
+    if (interior) {
+      part.ue_region[ui] = first;
+    } else {
+      part.ue_region[ui] = RegionPartition::kBoundary;
+      part.boundary_ues.push_back(u);
+    }
+  }
+
+  // CSR membership lists: count, prefix-sum, fill. Ids ascend within each
+  // region because the fill walks ids in order.
+  part.region_bs_offsets.assign(nr + 1, 0);
+  for (std::size_t bi = 0; bi < nb; ++bi) part.region_bs_offsets[part.bs_region[bi] + 1]++;
+  for (std::size_t r = 0; r < nr; ++r)
+    part.region_bs_offsets[r + 1] += part.region_bs_offsets[r];
+  part.region_bss.resize(nb);
+  {
+    std::vector<std::size_t> cursor(part.region_bs_offsets.begin(),
+                                    part.region_bs_offsets.end() - 1);
+    for (std::size_t bi = 0; bi < nb; ++bi)
+      part.region_bss[cursor[part.bs_region[bi]]++] = BsId{static_cast<std::uint32_t>(bi)};
+  }
+
+  part.region_ue_offsets.assign(nr + 1, 0);
+  std::size_t interior_ues = 0;
+  for (std::size_t ui = 0; ui < nu; ++ui)
+    if (part.ue_region[ui] < nr) {
+      part.region_ue_offsets[part.ue_region[ui] + 1]++;
+      ++interior_ues;
+    }
+  for (std::size_t r = 0; r < nr; ++r)
+    part.region_ue_offsets[r + 1] += part.region_ue_offsets[r];
+  part.region_ues.resize(interior_ues);
+  {
+    std::vector<std::size_t> cursor(part.region_ue_offsets.begin(),
+                                    part.region_ue_offsets.end() - 1);
+    for (std::size_t ui = 0; ui < nu; ++ui)
+      if (part.ue_region[ui] < nr)
+        part.region_ues[cursor[part.ue_region[ui]]++] = UeId{static_cast<std::uint32_t>(ui)};
+  }
+  return part;
+}
+
 }  // namespace dmra

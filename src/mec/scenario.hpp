@@ -196,4 +196,52 @@ class Scenario {
   void build_links();
 };
 
+/// Spatial region partition for the sharded decentralized runtime
+/// (core/sharded.cpp). BSs are assigned to equal-width vertical strips
+/// over the BS bounding box (the same geometry the spatial-hash link
+/// build buckets by); each UE is then classified purely from the regions
+/// of its candidate set — geometry decides where *BSs* live, coverage
+/// decides where *UEs* belong:
+///   * interior — every candidate BS falls in one region; the UE's whole
+///     matching game is local to that region's shard;
+///   * boundary — candidates straddle a region cut; the UE is withheld
+///     from the shard pass and matched in the deterministic reconcile
+///     pass against post-shard residual resources;
+///   * cloud-only — no candidates at all; the cloud floor applies and no
+///     shard needs to see the UE.
+struct RegionPartition {
+  /// ue_region value: candidates straddle a cut, reconcile pass owns it.
+  static constexpr std::uint32_t kBoundary = 0xFFFFFFFFu;
+  /// ue_region value: empty candidate set, cloud-forwarded directly.
+  static constexpr std::uint32_t kCloudOnly = 0xFFFFFFFEu;
+
+  std::size_t num_regions = 0;
+  std::vector<std::uint32_t> bs_region;  ///< |B|: strip index per BS
+  std::vector<std::uint32_t> ue_region;  ///< |U|: region, kBoundary, or kCloudOnly
+
+  /// CSR membership lists, ids ascending within each region.
+  std::vector<BsId> region_bss;
+  std::vector<std::size_t> region_bs_offsets;  ///< num_regions + 1
+  std::vector<UeId> region_ues;
+  std::vector<std::size_t> region_ue_offsets;  ///< num_regions + 1
+
+  std::vector<UeId> boundary_ues;  ///< ascending
+  std::vector<UeId> cloud_ues;     ///< ascending
+
+  std::span<const BsId> bss_in(std::size_t r) const {
+    return {region_bss.data() + region_bs_offsets[r],
+            region_bs_offsets[r + 1] - region_bs_offsets[r]};
+  }
+  std::span<const UeId> ues_in(std::size_t r) const {
+    return {region_ues.data() + region_ue_offsets[r],
+            region_ue_offsets[r + 1] - region_ue_offsets[r]};
+  }
+};
+
+/// Partition a scenario into `num_regions` vertical strips (clamped to
+/// [1, max(1, |B|)]). Deterministic: depends only on the scenario and the
+/// region count. Degenerate inputs are legal — zero BSs puts every UE in
+/// cloud_ues; co-located BSs collapse into strip 0.
+RegionPartition partition_regions(const Scenario& scenario, std::size_t num_regions);
+
 }  // namespace dmra

@@ -83,9 +83,14 @@ template <typename Payload>
 class MessageBus {
  public:
   /// Register an agent; returns its address. All registration must happen
-  /// before the first send.
+  /// before the first send — and before the first deliver(): a late
+  /// registration would retroactively grow the per-agent segment tables a
+  /// running delivery schedule already committed to, leaving earlier
+  /// rounds and later rounds disagreeing about the agent population (the
+  /// sharded runtime builds one bus per region on exactly this contract).
   AgentId register_agent() {
-    DMRA_REQUIRE_MSG(seq_ == 0, "register agents before any send");
+    DMRA_REQUIRE_MSG(seq_ == 0 && round_ == 0,
+                     "register agents before any send or deliver()");
     const AgentId id{static_cast<std::uint32_t>(num_agents_)};
     ++num_agents_;
     seg_begin_.push_back(0);
@@ -103,12 +108,28 @@ class MessageBus {
   /// the next arrives (the runtime's UEs do exactly this with broadcasts
   /// and decisions). Also the growth license for the pool push/resize
   /// calls in the hot regions below.
+  ///
+  /// Call AFTER arming faults (set_loss/set_faults): the fault pools are
+  /// sized from the armed LinkFaults, not a guess. A duplicate copy parks
+  /// in delayed_ for exactly one round, a delayed original for up to
+  /// max_delay_rounds, so the worst-case parked population is one batch
+  /// per armed duplicate class plus max_delay_rounds batches per armed
+  /// delay class; the same parked messages can all come due alongside a
+  /// fresh batch, which is the inbox headroom term. fates_ parallels
+  /// pending_ (one fate per pending message), warmed so the first faulted
+  /// deliver() does not resize it mid-hotpath.
   void reserve(std::size_t messages_per_deliver) {
+    const bool dup_armed = fault_rng_.has_value() && faults_.duplicate_probability > 0.0;
+    const bool delay_armed = fault_rng_.has_value() && faults_.delay_probability > 0.0;
+    std::size_t parked = 0;
+    if (dup_armed) parked += messages_per_deliver;
+    if (delay_armed)
+      parked += messages_per_deliver * static_cast<std::size_t>(faults_.max_delay_rounds);
     pending_.reserve(messages_per_deliver);
     fates_.reserve(messages_per_deliver);
-    inbox_data_.reserve(2 * messages_per_deliver);
-    inbox_next_.reserve(2 * messages_per_deliver);
-    delayed_.reserve(messages_per_deliver / 4 + 16);
+    inbox_data_.reserve(2 * messages_per_deliver + parked);
+    inbox_next_.reserve(2 * messages_per_deliver + parked);
+    delayed_.reserve(parked + 16);
   }
 
   /// Queue a message for delivery at the next deliver() call.

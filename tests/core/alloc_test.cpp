@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/decentralized.hpp"
+#include "net/fault_plan.hpp"
 #include "util/alloc_count.hpp"
 #include "util/alloc_hook.hpp"
 #include "workload/generator.hpp"
@@ -71,6 +72,36 @@ TEST(AllocBudget, SteadyStateZeroHoldsAcrossSeedsAndSizes) {
           << "n=" << n << " seed=" << seed;
     }
   }
+}
+
+TEST(AllocBudget, FaultedSteadyStateIsAllocationFreeToo) {
+  // Regression for the bus fault path: fate draws, duplicate copies, and
+  // the delay parking queue all run inside hot regions, so a reserve()
+  // that ignores the armed fault rates (the old `/ 4 + 16` heuristic for
+  // delayed_) shows up here as steady-state allocations under heavy
+  // duplicate/delay traffic. The worst-case plan: loss, duplication, and
+  // long delays armed at once.
+  if (std::getenv("DMRA_AUDIT") != nullptr)
+    GTEST_SKIP() << "auditor snapshots allocate by design";
+  allocprobe::install();
+  FaultPlan plan;
+  plan.link.drop_probability = 0.05;
+  plan.link.duplicate_probability = 0.5;
+  plan.link.delay_probability = 0.5;
+  plan.link.max_delay_rounds = 4;
+  ScenarioConfig cfg;
+  cfg.num_ues = 2000;
+  const Scenario s = generate_scenario(cfg, 7);
+  NetworkConditions net;
+  net.seed = 21;
+  net.faults = &plan;
+  const DecentralizedResult r = run_decentralized_dmra(s, {}, net);
+  ASSERT_TRUE(r.alloc.measured);
+  ASSERT_GT(r.dmra.rounds, r.alloc.settle_rounds);
+  ASSERT_GT(r.bus.messages_duplicated + r.bus.messages_delayed, 0u)
+      << "the plan must actually exercise the parking queues";
+  EXPECT_EQ(r.alloc.steady_state_allocations, 0u)
+      << "faulted rounds past the settle window must not touch the heap";
 }
 
 TEST(AllocBudget, CountersZeroWhenNotMeasuring) {

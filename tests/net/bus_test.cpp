@@ -149,6 +149,17 @@ TEST(Bus, RegistrationAfterFirstSendIsContractViolation) {
   EXPECT_THROW(bus.register_agent(), ContractViolation);
 }
 
+TEST(Bus, RegistrationAfterDeliverIsContractViolation) {
+  // Regression: the guard used to check only "nothing sent yet", so an
+  // agent could slip in after an (empty) deliver() — growing the segment
+  // tables of a delivery schedule that had already started. The sharded
+  // runtime builds one bus per region on the stricter contract.
+  StrBus bus;
+  bus.register_agent();
+  bus.deliver();
+  EXPECT_THROW(bus.register_agent(), ContractViolation);
+}
+
 TEST(Bus, MessagesSentDuringAPhaseArriveNextDeliver) {
   StrBus bus;
   const AgentId a = bus.register_agent();

@@ -7,8 +7,9 @@ Usage:
         [--warn-ratio 1.25] [--fail-ratio 1.5] [--min-ms 1.0]
         [--fail-on fail|warn|never]
 
-Joins the three probe tables (scenario_build, decentralized_run,
-experiment) on the "ues" scale and classifies each wall-time row:
+Joins the probe tables (scenario_build, decentralized_run, experiment,
+and — since schema 1.3 — sharded_run) on the "ues" scale (plus "shards"
+for sharded rows) and classifies each wall-time row:
 
     PASS  candidate/baseline ratio below --warn-ratio, or both sides are
           under the --min-ms noise floor (sub-millisecond probes jitter
@@ -16,8 +17,9 @@ experiment) on the "ues" scale and classifies each wall-time row:
     WARN  ratio in [--warn-ratio, --fail-ratio)
     FAIL  ratio >= --fail-ratio
 
-Semantic counters (rounds, messages_sent, matching_rounds, and — since
-schema 1.2 — the allocation counters when both reports measured them)
+Semantic counters (rounds, messages_sent, matching_rounds, since
+schema 1.2 the allocation counters when both reports measured them,
+and since 1.3 the sharded partition/reconcile accounting)
 are protocol outputs, not timings: any change is reported as WARN so a
 "perf-only" change that silently altered protocol behaviour shows up.
 With --fail-on-semantic those changes are FAIL instead (the CI hard
@@ -49,7 +51,13 @@ SEMANTIC_KEYS = ("rounds", "messages_sent", "matching_rounds")
 # Schema 1.2 allocation counters: deterministic, but only meaningful when
 # the emitting binary linked the counting allocator (alloc_measured).
 ALLOC_KEYS = ("alloc_settle_rounds", "steady_state_allocations", "round_loop_allocations")
-KNOWN_SCHEMAS = ("dmra-perf-report/1", "dmra-perf-report/1.1", "dmra-perf-report/1.2")
+# Schema 1.3 sharded_run counters: the region partition and reconcile
+# pass are deterministic, so any drift in the shard accounting is a
+# protocol change, not noise. Rows join on (ues, shards).
+SHARDED_KEYS = ("interior_ues", "boundary_ues", "boundary_ues_reconciled",
+                "cloud_only_ues", "reconcile_rounds", "max_shard_rounds")
+KNOWN_SCHEMAS = ("dmra-perf-report/1", "dmra-perf-report/1.1", "dmra-perf-report/1.2",
+                 "dmra-perf-report/1.3")
 
 
 def load_json(path: str) -> dict:
@@ -118,6 +126,8 @@ def compare_semantics(report: Report, probe: str, base: dict, cand: dict,
     keys = SEMANTIC_KEYS
     if base.get("alloc_measured") and cand.get("alloc_measured"):
         keys = SEMANTIC_KEYS + ALLOC_KEYS
+    if "shards" in base and "shards" in cand:
+        keys = keys + SHARDED_KEYS
     for key in keys:
         if key not in base or key not in cand:
             continue  # pre-1.2 report on one side: nothing to compare
@@ -135,19 +145,28 @@ def compare_semantics(report: Report, probe: str, base: dict, cand: dict,
                    f"semantic counter changed: {b} -> {c}")
 
 
+def row_key(row: dict) -> tuple:
+    # sharded_run rows sweep shard counts at one scale, so "ues" alone
+    # would pair a 4-shard row with a 16-shard one.
+    return (row["ues"], row["shards"]) if "shards" in row else (row["ues"],)
+
+
 def join_rows(table_base: list, table_cand: list) -> list[tuple[dict, dict]]:
-    cand_by_ues = {row["ues"]: row for row in table_cand}
-    return [(row, cand_by_ues[row["ues"]]) for row in table_base if row["ues"] in cand_by_ues]
+    cand_by_key = {row_key(row): row for row in table_cand}
+    return [(row, cand_by_key[row_key(row)]) for row in table_base
+            if row_key(row) in cand_by_key]
 
 
 def compare_reports(report: Report, base: dict, cand: dict, args: argparse.Namespace) -> None:
-    for table in ("scenario_build", "decentralized_run", "experiment"):
+    for table in ("scenario_build", "decentralized_run", "experiment", "sharded_run"):
         pairs = join_rows(base.get(table, []), cand.get(table, []))
         if not pairs:
+            if table == "sharded_run" and not base.get(table) and not cand.get(table):
+                continue  # both reports predate schema 1.3
             report.add("SKIP", table, "no common 'ues' scales (quick vs full reports?)")
             continue
         for brow, crow in pairs:
-            probe = f"{table}@{brow['ues']}"
+            probe = f"{table}@" + "x".join(str(k) for k in row_key(brow))
             if table == "experiment" and brow.get("seeds") != crow.get("seeds"):
                 report.add("SKIP", probe,
                            f"seed counts differ ({brow.get('seeds')} vs {crow.get('seeds')})")

@@ -210,6 +210,78 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Probe 5 (schema 1.4): the allocator-as-a-service serving loop
+  // (sim/churn through the persistent IncrementalAllocator), one steady
+  // run and one with a crash on the event timeline. The event/churn/
+  // recovery counters are deterministic semantic outputs; wall time,
+  // decision throughput, and the latency percentiles are wall-clock
+  // measurements (warn-only in tools/bench_diff.py, like wall_ms).
+  dmra::JsonArray serving_rows;
+  {
+    dmra::ChurnConfig serve;
+    serve.deployment = dmra_bench::paper_config();
+    serve.arrival_rate_hz = quick ? 10.0 : 20.0;
+    serve.mean_dwell_s = quick ? 50.0 : 100.0;
+    serve.mean_move_interval_s = 60.0;
+    serve.horizon_events = quick ? 1'500 : 10'000;
+    serve.resolve_every = quick ? 500 : 2'000;
+    serve.prefill = serve.steady_state_target();
+    serve.seed = kSeed;
+
+    dmra::FaultSpec crash;
+    crash.crashes = 1;
+    crash.crash_round = serve.horizon_events / 2;
+    crash.down_rounds = serve.horizon_events / 10;
+    crash.seed = 9;
+
+    for (const bool faulted : {false, true}) {
+      dmra::ChurnConfig cfg = serve;
+      if (faulted) cfg.faults = crash;
+      // The timeline is identical across reps and fault arms (faults do
+      // not perturb arrivals/departures); build it once per arm and time
+      // the replay alone, the way a serving process would see it.
+      const dmra::ChurnTimeline timeline = dmra::build_churn_timeline(cfg);
+      dmra::ChurnResult last;
+      const double run_ms =
+          time_ms(quick ? 1 : reps, [&] { last = dmra::run_churn(timeline, cfg); });
+      const dmra::ChurnStats& s = last.stats;
+      dmra::JsonObject row;
+      row["faults"] = faulted;
+      row["steady_state_ues"] = static_cast<std::uint64_t>(cfg.steady_state_target());
+      row["horizon_events"] = static_cast<std::uint64_t>(cfg.horizon_events);
+      row["events"] = static_cast<std::uint64_t>(s.events);
+      row["arrivals"] = static_cast<std::uint64_t>(s.arrivals);
+      row["departures"] = static_cast<std::uint64_t>(s.departures);
+      row["moves"] = static_cast<std::uint64_t>(s.moves);
+      row["reassociations"] = static_cast<std::uint64_t>(s.reassociations);
+      row["churn_rate"] = s.churn_rate();
+      row["cross_region_moves"] = static_cast<std::uint64_t>(s.cross_region_moves);
+      row["readmitted"] = static_cast<std::uint64_t>(s.readmitted);
+      row["orphaned"] = static_cast<std::uint64_t>(s.orphaned_ues);
+      row["recovery_events_max"] = static_cast<std::uint64_t>(s.recovery_events_max);
+      row["resolves"] = static_cast<std::uint64_t>(s.resolves);
+      row["resolve_gap_last"] = s.resolve_gap_last;
+      row["resolve_gap_max"] = s.resolve_gap_max;
+      row["final_active"] = static_cast<std::uint64_t>(s.final_active);
+      row["final_served"] = static_cast<std::uint64_t>(s.final_served);
+      row["final_profit"] = s.final_profit;
+      row["wall_ms"] = run_ms;
+      row["events_per_sec"] =
+          run_ms > 0.0 ? static_cast<double>(s.events) / (run_ms / 1e3) : 0.0;
+      row["latency_p50_ns"] = last.latency.percentile_ns(0.5);
+      row["latency_p99_ns"] = last.latency.percentile_ns(0.99);
+      row["latency_p999_ns"] = last.latency.percentile_ns(0.999);
+      std::cout << "serving " << (faulted ? "(crash armed) " : "") << s.events
+                << " events @ " << cfg.steady_state_target()
+                << " steady-state UEs: " << dmra::fmt(run_ms, 2) << " ms, churn "
+                << dmra::fmt(s.churn_rate(), 4) << ", p50 "
+                << dmra::fmt(last.latency.percentile_ns(0.5) / 1e3, 2)
+                << " us, p99 "
+                << dmra::fmt(last.latency.percentile_ns(0.99) / 1e3, 2) << " us\n";
+      serving_rows.push_back(std::move(row));
+    }
+  }
+
   if (!obs_session.enabled()) {
     const std::uint64_t delta =
         dmra::obs::events_recorded_total() - trace_events_before;
@@ -222,7 +294,7 @@ int main(int argc, char** argv) {
   }
 
   dmra::JsonObject root;
-  root["schema"] = "dmra-perf-report/1.3";
+  root["schema"] = "dmra-perf-report/1.4";
   root["git"] = std::string(dmra::obs::git_describe());
   root["build"] = dmra::obs::build_flavor_json();
   root["quick"] = quick;
@@ -234,6 +306,7 @@ int main(int argc, char** argv) {
   root["decentralized_run"] = std::move(decentralized_rows);
   root["experiment"] = std::move(experiment_rows);
   root["sharded_run"] = std::move(sharded_rows);
+  root["serving_run"] = std::move(serving_rows);
   root["peak_rss_mib"] = peak_rss_mib();
   const dmra::JsonValue report{std::move(root)};
 

@@ -86,4 +86,149 @@ IncrementalResult solve_incremental_dmra(const Scenario& scenario,
   return result;
 }
 
+IncrementalAllocator::IncrementalAllocator(const Scenario& scenario,
+                                           IncrementalConfig config)
+    : scenario_(&scenario),
+      config_(config),
+      state_(scenario),
+      allocation_(scenario.num_ues()),
+      active_(scenario.num_ues(), false),
+      clamped_(scenario.num_bss(), false) {}
+
+std::optional<BsId> IncrementalAllocator::admit(UeId u) {
+  DMRA_REQUIRE_MSG(!active_[u.idx()], "admit on an already-active slot");
+  active_[u.idx()] = true;
+  ++num_active_;
+  return place(u);
+}
+
+std::optional<BsId> IncrementalAllocator::reattempt(UeId u) {
+  DMRA_REQUIRE_MSG(active_[u.idx()], "reattempt on an inactive slot");
+  DMRA_REQUIRE_MSG(allocation_.is_cloud(u), "reattempt on a served slot");
+  return place(u);
+}
+
+std::optional<BsId> IncrementalAllocator::place(UeId u) {
+  // Alg. 1 with a single proposer: arg-min Eq. 17 preference over the
+  // serviceable candidates; an uncontended BS accepts any feasible
+  // proposal, so the first proposal round decides.
+  // dmra::hotpath begin(admit-one)
+  const UserEquipment& e = scenario_->ue(u);
+  const std::span<const BsId> cands = scenario_->candidates(u);
+  const std::span<const double> prices = scenario_->candidate_prices(u);
+  const std::span<const std::uint32_t> rrbs = scenario_->candidate_rrbs(u);
+  std::optional<BsId> best;
+  double best_v = 0.0;
+  std::uint32_t live_fu = 0;
+  for (std::size_t k = 0; k < cands.size(); ++k) {
+    const BsId i = cands[k];
+    const std::uint32_t rem_cru = state_.remaining_crus(i, e.service);
+    const std::uint32_t rem_rrb = state_.remaining_rrbs(i);
+    if (rem_cru < e.cru_demand || rem_rrb < rrbs[k]) continue;
+    ++live_fu;
+    const double v = prices[k] + config_.dmra.rho /
+                                     static_cast<double>(rem_cru + rem_rrb);
+    // Ties break toward the smaller BsId — candidates are ascending, so
+    // strict < keeps the earlier (smaller) one.
+    if (!best || v < best_v) {
+      best = i;
+      best_v = v;
+    }
+  }
+  // dmra::hotpath end(admit-one)
+
+  obs::TraceRecorder* const rec = obs::recorder();
+  if (!best) {
+    // B_u exhausted (or empty): remote cloud, Alg. 1 line 10.
+    allocation_.assign_cloud(u);
+    return std::nullopt;
+  }
+  state_.commit(u, *best);
+  allocation_.assign(u, *best);
+  live_profit_ += scenario_->pair_profit(u, *best);
+  if (rec != nullptr) {
+    obs::TraceEvent p;
+    p.kind = obs::EventKind::kProposal;
+    p.ue = u.value;
+    p.bs = best->value;
+    p.service = e.service.value;
+    p.value = live_fu;
+    rec->record(p);
+    obs::TraceEvent d;
+    d.kind = obs::EventKind::kDecision;
+    d.flag = true;
+    d.ue = u.value;
+    d.bs = best->value;
+    d.service = e.service.value;
+    rec->record(d);
+  }
+  return best;
+}
+
+void IncrementalAllocator::remove(UeId u) {
+  DMRA_REQUIRE_MSG(active_[u.idx()], "remove on an inactive slot");
+  active_[u.idx()] = false;
+  --num_active_;
+  const auto bs = allocation_.bs_of(u);
+  if (!bs) return;  // was cloud-forwarded; nothing held
+  live_profit_ -= scenario_->pair_profit(u, *bs);
+  // A crashed/degraded BS's ledger is clamped, not committed: releasing
+  // into the clamp would manufacture capacity. Recount on recovery
+  // instead (recover_bs).
+  if (!clamped_[bs->idx()]) state_.release(u, *bs);
+  allocation_.assign_cloud(u);
+}
+
+std::size_t IncrementalAllocator::crash_bs(BsId i, std::vector<UeId>& orphans) {
+  std::size_t evicted = 0;
+  for (std::size_t ui = 0; ui < allocation_.num_ues(); ++ui) {
+    const UeId u{static_cast<std::uint32_t>(ui)};
+    const auto bs = allocation_.bs_of(u);
+    if (!bs || *bs != i) continue;
+    live_profit_ -= scenario_->pair_profit(u, i);
+    allocation_.assign_cloud(u);
+    orphans.push_back(u);
+    ++evicted;
+  }
+  const std::vector<std::uint32_t> zero_crus(scenario_->num_services(), 0);
+  state_.clamp_remaining(i, zero_crus, 0);
+  if (!clamped_[i.idx()]) {
+    clamped_[i.idx()] = true;
+    ++clamped_bss_;
+  }
+  return evicted;
+}
+
+void IncrementalAllocator::recover_bs(BsId i) {
+  state_.recount_remaining(i, allocation_);
+  if (clamped_[i.idx()]) {
+    clamped_[i.idx()] = false;
+    --clamped_bss_;
+  }
+}
+
+void IncrementalAllocator::degrade_bs(BsId i, double cru_factor, double rrb_factor) {
+  DMRA_REQUIRE(cru_factor >= 0.0 && cru_factor <= 1.0);
+  DMRA_REQUIRE(rrb_factor >= 0.0 && rrb_factor <= 1.0);
+  const std::size_t ns = scenario_->num_services();
+  std::vector<std::uint32_t> caps(ns);
+  for (std::size_t j = 0; j < ns; ++j) {
+    const auto rem = state_.remaining_crus(i, ServiceId{static_cast<std::uint32_t>(j)});
+    caps[j] = static_cast<std::uint32_t>(static_cast<double>(rem) * cru_factor);
+  }
+  const auto rrb_cap = static_cast<std::uint32_t>(
+      static_cast<double>(state_.remaining_rrbs(i)) * rrb_factor);
+  state_.clamp_remaining(i, caps, rrb_cap);
+  if (!clamped_[i.idx()]) {
+    clamped_[i.idx()] = true;
+    ++clamped_bss_;
+  }
+}
+
+void IncrementalAllocator::audit_round(std::size_t round) const {
+  if (!DMRA_AUDIT_ACTIVE()) return;
+  if (!capacity_nominal()) return;  // clamped ledger ≠ recount, by design
+  audit::report_state_round("core/incremental", round, *scenario_, allocation_, state_);
+}
+
 }  // namespace dmra

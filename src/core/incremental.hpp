@@ -12,8 +12,13 @@
 // Result: the same matching logic, a fraction of the handovers.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <vector>
+
 #include "core/solver.hpp"
 #include "mec/allocation.hpp"
+#include "mec/resources.hpp"
 
 namespace dmra {
 
@@ -53,5 +58,98 @@ struct IncrementalResult {
 IncrementalResult solve_incremental_dmra(const Scenario& scenario,
                                          const Allocation& previous,
                                          const IncrementalConfig& config = {});
+
+/// A persistent allocator process over one (immutable) scenario: the
+/// explicit remove/re-admit surface the serving driver (sim/churn.hpp)
+/// feeds one event at a time, instead of batch rebuilds.
+///
+/// The scenario is treated as a *slot universe*: every UE id is a slot
+/// that may be admitted (active, holding resources or cloud-forwarded)
+/// or removed (inactive, holding nothing). An inactive slot is
+/// indistinguishable from a cloud slot in the Allocation (both are
+/// cloud/-1 and contribute zero profit), so check_feasibility and the
+/// InvariantAuditor apply unchanged; activity is tracked here.
+///
+/// admit() is Alg. 1 specialized to a single proposer: the UE proposes to
+/// its arg-min preference candidate (Eq. 17 against the live ledger) and
+/// an uncontended BS accepts any feasible proposal, so one proposal round
+/// decides — provably the same outcome solve_dmra_partial computes for
+/// one unmatched UE (pinned by tests/core/incremental_test.cpp), at
+/// O(|candidates(u)|) per decision instead of O(|U|).
+///
+/// Fault surface (event-timeline injection, docs/RESILIENCE.md): crash
+/// and degradation clamp the live ledger below nominal capacity via
+/// ResourceState::clamp_remaining; recover_bs restores it with a
+/// recount_remaining. While any clamp is active the ledger legitimately
+/// disagrees with a from-scratch recount, so audit_round() mutes itself —
+/// the same "repair under muted auditor" rule the decentralized runtime
+/// follows — and reports again once capacity_nominal() returns true.
+class IncrementalAllocator {
+ public:
+  explicit IncrementalAllocator(const Scenario& scenario, IncrementalConfig config = {});
+
+  /// Admit inactive slot u. Returns the serving BS, or nullopt when no
+  /// candidate can carry it (cloud-forwarded, still active).
+  std::optional<BsId> admit(UeId u);
+
+  /// Retry placement for an *active, cloud-forwarded* slot — the readmit
+  /// sweep and crash-recovery drain of sim/churn: capacity may have freed
+  /// or recovered since the slot was last decided. Same decision rule as
+  /// admit(); returns the BS if it now fits, nullopt to stay at the cloud.
+  std::optional<BsId> reattempt(UeId u);
+
+  /// Remove active slot u, releasing its resources (departure).
+  void remove(UeId u);
+
+  bool active(UeId u) const { return active_[u.idx()]; }
+  std::size_t num_active() const { return num_active_; }
+
+  /// Crash BS i: remaining capacity clamps to zero and every UE it serves
+  /// is evicted to the cloud (still active — the caller re-admits them).
+  /// Evicted UE ids are appended to `orphans` in ascending order.
+  /// Returns the eviction count.
+  std::size_t crash_bs(BsId i, std::vector<UeId>& orphans);
+
+  /// Recover BS i cold: nominal capacity minus current commitments
+  /// (none right after a crash; partial after a degradation recovery).
+  void recover_bs(BsId i);
+
+  /// Scale BS i's *remaining* capacity by the given factors (floor),
+  /// FaultPlan::CapacityDegradation semantics: admitted UEs keep service.
+  void degrade_bs(BsId i, double cru_factor, double rrb_factor);
+
+  /// True iff no crash/degradation clamp is in effect anywhere.
+  bool capacity_nominal() const { return clamped_bss_ == 0; }
+
+  /// Report the live ledger + allocation at the audit seam (round 0 =
+  /// stateless: feasibility + ledger recount, no monotone-profit chain —
+  /// departures lower profit by design). No-op while a clamp is active
+  /// or when auditing is disabled.
+  void audit_round(std::size_t round) const;
+
+  const Allocation& allocation() const { return allocation_; }
+  const ResourceState& state() const { return state_; }
+  const Scenario& scenario() const { return *scenario_; }
+
+  /// Eq. 11 profit of the current allocation, maintained incrementally
+  /// (Σ pair_profit over served slots — cross-checked against
+  /// total_profit() by tests).
+  double live_profit() const { return live_profit_; }
+
+ private:
+  /// The shared single-proposer decision: arg-min Eq. 17 over serviceable
+  /// candidates, commit on success, cloud otherwise.
+  std::optional<BsId> place(UeId u);
+
+  const Scenario* scenario_;
+  IncrementalConfig config_;
+  ResourceState state_;
+  Allocation allocation_;
+  std::vector<bool> active_;
+  std::vector<bool> clamped_;  ///< per BS: capacity currently clamped
+  std::size_t num_active_ = 0;
+  std::size_t clamped_bss_ = 0;
+  double live_profit_ = 0.0;
+};
 
 }  // namespace dmra

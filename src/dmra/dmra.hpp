@@ -46,6 +46,7 @@
 
 #include "obs/chrome_trace.hpp"
 #include "obs/events.hpp"
+#include "obs/latency.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
@@ -57,6 +58,7 @@
 #include "radio/pathloss.hpp"
 #include "radio/units.hpp"
 
+#include "sim/churn.hpp"
 #include "sim/experiment.hpp"
 #include "sim/faults.hpp"
 #include "sim/feasibility.hpp"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mec/allocation.hpp"
 #include "util/require.hpp"
 
 namespace dmra {
@@ -64,6 +65,25 @@ void ResourceState::clamp_remaining(BsId i, const std::vector<std::uint32_t>& cr
     c = std::min(c, cru_caps[j]);
   }
   rrbs_[i.idx()] = std::min(rrbs_[i.idx()], rrb_cap);
+}
+
+void ResourceState::recount_remaining(BsId i, const Allocation& alloc) {
+  const std::size_t ns = scenario_->num_services();
+  const BaseStation& b = scenario_->bs(i);
+  for (std::size_t j = 0; j < ns; ++j) crus_[i.idx() * ns + j] = b.cru_capacity[j];
+  rrbs_[i.idx()] = b.num_rrbs;
+  for (std::size_t ui = 0; ui < alloc.num_ues(); ++ui) {
+    const UeId u{static_cast<std::uint32_t>(ui)};
+    const auto bs = alloc.bs_of(u);
+    if (!bs || *bs != i) continue;
+    const UserEquipment& e = scenario_->ue(u);
+    const std::uint32_t demand_rrbs = scenario_->link(u, i).n_rrbs;
+    DMRA_REQUIRE_MSG(crus_[cru_index(i, e.service)] >= e.cru_demand &&
+                         rrbs_[i.idx()] >= demand_rrbs,
+                     "recount_remaining: allocation overcommits the BS");
+    crus_[cru_index(i, e.service)] -= e.cru_demand;
+    rrbs_[i.idx()] -= demand_rrbs;
+  }
 }
 
 std::uint32_t ResourceState::remaining_for_preference(BsId i, ServiceId j) const {

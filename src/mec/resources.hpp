@@ -15,6 +15,8 @@
 
 namespace dmra {
 
+class Allocation;
+
 class ResourceState {
  public:
   /// Full capacities from the scenario's BSs.
@@ -45,6 +47,14 @@ class ResourceState {
   /// `cru_caps` must have one entry per service.
   void clamp_remaining(BsId i, const std::vector<std::uint32_t>& cru_caps,
                        std::uint32_t rrb_cap);
+
+  /// Recompute i's remaining resources from scratch: full scenario
+  /// capacity minus the demands of every UE `alloc` currently assigns to
+  /// i. The inverse of clamp_remaining for fault recovery — a BS that
+  /// returns from an outage or degradation gets its nominal capacity back
+  /// minus whatever it is (still) serving. O(|U|); recovery events are
+  /// rare, so the scan is off every hot path.
+  void recount_remaining(BsId i, const Allocation& alloc);
 
   /// Total remaining CRUs at i summed over services + remaining RRBs —
   /// the denominator of the DMRA preference (Eq. 17 uses the per-service

@@ -25,6 +25,7 @@ constexpr int kTrimTrack = 102;
 constexpr int kBroadcastTrack = 103;
 constexpr int kLifecycleTrack = 104;
 constexpr int kFaultTrack = 105;
+constexpr int kTimelineTrack = 106;
 
 int instant_track(EventKind kind) {
   switch (kind) {
@@ -36,6 +37,7 @@ int instant_track(EventKind kind) {
     case EventKind::kTermination: return kLifecycleTrack;
     case EventKind::kFault:
     case EventKind::kRepair: return kFaultTrack;
+    case EventKind::kTimeline: return kTimelineTrack;
   }
   return kLifecycleTrack;
 }
@@ -86,13 +88,21 @@ std::string export_chrome_trace(const TraceRecorder& recorder) {
   trace_events.push_back(metadata_event("thread_name", kBroadcastTrack,
                                         "resource broadcasts"));
   trace_events.push_back(metadata_event("thread_name", kLifecycleTrack, "lifecycle"));
-  // The faults track is declared lazily: emitting it unconditionally would
-  // change the byte-identical export of every fault-free run (the golden
-  // surface the zero-fault contract is tested against).
+  // The faults and event-timeline tracks are declared lazily: emitting
+  // them unconditionally would change the byte-identical export of every
+  // fault-free / non-serving run (the golden surface the zero-fault
+  // contract is tested against).
   for (const TraceEvent& e : recorder.events()) {
     if (e.kind == EventKind::kFault || e.kind == EventKind::kRepair) {
       trace_events.push_back(
           metadata_event("thread_name", kFaultTrack, "faults & recovery"));
+      break;
+    }
+  }
+  for (const TraceEvent& e : recorder.events()) {
+    if (e.kind == EventKind::kTimeline) {
+      trace_events.push_back(
+          metadata_event("thread_name", kTimelineTrack, "event timeline"));
       break;
     }
   }
@@ -188,6 +198,7 @@ std::string export_chrome_trace(const TraceRecorder& recorder) {
         break;
       case EventKind::kFault:
       case EventKind::kRepair:
+      case EventKind::kTimeline:
         args["value"] = e.value;
         name = std::string(e.label.empty() ? to_string(e.kind) : e.label);
         break;

@@ -26,8 +26,9 @@ enum class EventKind : std::uint8_t {
   kTermination,   ///< run ended (value = rounds, flag = converged)
   kFault,         ///< injected fault fired (label = class, bs/ue, value = round)
   kRepair,        ///< recovery action taken (label = action, bs/ue, value = detail)
+  kTimeline,      ///< serving-timeline event (label = kind, ue/bs, value = index)
 };
-inline constexpr std::size_t kNumEventKinds = 8;
+inline constexpr std::size_t kNumEventKinds = 9;
 
 /// Why a proposal was (not) admitted in the BS acceptance step.
 enum class DecisionReason : std::uint8_t {

@@ -1,0 +1,94 @@
+#include "obs/latency.hpp"
+
+#include <bit>
+#include <chrono>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace dmra::obs {
+
+namespace {
+
+// 16 exact buckets for [0, 16) plus 16 sub-buckets for each octave
+// [2^e, 2^(e+1)), e in [4, 63].
+constexpr std::size_t kNumBuckets = 16 + 60 * 16;
+
+}  // namespace
+
+std::uint64_t monotonic_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t ns) {
+  if (ns < kSub) return static_cast<std::size_t>(ns);
+  const int e = std::bit_width(ns) - 1;  // ns >= 16 → e >= 4
+  const std::size_t sub =
+      static_cast<std::size_t>((ns >> (e - 4)) - kSub);  // in [0, 16)
+  const std::size_t b = kSub + static_cast<std::size_t>(e - 4) * kSub + sub;
+  return b < kNumBuckets ? b : kNumBuckets - 1;
+}
+
+std::uint64_t LatencyHistogram::bucket_lo(std::size_t b) {
+  if (b < kSub) return b;
+  const std::size_t e = (b - kSub) / kSub + 4;
+  const std::size_t sub = (b - kSub) % kSub;
+  return static_cast<std::uint64_t>(kSub + sub) << (e - 4);
+}
+
+std::uint64_t LatencyHistogram::bucket_hi(std::size_t b) {
+  if (b < kSub) return b + 1;
+  const std::size_t e = (b - kSub) / kSub + 4;
+  const std::size_t sub = (b - kSub) % kSub;
+  return static_cast<std::uint64_t>(kSub + sub + 1) << (e - 4);
+}
+
+void LatencyHistogram::record(std::uint64_t ns) {
+  ++buckets_[bucket_of(ns)];
+  ++count_;
+  if (ns > max_ns_) max_ns_ = ns;
+}
+
+double LatencyHistogram::percentile_ns(double q) const {
+  DMRA_REQUIRE(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  // Rank of the q-quantile among `count_` samples (nearest-rank, 1-based).
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5);
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Bucket midpoint; the top bucket is clamped to the observed max.
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b));
+      const double mid = lo + (hi - lo) / 2.0;
+      return mid > static_cast<double>(max_ns_) ? static_cast<double>(max_ns_) : mid;
+    }
+  }
+  return static_cast<double>(max_ns_);
+}
+
+void LatencyHistogram::merge_from(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < buckets_.size(); ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  if (other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+}
+
+std::string LatencyHistogram::to_csv() const {
+  std::ostringstream out;
+  out << "bucket_lo_ns,bucket_hi_ns,count\n";
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    out << bucket_lo(b) << ',' << bucket_hi(b) << ',' << buckets_[b] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dmra::obs

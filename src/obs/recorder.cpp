@@ -24,6 +24,7 @@ std::string_view to_string(EventKind kind) {
     case EventKind::kTermination: return "termination";
     case EventKind::kFault: return "fault";
     case EventKind::kRepair: return "repair";
+    case EventKind::kTimeline: return "timeline";
   }
   return "?";
 }
@@ -50,7 +51,8 @@ void TraceRecorder::record(TraceEvent event) {
     case EventKind::kPhase:
     case EventKind::kTermination:
     case EventKind::kFault:
-    case EventKind::kRepair: break;
+    case EventKind::kRepair:
+    case EventKind::kTimeline: break;
   }
   events_.push_back(event);
   g_events_recorded.fetch_add(1, std::memory_order_relaxed);

@@ -82,7 +82,10 @@ double derived_interference_psd(const ScenarioConfig& cfg,
 }  // namespace
 
 Scenario generate_scenario(const ScenarioConfig& cfg, std::uint64_t seed) {
-  DMRA_REQUIRE(cfg.num_sps > 0 && cfg.bss_per_sp > 0 && cfg.num_ues > 0);
+  // num_ues == 0 is legal (Scenario allows empty populations): the churn
+  // driver generates the deployment alone and appends its own slot
+  // universe (sim/churn.hpp).
+  DMRA_REQUIRE(cfg.num_sps > 0 && cfg.bss_per_sp > 0);
   DMRA_REQUIRE(cfg.num_services > 0 && cfg.services_per_bs > 0);
   DMRA_REQUIRE(cfg.services_per_bs <= cfg.num_services);
   DMRA_REQUIRE(cfg.cru_capacity_min <= cfg.cru_capacity_max);

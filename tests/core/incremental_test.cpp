@@ -153,5 +153,146 @@ TEST(Incremental, SizeMismatchIsContractViolation) {
   EXPECT_THROW(solve_incremental_dmra(s, Allocation(9)), ContractViolation);
 }
 
+// ---- IncrementalAllocator: the persistent admit/remove surface -------------
+
+// The header's claim: admit() (single-proposer Alg. 1) decides exactly
+// what solve_dmra_partial computes for one unmatched UE against the same
+// ledger. Run both side by side, one admission at a time.
+TEST(IncrementalAllocator, AdmitMatchesSolveDmraPartialSingleProposer) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 150;
+  const Scenario s = generate_scenario(cfg, 21);
+
+  IncrementalAllocator inc(s);
+  ResourceState state(s);
+  Allocation ref(s.num_ues());
+  std::vector<bool> matched(s.num_ues(), true);
+  for (std::size_t ui = 0; ui < s.num_ues(); ++ui) {
+    const UeId u{static_cast<std::uint32_t>(ui)};
+    inc.admit(u);
+    matched[ui] = false;
+    solve_dmra_partial(s, IncrementalConfig{}.dmra, state, ref, matched);
+    matched[ui] = true;  // cloud-forwarded UEs stay unmatched in the partial run
+    ASSERT_EQ(inc.allocation().bs_of(u), ref.bs_of(u)) << "ue " << ui;
+  }
+  EXPECT_EQ(inc.allocation(), ref);
+  EXPECT_NEAR(inc.live_profit(), total_profit(s, inc.allocation()), 1e-9);
+}
+
+TEST(IncrementalAllocator, RemoveReleasesEverything) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 120;
+  const Scenario s = generate_scenario(cfg, 23);
+  IncrementalAllocator inc(s);
+  for (std::size_t ui = 0; ui < s.num_ues(); ++ui)
+    inc.admit(UeId{static_cast<std::uint32_t>(ui)});
+  EXPECT_EQ(inc.num_active(), s.num_ues());
+  for (std::size_t ui = 0; ui < s.num_ues(); ++ui)
+    inc.remove(UeId{static_cast<std::uint32_t>(ui)});
+  EXPECT_EQ(inc.num_active(), 0u);
+  EXPECT_NEAR(inc.live_profit(), 0.0, 1e-9);
+  // The ledger is back at nominal capacity for every (BS, service).
+  const ResourceState fresh(s);
+  for (const BaseStation& b : s.bss()) {
+    EXPECT_EQ(inc.state().remaining_rrbs(b.id), fresh.remaining_rrbs(b.id));
+    for (std::size_t j = 0; j < s.num_services(); ++j) {
+      const ServiceId sj{static_cast<std::uint32_t>(j)};
+      EXPECT_EQ(inc.state().remaining_crus(b.id, sj), fresh.remaining_crus(b.id, sj));
+    }
+  }
+}
+
+TEST(IncrementalAllocator, LifecycleContractsAreEnforced) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 10;
+  const Scenario s = generate_scenario(cfg, 1);
+  IncrementalAllocator inc(s);
+  EXPECT_THROW(inc.remove(UeId{0}), ContractViolation);     // not active
+  EXPECT_THROW(inc.reattempt(UeId{0}), ContractViolation);  // not active
+  inc.admit(UeId{0});
+  EXPECT_THROW(inc.admit(UeId{0}), ContractViolation);  // already active
+  if (inc.allocation().bs_of(UeId{0})) {
+    EXPECT_THROW(inc.reattempt(UeId{0}), ContractViolation);  // served, not cloud
+  }
+  inc.remove(UeId{0});
+  EXPECT_THROW(inc.remove(UeId{0}), ContractViolation);
+}
+
+TEST(IncrementalAllocator, CrashEvictsAndRecoverRestoresNominal) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 200;
+  const Scenario s = generate_scenario(cfg, 29);
+  IncrementalAllocator inc(s);
+  for (std::size_t ui = 0; ui < s.num_ues(); ++ui)
+    inc.admit(UeId{static_cast<std::uint32_t>(ui)});
+
+  // Crash the busiest BS so the eviction set is non-empty.
+  BsId victim{0};
+  std::size_t best = 0;
+  std::vector<std::size_t> load(s.bss().size(), 0);
+  for (std::size_t ui = 0; ui < s.num_ues(); ++ui)
+    if (const auto b = inc.allocation().bs_of(UeId{static_cast<std::uint32_t>(ui)}))
+      ++load[b->idx()];
+  for (std::size_t bi = 0; bi < load.size(); ++bi)
+    if (load[bi] > best) best = load[bi], victim = BsId{static_cast<std::uint32_t>(bi)};
+  ASSERT_GT(best, 0u);
+
+  std::vector<UeId> orphans;
+  const std::size_t evicted = inc.crash_bs(victim, orphans);
+  EXPECT_EQ(evicted, best);
+  EXPECT_EQ(orphans.size(), best);
+  EXPECT_FALSE(inc.capacity_nominal());
+  for (const UeId u : orphans) {
+    EXPECT_TRUE(inc.active(u));                     // evicted, not departed
+    EXPECT_TRUE(inc.allocation().is_cloud(u));      // waiting at the cloud
+  }
+  for (std::size_t j = 0; j < s.num_services(); ++j)
+    EXPECT_EQ(inc.state().remaining_crus(victim, ServiceId{static_cast<std::uint32_t>(j)}), 0u);
+  EXPECT_EQ(inc.state().remaining_rrbs(victim), 0u);
+
+  // Departing a UE during the outage must not leak capacity back into the
+  // clamped BS (the orphan now lives at the cloud anyway).
+  inc.remove(orphans[0]);
+
+  inc.recover_bs(victim);
+  EXPECT_TRUE(inc.capacity_nominal());
+  // Recovered capacity is nominal minus live commitments (none here).
+  const ResourceState fresh(s);
+  EXPECT_EQ(inc.state().remaining_rrbs(victim), fresh.remaining_rrbs(victim));
+
+  // Orphans re-placed via reattempt() land somewhere feasible again.
+  std::size_t rehomed = 0;
+  for (std::size_t k = 1; k < orphans.size(); ++k)
+    if (inc.reattempt(orphans[k])) ++rehomed;
+  EXPECT_GT(rehomed, 0u);
+  EXPECT_TRUE(check_feasibility(s, inc.allocation()).ok);
+  EXPECT_NEAR(inc.live_profit(), total_profit(s, inc.allocation()), 1e-9);
+}
+
+TEST(IncrementalAllocator, DegradeScalesRemainingAndRecoverRecounts) {
+  ScenarioConfig cfg;
+  cfg.num_ues = 100;
+  const Scenario s = generate_scenario(cfg, 31);
+  IncrementalAllocator inc(s);
+  for (std::size_t ui = 0; ui < s.num_ues(); ++ui)
+    inc.admit(UeId{static_cast<std::uint32_t>(ui)});
+  const BsId target{0};
+  const std::uint32_t rrbs_before = inc.state().remaining_rrbs(target);
+  inc.degrade_bs(target, 0.5, 0.5);
+  EXPECT_FALSE(inc.capacity_nominal());
+  EXPECT_LE(inc.state().remaining_rrbs(target), rrbs_before / 2 + 1);
+  inc.recover_bs(target);
+  EXPECT_TRUE(inc.capacity_nominal());
+  // Post-recovery the ledger equals a from-scratch recount: remaining =
+  // nominal − commitments of the UEs still assigned there.
+  ResourceState recount(s);
+  recount.recount_remaining(target, inc.allocation());
+  EXPECT_EQ(inc.state().remaining_rrbs(target), recount.remaining_rrbs(target));
+  for (std::size_t j = 0; j < s.num_services(); ++j) {
+    const ServiceId sj{static_cast<std::uint32_t>(j)};
+    EXPECT_EQ(inc.state().remaining_crus(target, sj), recount.remaining_crus(target, sj));
+  }
+}
+
 }  // namespace
 }  // namespace dmra

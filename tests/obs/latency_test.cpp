@@ -1,0 +1,88 @@
+// LatencyHistogram (obs/latency): the wall-clock-only measurement channel
+// of the serving driver. Bucketing precision, merge, and CSV shape.
+#include "obs/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace dmra::obs {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_EQ(h.percentile_ns(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.max_ns(), 15u);
+  // Below 16 ns every value has its own bucket, so quantiles are exact to
+  // within the bucket width of 1.
+  EXPECT_LE(h.percentile_ns(0.0), 1.0);
+  EXPECT_NEAR(h.percentile_ns(0.5), 8.0, 1.0);
+  EXPECT_NEAR(h.percentile_ns(1.0), 15.0, 1.0);
+}
+
+TEST(LatencyHistogram, RelativeErrorIsBounded) {
+  // 16 linear sub-buckets per octave bound the relative error at 1/16.
+  for (const std::uint64_t v : {1000ull, 123456ull, 987654321ull}) {
+    LatencyHistogram h;
+    h.record(v);
+    const double p = h.percentile_ns(0.5);
+    EXPECT_GE(p, static_cast<double>(v) * (1.0 - 1.0 / 16.0));
+    EXPECT_LE(p, static_cast<double>(v) * (1.0 + 1.0 / 16.0));
+  }
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotone) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v * 37);
+  double last = 0.0;
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double p = h.percentile_ns(q);
+    EXPECT_GE(p, last);
+    last = p;
+  }
+  EXPECT_LE(last, static_cast<double>(h.max_ns()) * (1.0 + 1.0 / 16.0));
+}
+
+TEST(LatencyHistogram, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  for (std::uint64_t v = 0; v < 100; ++v) a.record(10 + v);
+  for (std::uint64_t v = 0; v < 50; ++v) b.record(100000 + v);
+  const std::uint64_t bmax = b.max_ns();
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 150u);
+  EXPECT_EQ(a.max_ns(), bmax);
+  // The upper tail now comes from b's range.
+  EXPECT_GT(a.percentile_ns(0.9), 50000.0);
+}
+
+TEST(LatencyHistogram, CsvHasHeaderAndOccupiedRowsOnly) {
+  LatencyHistogram h;
+  h.record(5);
+  h.record(5);
+  h.record(1000);
+  const std::string csv = h.to_csv();
+  EXPECT_EQ(csv.rfind("bucket_lo_ns,bucket_hi_ns,count\n", 0), 0u);
+  // Header + exactly two occupied buckets.
+  std::size_t lines = 0;
+  for (const char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 3u);
+}
+
+TEST(LatencyHistogram, MonotonicClockDoesNotGoBackwards) {
+  const std::uint64_t a = monotonic_now_ns();
+  const std::uint64_t b = monotonic_now_ns();
+  EXPECT_GE(b, a);
+  EXPECT_GT(b, 0u);
+}
+
+}  // namespace
+}  // namespace dmra::obs

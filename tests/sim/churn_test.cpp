@@ -1,0 +1,216 @@
+// Serving-driver contracts (docs/SERVING.md): deterministic timelines and
+// event logs, auditor-clean replay (including departures and faults), and
+// the degenerate 0-arrival / 0-dwell cases next to sim/degenerate_test.
+#include "sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "check/invariant_auditor.hpp"
+#include "mec/allocation.hpp"
+#include "mec/audit.hpp"
+#include "obs/recorder.hpp"
+#include "sim/feasibility.hpp"
+
+namespace dmra {
+namespace {
+
+ChurnConfig small_config() {
+  ChurnConfig cfg;
+  cfg.arrival_rate_hz = 8.0;
+  cfg.mean_dwell_s = 25.0;
+  cfg.mean_move_interval_s = 10.0;
+  cfg.horizon_events = 400;
+  cfg.resolve_every = 100;
+  cfg.readmit_every = 32;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(Churn, TimelineIsDeterministic) {
+  const ChurnConfig cfg = small_config();
+  const ChurnTimeline a = build_churn_timeline(cfg);
+  const ChurnTimeline b = build_churn_timeline(cfg);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  ASSERT_EQ(a.events.size(), cfg.horizon_events);
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].ue, b.events[i].ue);
+    EXPECT_EQ(a.events[i].slot, b.events[i].slot);
+    EXPECT_EQ(a.events[i].prev_slot, b.events[i].prev_slot);
+    EXPECT_EQ(a.events[i].time_s, b.events[i].time_s);
+  }
+  EXPECT_EQ(a.universe.num_ues(), b.universe.num_ues());
+  EXPECT_EQ(a.num_logical_ues, b.num_logical_ues);
+  // One slot per arrival plus one per move; event times never decrease.
+  double last = 0.0;
+  std::size_t arrivals = 0, moves = 0;
+  for (const ChurnEvent& e : a.events) {
+    EXPECT_GE(e.time_s, last);
+    last = e.time_s;
+    if (e.kind == ChurnEventKind::kArrival) ++arrivals;
+    if (e.kind == ChurnEventKind::kMove) ++moves;
+  }
+  EXPECT_EQ(a.universe.num_ues(), arrivals + moves);
+}
+
+TEST(Churn, RunIsDeterministicAndTracingInvariant) {
+  const ChurnConfig cfg = small_config();
+  const ChurnResult untraced = run_churn(cfg);
+
+  obs::TraceRecorder rec;
+  ChurnResult traced;
+  {
+    obs::ScopedTraceRecorder install(&rec);
+    traced = run_churn(cfg);
+  }
+  // Tracing must not perturb any deterministic surface.
+  EXPECT_EQ(untraced.event_log, traced.event_log);
+  EXPECT_EQ(untraced.final_allocation, traced.final_allocation);
+  EXPECT_EQ(untraced.stats.events, traced.stats.events);
+  EXPECT_EQ(untraced.stats.reassociations, traced.stats.reassociations);
+  EXPECT_EQ(untraced.stats.final_profit, traced.stats.final_profit);
+
+  // One RoundRow per applied event, all from this driver.
+  ASSERT_EQ(rec.rows().size(), traced.stats.events);
+  for (const obs::RoundRow& row : rec.rows()) EXPECT_EQ(row.source, "sim/churn");
+  // Every applied event narrates itself on the timeline track.
+  std::size_t timeline_events = 0;
+  for (const obs::TraceEvent& e : rec.events())
+    if (e.kind == obs::EventKind::kTimeline) ++timeline_events;
+  EXPECT_EQ(timeline_events, traced.stats.events);
+}
+
+TEST(Churn, StatsAreInternallyConsistent) {
+  const ChurnResult r = run_churn(small_config());
+  const ChurnStats& s = r.stats;
+  EXPECT_EQ(s.events, s.arrivals + s.departures + s.moves);
+  EXPECT_EQ(s.final_active, s.arrivals - s.departures);
+  EXPECT_EQ(s.final_active, s.final_served + s.final_cloud);
+  EXPECT_GT(s.moves, 0u);
+  EXPECT_LE(s.reassociations, s.moves + s.orphaned_ues);
+  EXPECT_LE(s.cross_region_moves, s.moves);
+  EXPECT_GE(s.peak_active, s.final_active);
+  EXPECT_EQ(s.resolves, small_config().horizon_events / 100);
+}
+
+TEST(Churn, FinalAllocationIsFeasibleAndProfitMatches) {
+  const ChurnConfig cfg = small_config();
+  const ChurnTimeline timeline = build_churn_timeline(cfg);
+  const ChurnResult r = run_churn(timeline, cfg);
+  const FeasibilityReport report = check_feasibility(timeline.universe, r.final_allocation);
+  EXPECT_TRUE(report.ok) << (report.violations.empty() ? "" : report.violations[0]);
+  const double recomputed = total_profit(timeline.universe, r.final_allocation);
+  EXPECT_NEAR(r.stats.final_profit, recomputed,
+              1e-9 * std::max(1.0, std::abs(recomputed)));
+}
+
+// Departure conservation: every release is recounted by the auditor's
+// ledger cross-check after every event (round 0 keeps it stateless). A
+// short dwell maximizes departures through the audited window.
+TEST(Churn, AuditedHighChurnRunIsClean) {
+  ChurnConfig cfg = small_config();
+  cfg.mean_dwell_s = 5.0;  // heavy departure traffic
+  check::InvariantAuditor auditor;
+  audit::ScopedAuditObserver install(&auditor);
+  ChurnResult r;
+  EXPECT_NO_THROW(r = run_churn(cfg));
+  EXPECT_GT(r.stats.departures, 50u);
+}
+
+TEST(Churn, AuditedFaultRunIsClean) {
+  ChurnConfig cfg = small_config();
+  cfg.prefill = 200;  // crash lands on a loaded deployment
+  FaultSpec faults;
+  faults.crashes = 1;
+  faults.crash_round = 120;   // event index on the serving timeline
+  faults.down_rounds = 150;   // recovers at event 270
+  faults.seed = 3;
+  cfg.faults = faults;
+  check::InvariantAuditor auditor;
+  audit::ScopedAuditObserver install(&auditor);
+  ChurnResult r;
+  EXPECT_NO_THROW(r = run_churn(cfg));
+  EXPECT_EQ(r.stats.crashes, 1u);
+  EXPECT_EQ(r.stats.recoveries, 1u);
+  EXPECT_GT(r.stats.orphaned_ues, 0u);
+  EXPECT_GE(r.stats.recovery_events_max, 1u);
+  // Crash evictions are reassociations (served → cloud).
+  EXPECT_GE(r.stats.reassociations, r.stats.orphaned_ues);
+}
+
+TEST(Churn, FaultSameSeedIsByteIdentical) {
+  ChurnConfig cfg = small_config();
+  FaultSpec faults;
+  faults.crashes = 2;
+  faults.crash_round = 80;
+  faults.down_rounds = 100;
+  faults.degradations = 1;
+  faults.degrade_round = 50;
+  faults.seed = 11;
+  cfg.faults = faults;
+  const ChurnResult a = run_churn(cfg);
+  const ChurnResult b = run_churn(cfg);
+  EXPECT_EQ(a.event_log, b.event_log);
+  EXPECT_EQ(a.final_allocation, b.final_allocation);
+  EXPECT_EQ(a.stats.readmitted, b.stats.readmitted);
+  EXPECT_EQ(a.stats.recovery_events_max, b.stats.recovery_events_max);
+}
+
+TEST(Churn, ZeroArrivalDegenerate) {
+  ChurnConfig cfg;
+  cfg.arrival_rate_hz = 0.0;
+  cfg.prefill = 0;
+  cfg.horizon_events = 100;
+  const ChurnResult r = run_churn(cfg);
+  EXPECT_EQ(r.stats.events, 0u);
+  EXPECT_EQ(r.stats.universe_slots, 0u);
+  EXPECT_EQ(r.final_allocation.num_ues(), 0u);
+  EXPECT_EQ(r.latency.count(), 0u);
+  EXPECT_EQ(r.event_log, "final events=0 active=0 served=0 cloud=0 profit=0\n");
+}
+
+TEST(Churn, ZeroDwellDegenerate) {
+  ChurnConfig cfg;
+  cfg.arrival_rate_hz = 5.0;
+  cfg.mean_dwell_s = 0.0;  // depart the instant they arrive
+  cfg.horizon_events = 100;
+  cfg.seed = 5;
+  check::InvariantAuditor auditor;
+  audit::ScopedAuditObserver install(&auditor);
+  ChurnResult r;
+  EXPECT_NO_THROW(r = run_churn(cfg));
+  // Arrivals and departures interleave one-for-one.
+  EXPECT_EQ(r.stats.final_active, r.stats.arrivals - r.stats.departures);
+  EXPECT_LE(r.stats.final_active, 1u);
+  EXPECT_EQ(r.stats.moves, 0u);
+  EXPECT_NEAR(r.stats.final_profit,
+              total_profit(build_churn_timeline(cfg).universe, r.final_allocation), 1e-9);
+}
+
+TEST(Churn, PrefillArrivesAtTimeZeroAndCountsTowardHorizon) {
+  ChurnConfig cfg;
+  cfg.arrival_rate_hz = 0.0;  // prefill only
+  cfg.mean_dwell_s = 50.0;
+  cfg.prefill = 60;
+  cfg.horizon_events = 60;
+  const ChurnResult r = run_churn(cfg);
+  EXPECT_EQ(r.stats.events, 60u);
+  EXPECT_EQ(r.stats.arrivals, 60u);
+  EXPECT_EQ(r.stats.final_active, 60u);
+  const ChurnTimeline timeline = build_churn_timeline(cfg);
+  for (const ChurnEvent& e : timeline.events) EXPECT_EQ(e.time_s, 0.0);
+}
+
+TEST(Churn, SteadyStateTargetIsRateTimesDwell) {
+  ChurnConfig cfg;
+  cfg.arrival_rate_hz = 20.0;
+  cfg.mean_dwell_s = 100.0;
+  EXPECT_EQ(cfg.steady_state_target(), 2000u);
+  cfg.arrival_rate_hz = 0.0;
+  EXPECT_EQ(cfg.steady_state_target(), 0u);
+}
+
+}  // namespace
+}  // namespace dmra

@@ -8,8 +8,9 @@ Usage:
         [--fail-on fail|warn|never]
 
 Joins the probe tables (scenario_build, decentralized_run, experiment,
-and — since schema 1.3 — sharded_run) on the "ues" scale (plus "shards"
-for sharded rows) and classifies each wall-time row:
+since schema 1.3 sharded_run, and since 1.4 serving_run) on the "ues"
+scale (plus "shards" for sharded rows; serving rows join on the fault
+arm and steady-state/horizon shape) and classifies each wall-time row:
 
     PASS  candidate/baseline ratio below --warn-ratio, or both sides are
           under the --min-ms noise floor (sub-millisecond probes jitter
@@ -19,9 +20,12 @@ for sharded rows) and classifies each wall-time row:
 
 Semantic counters (rounds, messages_sent, matching_rounds, since
 schema 1.2 the allocation counters when both reports measured them,
-and since 1.3 the sharded partition/reconcile accounting)
+since 1.3 the sharded partition/reconcile accounting, and since 1.4 the
+serving churn-rate and recovery counters)
 are protocol outputs, not timings: any change is reported as WARN so a
 "perf-only" change that silently altered protocol behaviour shows up.
+The serving latency percentiles (latency_p50_ns/p99/p999) are wall-clock
+measurements like wall_ms and stay warn-only under every gate.
 With --fail-on-semantic those changes are FAIL instead (the CI hard
 gate: wall-clock stays warn-only, deterministic counters do not drift),
 except that an allocation-count *decrease* stays WARN — fewer
@@ -56,8 +60,15 @@ ALLOC_KEYS = ("alloc_settle_rounds", "steady_state_allocations", "round_loop_all
 # protocol change, not noise. Rows join on (ues, shards).
 SHARDED_KEYS = ("interior_ues", "boundary_ues", "boundary_ues_reconciled",
                 "cloud_only_ues", "reconcile_rounds", "max_shard_rounds")
+# Schema 1.4 serving_run counters: the event timeline and every decision
+# on it are a pure function of the seed, so the churn/recovery accounting
+# is semantic. The latency percentiles are wall clock and warn-only.
+SERVING_KEYS = ("events", "arrivals", "departures", "moves", "reassociations",
+                "churn_rate", "cross_region_moves", "readmitted", "orphaned",
+                "recovery_events_max", "resolves")
+LATENCY_KEYS = ("latency_p50_ns", "latency_p99_ns", "latency_p999_ns")
 KNOWN_SCHEMAS = ("dmra-perf-report/1", "dmra-perf-report/1.1", "dmra-perf-report/1.2",
-                 "dmra-perf-report/1.3")
+                 "dmra-perf-report/1.3", "dmra-perf-report/1.4")
 
 
 def load_json(path: str) -> dict:
@@ -128,6 +139,8 @@ def compare_semantics(report: Report, probe: str, base: dict, cand: dict,
         keys = SEMANTIC_KEYS + ALLOC_KEYS
     if "shards" in base and "shards" in cand:
         keys = keys + SHARDED_KEYS
+    if "faults" in base and "faults" in cand:
+        keys = SERVING_KEYS  # serving rows carry no bus/matching counters
     for key in keys:
         if key not in base or key not in cand:
             continue  # pre-1.2 report on one side: nothing to compare
@@ -145,9 +158,28 @@ def compare_semantics(report: Report, probe: str, base: dict, cand: dict,
                    f"semantic counter changed: {b} -> {c}")
 
 
+def compare_latency(report: Report, probe: str, base: dict, cand: dict,
+                    args: argparse.Namespace) -> None:
+    """Serving latency percentiles: wall clock, so never worse than WARN."""
+    for key in LATENCY_KEYS:
+        if key not in base or key not in cand:
+            continue
+        b, c = base[key], cand[key]
+        if not b or b <= 0.0:
+            continue
+        ratio = c / b
+        status = "WARN" if ratio >= args.fail_ratio else "PASS"
+        report.add(status, f"{probe}.{key}",
+                   f"{b / 1e3:.2f} -> {c / 1e3:.2f} us ({ratio:.2f}x, warn-only)")
+
+
 def row_key(row: dict) -> tuple:
     # sharded_run rows sweep shard counts at one scale, so "ues" alone
-    # would pair a 4-shard row with a 16-shard one.
+    # would pair a 4-shard row with a 16-shard one. serving_run rows have
+    # no "ues" column: they join on the fault arm + run shape.
+    if "faults" in row:
+        return ("serving", row["faults"], row.get("steady_state_ues"),
+                row.get("horizon_events"))
     return (row["ues"], row["shards"]) if "shards" in row else (row["ues"],)
 
 
@@ -158,11 +190,13 @@ def join_rows(table_base: list, table_cand: list) -> list[tuple[dict, dict]]:
 
 
 def compare_reports(report: Report, base: dict, cand: dict, args: argparse.Namespace) -> None:
-    for table in ("scenario_build", "decentralized_run", "experiment", "sharded_run"):
+    for table in ("scenario_build", "decentralized_run", "experiment", "sharded_run",
+                  "serving_run"):
         pairs = join_rows(base.get(table, []), cand.get(table, []))
         if not pairs:
-            if table == "sharded_run" and not base.get(table) and not cand.get(table):
-                continue  # both reports predate schema 1.3
+            if table in ("sharded_run", "serving_run") and not base.get(table) \
+                    and not cand.get(table):
+                continue  # both reports predate this table's schema
             report.add("SKIP", table, "no common 'ues' scales (quick vs full reports?)")
             continue
         for brow, crow in pairs:
@@ -173,6 +207,8 @@ def compare_reports(report: Report, base: dict, cand: dict, args: argparse.Names
                 continue
             compare_wall(report, probe, brow, crow, args)
             compare_semantics(report, probe, brow, crow, args)
+            if table == "serving_run":
+                compare_latency(report, probe, brow, crow, args)
     b_rss, c_rss = base.get("peak_rss_mib"), cand.get("peak_rss_mib")
     if isinstance(b_rss, (int, float)) and isinstance(c_rss, (int, float)) and b_rss > 0:
         ratio = c_rss / b_rss

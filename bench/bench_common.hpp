@@ -2,6 +2,7 @@
 // the paper's algorithm roster, and result printing.
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -45,6 +46,16 @@ inline void add_obs_flags(dmra::Cli& cli) {
   cli.add_flag("round-csv", "", "write per-round aggregate metrics as CSV to this path");
   cli.add_flag("manifest", "",
                "write a dmra-manifest/1 run-provenance JSON to this path");
+  cli.add_flag("metrics-out", "",
+               "write a Prometheus text exposition of the run's metrics "
+               "(flight + trace registries) to this path");
+  cli.add_flag("metrics-window", "0",
+               "fixed-window metrics rollup length in logical rounds/events "
+               "(0 = windowing off; docs/OBSERVABILITY.md)");
+  cli.add_flag("postmortem", "",
+               "write the dmra-postmortem/1 flight-recorder dump to this path");
+  cli.add_flag("dump-on", "",
+               "explicit flight-recorder trigger predicate, e.g. \"round=200\"");
 }
 
 /// RAII observability session for a bench main. When --trace or
@@ -56,6 +67,15 @@ inline void add_obs_flags(dmra::Cli& cli) {
 /// capturing the flag snapshot, scenario config, seeds, jobs, fault spec,
 /// and every export path the bench reported via note_output().
 ///
+/// Independently of tracing, a FlightRecorder (obs/flight.hpp) is
+/// *always* installed for the session's lifetime: the last-N-events ring
+/// keeps rolling at steady-state-allocation-free cost, and a trigger
+/// (BS crash, audit violation, SLO breach, --dump-on) freezes it for the
+/// post-mortem. --postmortem writes the dmra-postmortem/1 dump (trigger:
+/// null when nothing fired), --metrics-out writes the Prometheus text
+/// exposition of the combined flight + trace registries, and
+/// --metrics-window arms fixed-window rollups inside both artifacts.
+///
 /// Distinct export flags must name distinct paths; a collision is a hard
 /// error (exit 2) rather than a silent overwrite.
 class ObsSession {
@@ -63,18 +83,30 @@ class ObsSession {
   explicit ObsSession(const dmra::Cli& cli, const std::string& program = "bench")
       : trace_path_(cli.get_string("trace")),
         csv_path_(cli.get_string("round-csv")),
-        manifest_path_(cli.get_string("manifest")) {
+        manifest_path_(cli.get_string("manifest")),
+        metrics_path_(cli.get_string("metrics-out")),
+        postmortem_path_(cli.get_string("postmortem")),
+        flight_(flight_config(cli)) {
     input_.program = program;
     input_.flags = cli.values();
     if (auto it = input_.flags.find("faults"); it != input_.flags.end())
       input_.fault_spec = it->second;
     reject_duplicate_paths();
-    if (enabled()) install_.emplace(&recorder_);
+    flight_.set_fault_context(input_.fault_spec);
+    arm_dump_on(cli.get_string("dump-on"));
+    flight_install_.emplace(&flight_);
+    if (enabled()) {
+      install_.emplace(&recorder_);
+      // Tracing composes with parallelism by construction; say so once
+      // so nobody serializes a run out of caution (docs/OBSERVABILITY.md).
+      std::cerr << dmra::obs::trace_jobs_notice() << '\n';
+    }
   }
 
   ~ObsSession() {
+    install_.reset();         // uninstall before exporting
+    flight_install_.reset();  // ditto: the rings are now quiescent
     if (enabled()) {
-      install_.reset();  // uninstall before exporting
       if (!trace_path_.empty()) {
         write(trace_path_, recorder_.to_chrome_trace_json());
         input_.outputs.emplace_back("trace", trace_path_);
@@ -87,6 +119,19 @@ class ObsSession {
         std::cout << "\n== observability metrics ==\n"
                   << recorder_.metrics().to_table().to_aligned();
     }
+    if (!postmortem_path_.empty()) {
+      write(postmortem_path_, flight_.postmortem_json());
+      input_.outputs.emplace_back("postmortem", postmortem_path_);
+    }
+    if (!metrics_path_.empty()) {
+      // Flight first so the always-on serving counters lead; trace
+      // counters (when traced) extend rather than replace them.
+      dmra::obs::MetricsRegistry combined;
+      combined.merge_from(flight_.metrics());
+      if (enabled()) combined.merge_from(recorder_.metrics());
+      write(metrics_path_, dmra::obs::to_prometheus_text(combined));
+      input_.outputs.emplace_back("metrics-out", metrics_path_);
+    }
     if (!manifest_path_.empty()) {
       input_.metrics = enabled() ? &recorder_.metrics() : nullptr;
       write(manifest_path_, dmra::obs::manifest_to_json(input_));
@@ -98,6 +143,10 @@ class ObsSession {
 
   /// True iff tracing (trace and/or round CSV) is active.
   bool enabled() const { return !trace_path_.empty() || !csv_path_.empty(); }
+
+  /// The session's always-on flight recorder (installed thread-local for
+  /// the session's lifetime; benches may read triggers / inject SLO state).
+  dmra::obs::FlightRecorder& flight_recorder() { return flight_; }
 
   /// Record the generator configuration the run used (manifest provenance).
   void describe_scenario(const dmra::ScenarioConfig& cfg) {
@@ -117,11 +166,39 @@ class ObsSession {
   }
 
  private:
+  static dmra::obs::FlightRecorder::Config flight_config(const dmra::Cli& cli) {
+    dmra::obs::FlightRecorder::Config config;
+    const std::int64_t window = cli.get_int("metrics-window");
+    if (window > 0) config.window_len = static_cast<std::uint64_t>(window);
+    return config;
+  }
+
+  /// --dump-on grammar: "round=K". A malformed predicate is fatal — a
+  /// bench silently never dumping would defeat the whole point.
+  void arm_dump_on(const std::string& text) {
+    if (text.empty()) return;
+    const std::string prefix = "round=";
+    std::uint64_t round = 0;
+    if (text.rfind(prefix, 0) == 0) {
+      const char* begin = text.data() + prefix.size();
+      const char* end = text.data() + text.size();
+      if (begin != end &&
+          std::from_chars(begin, end, round).ptr == end) {
+        flight_.arm_dump_on_round(round);
+        return;
+      }
+    }
+    std::cerr << "error: --dump-on expects \"round=K\", got '" << text << "'\n";
+    std::exit(1);
+  }
+
   void reject_duplicate_paths() const {
     const std::pair<const char*, const std::string*> paths[] = {
         {"--trace", &trace_path_},
         {"--round-csv", &csv_path_},
         {"--manifest", &manifest_path_},
+        {"--metrics-out", &metrics_path_},
+        {"--postmortem", &postmortem_path_},
     };
     for (std::size_t a = 0; a < std::size(paths); ++a)
       for (std::size_t b = a + 1; b < std::size(paths); ++b)
@@ -146,9 +223,13 @@ class ObsSession {
   std::string trace_path_;
   std::string csv_path_;
   std::string manifest_path_;
+  std::string metrics_path_;
+  std::string postmortem_path_;
   dmra::obs::ManifestInput input_;
   dmra::obs::TraceRecorder recorder_;
+  dmra::obs::FlightRecorder flight_;
   std::optional<dmra::obs::ScopedTraceRecorder> install_;
+  std::optional<dmra::obs::ScopedFlightRecorder> flight_install_;
 };
 
 /// Every bench takes --faults: a fault-injection spec (sim/faults.hpp

@@ -113,13 +113,34 @@ int main(int argc, char** argv) {
     // Probe 2: one decentralized DMRA run (message-passing hot path).
     // Rounds/messages are semantic outputs: they must stay identical across
     // performance-only changes, so the report tracks them next to the time.
+    // wall_ms is measured with the session's always-on flight recorder
+    // installed (the shipping configuration); wall_ms_flight_off uninstalls
+    // it for the same reps so the tracked <2% overhead budget
+    // (docs/OBSERVABILITY.md) is a measured number, not a claim.
     const dmra::Scenario scenario = dmra::generate_scenario(cfg, kSeed);
     dmra::DecentralizedResult last{};
     const double run_ms =
         time_ms(reps, [&] { last = dmra::run_decentralized_dmra(scenario); });
+    double run_off_ms = 0.0;
+    {
+      dmra::obs::ScopedFlightRecorder flight_off(nullptr);
+      run_off_ms =
+          time_ms(reps, [&] { last = dmra::run_decentralized_dmra(scenario); });
+    }
+    // Deterministic flight telemetry for this probe: a fresh recorder so
+    // the counts are per-run, not cumulative across the session.
+    std::uint64_t flight_retained = 0;
+    {
+      dmra::obs::FlightRecorder probe_flight;
+      dmra::obs::ScopedFlightRecorder probe_scope(&probe_flight);
+      dmra::run_decentralized_dmra(scenario);
+      flight_retained = probe_flight.events_retained();
+    }
     dmra::JsonObject dec_row;
     dec_row["ues"] = static_cast<std::uint64_t>(ues);
     dec_row["wall_ms"] = run_ms;
+    dec_row["wall_ms_flight_off"] = run_off_ms;
+    dec_row["flight_events_retained"] = flight_retained;
     dec_row["rounds"] = last.bus.rounds;
     dec_row["messages_sent"] = last.bus.messages_sent;
     dec_row["matching_rounds"] = static_cast<std::uint64_t>(last.dmra.rounds);
@@ -135,8 +156,11 @@ int main(int argc, char** argv) {
     dec_row["steady_state_allocations"] = last.alloc.steady_state_allocations;
     dec_row["round_loop_allocations"] = last.alloc.total_allocations;
     decentralized_rows.push_back(std::move(dec_row));
+    const double flight_overhead_pct =
+        run_off_ms > 0.0 ? (run_ms - run_off_ms) / run_off_ms * 100.0 : 0.0;
     std::cout << "decentralized " << ues << " UEs: " << dmra::fmt(run_ms, 2)
-              << " ms, " << dmra::to_string(last.bus) << '\n';
+              << " ms, " << dmra::to_string(last.bus) << ", flight overhead "
+              << dmra::fmt(flight_overhead_pct, 2) << "%\n";
 
     // Probe 3: a full experiment (replications fanned across --jobs).
     dmra::ExperimentSpec spec;
@@ -244,6 +268,16 @@ int main(int argc, char** argv) {
       dmra::ChurnResult last;
       const double run_ms =
           time_ms(quick ? 1 : reps, [&] { last = dmra::run_churn(timeline, cfg); });
+      // Flight telemetry (schema 1.5): a fresh windowed recorder over one
+      // replay, so retained events / dump count / window count are exact
+      // per-run semantic outputs (tools/bench_diff.py telemetry keys).
+      dmra::obs::FlightRecorder::Config flight_cfg;
+      flight_cfg.window_len = 256;
+      dmra::obs::FlightRecorder probe_flight(flight_cfg);
+      {
+        dmra::obs::ScopedFlightRecorder probe_scope(&probe_flight);
+        dmra::run_churn(timeline, cfg);
+      }
       const dmra::ChurnStats& s = last.stats;
       dmra::JsonObject row;
       row["faults"] = faulted;
@@ -271,6 +305,11 @@ int main(int argc, char** argv) {
       row["latency_p50_ns"] = last.latency.percentile_ns(0.5);
       row["latency_p99_ns"] = last.latency.percentile_ns(0.99);
       row["latency_p999_ns"] = last.latency.percentile_ns(0.999);
+      row["flight_events_retained"] = probe_flight.events_retained();
+      row["postmortem_dumps"] =
+          static_cast<std::uint64_t>(probe_flight.triggered() ? 1 : 0);
+      row["metric_windows"] = static_cast<std::uint64_t>(
+          probe_flight.metrics().collect_windows().size());
       std::cout << "serving " << (faulted ? "(crash armed) " : "") << s.events
                 << " events @ " << cfg.steady_state_target()
                 << " steady-state UEs: " << dmra::fmt(run_ms, 2) << " ms, churn "
@@ -294,7 +333,7 @@ int main(int argc, char** argv) {
   }
 
   dmra::JsonObject root;
-  root["schema"] = "dmra-perf-report/1.4";
+  root["schema"] = "dmra-perf-report/1.5";
   root["git"] = std::string(dmra::obs::git_describe());
   root["build"] = dmra::obs::build_flavor_json();
   root["quick"] = quick;

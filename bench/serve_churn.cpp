@@ -118,6 +118,10 @@ int main(int argc, char** argv) {
   cli.add_flag("regions", "4", "partition_regions() classes for coverage accounting");
   cli.add_flag("seeds", "4", "number of replication seeds");
   cli.add_flag("rho", "100", "DMRA preference weight ρ (Eq. 17)");
+  cli.add_flag("slo-p99-us", "0",
+               "per-decision p99 latency objective in microseconds (0 = SLO "
+               "tracking off); a breached window triggers the flight recorder");
+  cli.add_flag("slo-window", "256", "applied events per SLO evaluation window");
   cli.add_flag("out", "", "write the per-seed serving CSV to this path");
   cli.add_flag("event-log", "",
                "write the deterministic event logs (all seeds, in seed order)");
@@ -147,6 +151,11 @@ int main(int argc, char** argv) {
   base.recovery_batch = static_cast<std::size_t>(cli.get_int("recovery-batch"));
   base.regions = static_cast<std::size_t>(cli.get_int("regions"));
   base.incremental.dmra.rho = cli.get_double("rho");
+  base.slo_p99_ns =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, cli.get_int("slo-p99-us"))) *
+      1000u;
+  base.slo_window_events =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("slo-window")));
   base.faults = dmra_bench::faults_from(cli);
   base.prefill = cli.get_int("prefill") < 0
                      ? base.steady_state_target()
@@ -201,6 +210,26 @@ int main(int argc, char** argv) {
             << dmra::fmt(merged.percentile_ns(0.99) / 1e3, 2) << " us, p999 "
             << dmra::fmt(merged.percentile_ns(0.999) / 1e3, 2) << " us over "
             << merged.count() << " decisions\n";
+  if (base.slo_p99_ns > 0) {
+    // Wall-clock SLO accounting — stdout only, never a deterministic
+    // surface (ChurnSloReport contract in sim/churn.hpp).
+    std::size_t windows = 0;
+    std::size_t breached = 0;
+    double worst_ns = 0.0;
+    double burn = 0.0;
+    for (const dmra::ChurnResult& r : runs) {
+      windows += r.slo.windows;
+      breached += r.slo.breached_windows;
+      worst_ns = std::max(worst_ns, r.slo.worst_window_p99_ns);
+      burn = std::max(burn, r.slo.burn_rate);
+    }
+    std::cout << "SLO (window p99 <= "
+              << dmra::fmt(static_cast<double>(base.slo_p99_ns) / 1e3, 1)
+              << " us): " << breached << "/" << windows
+              << " windows breached, worst window p99 "
+              << dmra::fmt(worst_ns / 1e3, 2) << " us, burn rate "
+              << dmra::fmt(burn, 2) << "x budget\n";
+  }
 
   const std::string out_path = cli.get_string("out");
   if (!out_path.empty() && write_file(out_path, csv))

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/flight.hpp"
 #include "util/require.hpp"
 
 namespace dmra::check {
@@ -17,6 +18,13 @@ constexpr double kProfitSlack = 1e-9;
 void InvariantAuditor::record(const std::string& context, FeasibilityReport report) {
   if (report.ok) return;
   findings_.merge(report);
+  // Freeze the flight-recorder ring before (possibly) throwing: the
+  // post-mortem should show the events leading up to the violation, not
+  // whatever unwinding happens afterwards. (A bench that lets AuditFailure
+  // propagate uncaught still terminates without a dump — the dump writer
+  // runs in ObsSession's destructor; catch the failure to keep it.)
+  if (obs::FlightRecorder* const fr = obs::flight(); fr != nullptr)
+    fr->trigger("audit-violation", fr->round());
   if (!options_.throw_on_violation) return;
   std::ostringstream os;
   os << "invariant audit failed (" << context << "):";

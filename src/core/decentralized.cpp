@@ -8,6 +8,7 @@
 #include "mec/audit.hpp"
 #include "mec/resources.hpp"
 #include "net/bus.hpp"
+#include "obs/flight.hpp"
 #include "obs/recorder.hpp"
 #include "util/alloc_hook.hpp"
 #include "util/require.hpp"
@@ -184,16 +185,31 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
     e.value = nb;
     rec->record(e);
   }
+  // Flight recorder (obs/flight.hpp): always-on post-mortem channel.
+  // Unlike the trace recorder it sees only the low-rate narrative —
+  // faults, repairs, phases, termination — never per-proposal events, so
+  // its steady-state cost is a handful of ring stores per round.
+  obs::FlightRecorder* const fr = obs::flight();
+  if (fr != nullptr) {
+    fr->reserve_agents(nu, nb);
+    fr->set_round(0);
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kPhase;
+    e.label = "core/decentralized:bootstrap";
+    e.value = nb;
+    fr->record(e);
+  }
   const auto record_fault = [&](obs::EventKind kind, std::string_view label,
                                 std::uint32_t ue, std::uint32_t bs, std::uint64_t value) {
-    if (rec == nullptr) return;
+    if (rec == nullptr && fr == nullptr) return;
     obs::TraceEvent e;
     e.kind = kind;
     e.label = label;
     e.ue = ue;
     e.bs = bs;
     e.value = value;
-    rec->record(e);
+    if (rec != nullptr) rec->record(e);
+    if (fr != nullptr) fr->record(e);
   };
 
   // ---- Bootstrap: every BS broadcasts its initial resource levels so UEs
@@ -283,6 +299,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
   for (std::size_t round = 0; round < round_limit; ++round) {
     const std::uint64_t msgs_before = bus.stats().messages_sent;
     if (rec != nullptr) rec->set_round(round);
+    if (fr != nullptr) fr->set_round(round);
 
     // ---- Fault schedule: apply this round's crashes / recoveries /
     // degradations before anyone acts. The injector is an out-of-band
@@ -297,6 +314,7 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
           std::fill(cb.admitted.begin(), cb.admitted.end(), false);
           ++result.recovery.bs_crashes;
           record_fault(obs::EventKind::kFault, "bs-crash", obs::kNoId, o.bs.value, round);
+          if (fr != nullptr) fr->trigger("bs-crash", round, o.bs.value);
           for (std::size_t ui = 0; ui < nu; ++ui) {
             const UeId u{static_cast<std::uint32_t>(ui)};
             const auto serving = result.dmra.allocation.bs_of(u);
@@ -631,6 +649,20 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
       }
       rec->finish_round(row);
     }
+    if (fr != nullptr) {
+      // Cheap aggregate only — no O(nu)/O(nb) scans: the flight round
+      // ring must stay within the <2% always-on budget.
+      obs::RoundRow row;
+      row.source = "core/decentralized";
+      row.round = result.dmra.rounds - 1;
+      row.proposals = sent_this_round;
+      row.accepts = accepted_this_round;
+      row.rejects = sent_this_round >= accepted_this_round
+                        ? sent_this_round - accepted_this_round
+                        : 0;
+      row.messages = bus.stats().messages_sent - msgs_before;
+      fr->finish_round(row);
+    }
     sample_round(round);
   }
 
@@ -687,12 +719,13 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
         record_fault(obs::EventKind::kRepair, "repair-rematch", a.ue.value, bs->value,
                      repair.rounds);
       }
-      if (rec != nullptr) {
+      if (rec != nullptr || fr != nullptr) {
         obs::TraceEvent e;
         e.kind = obs::EventKind::kPhase;
         e.label = "core/decentralized:repair";
         e.value = orphan_count;
-        rec->record(e);
+        if (rec != nullptr) rec->record(e);
+        if (fr != nullptr) fr->record(e);
       }
       if (DMRA_AUDIT_ACTIVE()) {
         audit::RoundContext ctx;  // feasibility-only: no ledger survives repair
@@ -710,18 +743,11 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
   }
 
   result.bus = bus.stats();
-  if (rec != nullptr) {
-    obs::TraceEvent e;
-    e.kind = obs::EventKind::kTermination;
-    e.flag = converged;
-    e.value = result.dmra.rounds;
-    e.label = "core/decentralized";
-    rec->record(e);
-    obs::publish_bus_stats(result.bus, rec->metrics());
+  const auto publish_run = [&](obs::MetricsRegistry& m) {
+    obs::publish_bus_stats(result.bus, m);
     if (faulty) {
       // Fault metrics exist only on faulty runs: unconditional zeros would
       // change the deterministic metrics JSON of fault-free traces.
-      obs::MetricsRegistry& m = rec->metrics();
       const FaultRecoveryStats& r = result.recovery;
       m.add_counter("fault.bs_crashes", r.bs_crashes);
       m.add_counter("fault.bs_recoveries", r.bs_recoveries);
@@ -735,6 +761,21 @@ DecentralizedResult run_decentralized_dmra(const Scenario& scenario,
       m.add_counter("fault.cloud_fallbacks", r.cloud_fallbacks);
       m.add_counter("fault.repair_rounds", r.repair_rounds);
       m.set_gauge("fault.recovered_profit", r.recovered_profit);
+    }
+  };
+  if (rec != nullptr || fr != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kTermination;
+    e.flag = converged;
+    e.value = result.dmra.rounds;
+    e.label = "core/decentralized";
+    if (rec != nullptr) {
+      rec->record(e);
+      publish_run(rec->metrics());
+    }
+    if (fr != nullptr) {
+      fr->record(e);
+      publish_run(fr->metrics());
     }
   }
   return result;

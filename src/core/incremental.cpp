@@ -4,6 +4,7 @@
 
 #include "mec/audit.hpp"
 #include "mec/resources.hpp"
+#include "obs/flight.hpp"
 #include "obs/recorder.hpp"
 #include "util/require.hpp"
 
@@ -68,16 +69,26 @@ IncrementalResult solve_incremental_dmra(const Scenario& scenario,
   if (DMRA_AUDIT_ACTIVE())
     audit::report_state_round("core/incremental", 0, scenario, allocation, state);
 
-  if (obs::TraceRecorder* const rec = obs::recorder(); rec != nullptr) {
-    obs::MetricsRegistry& m = rec->metrics();
-    m.add_counter("incremental.kept", result.kept);
-    m.add_counter("incremental.released", result.released);
-    m.add_counter("incremental.invalidated", result.invalidated);
+  obs::TraceRecorder* const rec = obs::recorder();
+  obs::FlightRecorder* const fr = obs::flight();
+  if (rec != nullptr || fr != nullptr) {
     obs::TraceEvent e;
     e.kind = obs::EventKind::kPhase;
     e.label = "core/incremental:carry-over";
     e.value = result.kept;
-    rec->record(e);
+    const auto publish = [&](obs::MetricsRegistry& m) {
+      m.add_counter("incremental.kept", result.kept);
+      m.add_counter("incremental.released", result.released);
+      m.add_counter("incremental.invalidated", result.invalidated);
+    };
+    if (rec != nullptr) {
+      publish(rec->metrics());
+      rec->record(e);
+    }
+    if (fr != nullptr) {
+      publish(fr->metrics());
+      fr->record(e);
+    }
   }
 
   // Phase 3: match everyone displaced or never-assigned.
@@ -196,6 +207,18 @@ std::size_t IncrementalAllocator::crash_bs(BsId i, std::vector<UeId>& orphans) {
     clamped_[i.idx()] = true;
     ++clamped_bss_;
   }
+  // The crash is the canonical flight-recorder trigger: freeze the ring
+  // here, where the lifecycle op happens, so every caller (sim/churn's
+  // replay included) gets the post-mortem without its own hook.
+  if (obs::FlightRecorder* const fr = obs::flight(); fr != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kFault;
+    e.label = "bs-crash";
+    e.bs = i.value;
+    e.value = evicted;
+    fr->record(e);
+    fr->trigger("bs-crash", fr->round(), i.value);
+  }
   return evicted;
 }
 
@@ -204,6 +227,13 @@ void IncrementalAllocator::recover_bs(BsId i) {
   if (clamped_[i.idx()]) {
     clamped_[i.idx()] = false;
     --clamped_bss_;
+  }
+  if (obs::FlightRecorder* const fr = obs::flight(); fr != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kRepair;
+    e.label = "bs-recover";
+    e.bs = i.value;
+    fr->record(e);
   }
 }
 
@@ -222,6 +252,13 @@ void IncrementalAllocator::degrade_bs(BsId i, double cru_factor, double rrb_fact
   if (!clamped_[i.idx()]) {
     clamped_[i.idx()] = true;
     ++clamped_bss_;
+  }
+  if (obs::FlightRecorder* const fr = obs::flight(); fr != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kFault;
+    e.label = "bs-degrade";
+    e.bs = i.value;
+    fr->record(e);
   }
 }
 

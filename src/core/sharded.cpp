@@ -435,6 +435,33 @@ ShardedResult run_sharded_dmra(const Scenario& scenario, const DmraConfig& confi
     m.add_counter("shard.reconcile_rounds", result.shard.reconcile_rounds);
     m.add_counter("shard.max_shard_rounds", result.shard.max_shard_rounds);
   }
+  if (obs::FlightRecorder* const fr = obs::flight(); fr != nullptr) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kPhase;
+    e.label = "core/sharded:reconcile";
+    e.value = part.boundary_ues.size();
+    fr->record(e);
+    obs::TraceEvent t;
+    t.kind = obs::EventKind::kTermination;
+    t.flag = true;
+    t.value = result.dmra.rounds;
+    t.label = "core/sharded";
+    fr->record(t);
+    obs::publish_bus_stats(result.bus, fr->metrics());
+    obs::MetricsRegistry& m = fr->metrics();
+    m.add_counter("shard.num_shards", result.shard.num_shards);
+    m.add_counter("shard.boundary_ues_reconciled", result.shard.boundary_ues_reconciled);
+    m.add_counter("shard.reconcile_rounds", result.shard.reconcile_rounds);
+    // Per-region series, labeled for the Prometheus exposition
+    // (obs/exposition.hpp): the flight registry is a new surface with no
+    // goldens, so the labeled names live here and not in the trace
+    // registry above.
+    std::string name;
+    for (std::size_t r = 0; r < result.shard.rounds_per_shard.size(); ++r) {
+      name = "shard.rounds{shard=\"" + std::to_string(r) + "\"}";
+      m.add_counter(name, result.shard.rounds_per_shard[r]);
+    }
+  }
   return result;
 }
 

@@ -46,6 +46,8 @@
 
 #include "obs/chrome_trace.hpp"
 #include "obs/events.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight.hpp"
 #include "obs/latency.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"

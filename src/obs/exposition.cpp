@@ -1,0 +1,150 @@
+#include "obs/exposition.hpp"
+
+#include <charconv>
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dmra::obs {
+
+namespace {
+
+/// Split "shard.rounds{shard=\"2\"}" into its metric base and the label
+/// set *inner* text (between the braces, "" when unlabeled).
+std::pair<std::string_view, std::string_view> split_labels(std::string_view name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  std::string_view inner = name.substr(brace + 1);
+  if (!inner.empty() && inner.back() == '}') inner.remove_suffix(1);
+  return {name.substr(0, brace), inner};
+}
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; map everything
+/// else to '_' and prefix the dmra namespace.
+std::string sanitize(std::string_view base) {
+  std::string out = "dmra_";
+  out.reserve(out.size() + base.size());
+  for (const char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+/// Compose the rendered label block from the pass-through inner text and
+/// an optional extra label ("" = none): {} is never emitted.
+void append_labels(std::string& out, std::string_view inner, std::string_view extra) {
+  if (inner.empty() && extra.empty()) return;
+  out.push_back('{');
+  out.append(inner);
+  if (!inner.empty() && !extra.empty()) out.push_back(',');
+  out.append(extra);
+  out.push_back('}');
+}
+
+/// One family: every (labels, render-value-fn) series under one base.
+template <typename Value>
+using Family = std::map<std::string, std::vector<std::pair<std::string, Value>>>;
+
+template <typename Value>
+void group(Family<Value>& families, std::string_view name, Value value,
+           std::string_view suffix = {}) {
+  const auto [base, inner] = split_labels(name);
+  std::string key = sanitize(base);
+  key.append(suffix);
+  families[std::move(key)].emplace_back(std::string(inner), value);
+}
+
+}  // namespace
+
+std::string to_prometheus_text(const MetricsRegistry& registry) {
+  const JsonObject snapshot = registry.deterministic_json();
+  std::string out;
+
+  Family<std::uint64_t> counters;
+  for (const auto& [name, value] : snapshot.at("counters").as_object())
+    group(counters, name, static_cast<std::uint64_t>(value.as_number()));
+  for (const auto& [family, series] : counters) {
+    out += "# TYPE " + family + " counter\n";
+    for (const auto& [inner, value] : series) {
+      out += family;
+      append_labels(out, inner, {});
+      out.push_back(' ');
+      append_u64(out, value);
+      out.push_back('\n');
+    }
+  }
+
+  Family<double> gauges;
+  for (const auto& [name, value] : snapshot.at("gauges").as_object())
+    group(gauges, name, value.as_number());
+  for (const auto& [family, series] : gauges) {
+    out += "# TYPE " + family + " gauge\n";
+    for (const auto& [inner, value] : series) {
+      out += family;
+      append_labels(out, inner, {});
+      out.push_back(' ');
+      append_double(out, value);
+      out.push_back('\n');
+    }
+  }
+
+  // Windowed rollups: every series window-labeled, grouped per family so
+  // each gets exactly one TYPE header. All window series are gauges —
+  // a counter *delta* is not monotonic.
+  const std::vector<MetricsWindow> windows = registry.collect_windows();
+  Family<double> window_series;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    std::string window_label = "window=\"";
+    append_u64(window_label, i);
+    window_label.push_back('"');
+    const auto labeled = [&](std::string_view name, std::string_view suffix,
+                             double value) {
+      const auto [base, inner] = split_labels(name);
+      std::string key = sanitize(base);
+      key.append(suffix);
+      std::string full_inner(inner);
+      if (!full_inner.empty()) full_inner.push_back(',');
+      full_inner += window_label;
+      window_series[std::move(key)].emplace_back(std::move(full_inner), value);
+    };
+    const MetricsWindow& w = windows[i];
+    window_series["dmra_window_first_tick"].emplace_back(window_label,
+                                                         static_cast<double>(w.first_tick));
+    window_series["dmra_window_last_tick"].emplace_back(window_label,
+                                                        static_cast<double>(w.last_tick));
+    for (const auto& [name, delta] : w.counter_deltas)
+      labeled(name, "_delta", static_cast<double>(delta));
+    for (const auto& [name, value] : w.gauge_last) labeled(name, "_last", value);
+    for (const auto& [name, value] : w.gauge_max) labeled(name, "_max", value);
+  }
+  for (const auto& [family, series] : window_series) {
+    out += "# TYPE " + family + " gauge\n";
+    for (const auto& [inner, value] : series) {
+      out += family;
+      append_labels(out, inner, {});
+      out.push_back(' ');
+      append_double(out, value);
+      out.push_back('\n');
+    }
+  }
+
+  return out;
+}
+
+}  // namespace dmra::obs

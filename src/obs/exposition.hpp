@@ -1,0 +1,28 @@
+// Prometheus-style text exposition for MetricsRegistry snapshots.
+//
+// One function: render the registry's counters, gauges, and windowed
+// rollups (obs/metrics.hpp) as the Prometheus text format v0.0.4 —
+// `# TYPE` headers, `dmra_`-prefixed sanitized metric names, and label
+// sets carried through from `{...}`-suffixed metric names (the
+// per-shard labels run_sharded_dmra publishes, e.g.
+// `shard.rounds{shard="2"}` → `dmra_shard_rounds{shard="2"}`).
+//
+// Windowed rollups render as window-labeled series: each closed window i
+// contributes `<name>_delta{window="i"}` for every counter that moved
+// and `<name>_last`/`<name>_max{window="i"}` for every gauge touched.
+// Timers are wall-clock and deliberately excluded, so the exposition of
+// a seeded run is byte-identical every time — bench `--metrics-out`
+// files are golden-testable (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace dmra::obs {
+
+/// The full registry as Prometheus text (trailing newline included).
+/// Deterministic: families sort by name, windows by index.
+std::string to_prometheus_text(const MetricsRegistry& registry);
+
+}  // namespace dmra::obs

@@ -1,0 +1,202 @@
+// Always-on flight recorder: the serving-grade post-mortem channel.
+//
+// The TraceRecorder (obs/recorder.hpp) is batch observability — you arm
+// it up front and it keeps *everything*, which is exactly wrong for a
+// long-lived allocator service. The FlightRecorder is its operational
+// counterpart: a fixed-capacity ring of the most recent low-rate
+// TraceEvents (faults, repairs, phases, timeline entries, terminations)
+// plus a ring of recent RoundRows, cheap enough to stay installed for
+// every run — record() into a warm ring is a bounds check and a few
+// stores, no allocation, so the zero-steady-state-allocation budget of
+// tests/core/alloc_test.cpp holds with the recorder live (faulted
+// variant included).
+//
+// When something goes wrong — a BS crash, an auditor violation, an SLO
+// breach, or an explicit --dump-on predicate — the runtime calls
+// trigger(): the first trigger wins and the ring contents are copied
+// into a pre-allocated snapshot (the "black box" freeze; still no
+// allocation), while the live rings keep rolling so the dump can also
+// say how much happened after the trigger. postmortem_json() renders the
+// dmra-postmortem/1 artifact: the frozen last-N events, the recent round
+// aggregates, the metrics-registry snapshot (windowed rollups included),
+// and the armed fault-plan context (docs/OBSERVABILITY.md).
+//
+// Determinism: events are stamped with a global monotone sequence and a
+// per-agent sequence (slot), both pure functions of the run. Fan-out
+// workloads shard per task exactly like trace recorders (obs/shard.hpp)
+// and merge back in task order via absorb(), so a dump produced through
+// traced_parallel_map is byte-identical for every --jobs value. The SLO
+// trigger is the one wall-clock-driven path; its dump is marked
+// deterministic=false.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace dmra::obs {
+
+inline constexpr std::string_view kPostmortemSchema = "dmra-postmortem/1";
+
+class FlightRecorder {
+ public:
+  struct Config {
+    std::size_t event_capacity = 1024;  ///< last-N event ring size
+    std::size_t round_capacity = 256;   ///< recent RoundRow ring size
+    /// Fixed-window metrics rollup length in logical rounds/events
+    /// (MetricsRegistry::begin_windows); 0 leaves windowing off — the
+    /// default, and the only configuration on the zero-allocation path.
+    std::uint64_t window_len = 0;
+  };
+
+  // Default args can't brace-init a nested class mid-definition (the
+  // enclosing class is still incomplete there); delegate instead.
+  FlightRecorder() : FlightRecorder(Config{}) {}
+  explicit FlightRecorder(Config config);
+
+  const Config& config() const { return config_; }
+
+  /// Producer round/epoch stamp for subsequent record() calls. Also the
+  /// windowing tick (windows are keyed by this logical index, never wall
+  /// clock) and the --dump-on predicate evaluation point.
+  void set_round(std::uint64_t round);
+  std::uint64_t round() const { return round_; }
+
+  /// Size the per-agent sequence counters (slot stamps) for a run over
+  /// `num_ues` UEs and `num_bss` BSs. Called once at run start — growing
+  /// keeps existing counts, so a serving session spanning several runs
+  /// keeps one coherent per-agent numbering. Never shrinks.
+  void reserve_agents(std::size_t num_ues, std::size_t num_bss);
+
+  /// Append an event to the ring (overwriting the oldest when full).
+  /// Stamps round (set_round), seq (global monotone), and slot (the
+  /// acting agent's own sequence: BS if set, else UE, else 0).
+  /// Allocation-free once constructed/reserved.
+  void record(TraceEvent event);
+
+  /// Append a round aggregate to the round ring (overwriting the oldest).
+  void finish_round(RoundRow row);
+
+  /// First-wins trigger: freeze the ring contents into the pre-allocated
+  /// snapshot and remember why. Later calls only count. `reason` must
+  /// point at static storage (string literals at the trigger sites);
+  /// `deterministic` is false only for wall-clock-driven triggers (SLO
+  /// breach). Allocation-free.
+  void trigger(std::string_view reason, std::uint64_t round,
+               std::uint32_t bs = kNoId, std::uint32_t ue = kNoId,
+               bool deterministic = true);
+
+  /// Arm the explicit --dump-on predicate: set_round(r) with r >= round
+  /// fires trigger("dump-on-round").
+  void arm_dump_on_round(std::uint64_t round);
+  bool dump_on_armed() const { return dump_on_armed_; }
+  std::uint64_t dump_on_round() const { return dump_on_round_; }
+
+  /// The armed FaultPlan context (the --faults spec text) echoed into the
+  /// dump so a post-mortem names what was injected.
+  void set_fault_context(std::string context) { fault_context_ = std::move(context); }
+
+  bool triggered() const { return triggered_; }
+  std::string_view trigger_reason() const { return trigger_reason_; }
+  std::uint64_t triggers() const { return triggers_; }
+
+  std::uint64_t events_seen() const { return events_seen_; }
+  std::uint64_t events_retained() const;
+  std::uint64_t events_dropped() const { return events_seen_ - events_retained(); }
+  std::uint64_t rounds_seen() const { return rounds_seen_; }
+  std::uint64_t rounds_retained() const;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Events currently in the ring, oldest first (copies out; not the
+  /// steady-state path).
+  std::vector<TraceEvent> ring_events() const;
+  std::vector<RoundRow> ring_rounds() const;
+
+  /// Merge a per-task shard (obs/shard.hpp) onto the end of this
+  /// recorder, in task order: ring events append with their seq/slot
+  /// stamps offset by this recorder's own counts (the continuation a
+  /// single recorder observing the tasks in order would have stamped),
+  /// counters add, and the first trigger in task order wins, adopting the
+  /// shard's frozen snapshot. Dumps are therefore byte-identical for
+  /// every --jobs value.
+  void absorb(const FlightRecorder& shard);
+
+  /// The dmra-postmortem/1 artifact (trailing newline included): trigger
+  /// context, the frozen last-N events + recent rounds (the live rings
+  /// when never triggered), the registry snapshot with windowed rollups,
+  /// and the fault context. Deterministic byte-for-byte per seed unless
+  /// the trigger itself was wall-clock-driven.
+  std::string postmortem_json() const;
+
+ private:
+  std::size_t agent_slot(const TraceEvent& event);
+  void snapshot_rings();
+
+  Config config_;
+  std::vector<TraceEvent> events_;  ///< ring storage, pre-sized
+  std::vector<RoundRow> rounds_;    ///< ring storage, pre-sized
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t rounds_seen_ = 0;
+
+  std::vector<std::uint64_t> ue_seq_;
+  std::vector<std::uint64_t> bs_seq_;
+
+  MetricsRegistry metrics_;
+  std::uint64_t round_ = 0;
+
+  // Trigger state + the pre-allocated freeze buffers.
+  bool triggered_ = false;
+  std::string_view trigger_reason_;
+  std::uint64_t trigger_round_ = 0;
+  std::uint32_t trigger_bs_ = kNoId;
+  std::uint32_t trigger_ue_ = kNoId;
+  bool trigger_deterministic_ = true;
+  std::uint64_t trigger_events_seen_ = 0;
+  std::uint64_t triggers_ = 0;
+  std::vector<TraceEvent> frozen_events_;
+  std::vector<RoundRow> frozen_rounds_;
+  std::size_t frozen_event_count_ = 0;
+  std::size_t frozen_round_count_ = 0;
+
+  bool dump_on_armed_ = false;
+  bool dump_on_fired_ = false;
+  std::uint64_t dump_on_round_ = 0;
+
+  std::string fault_context_;
+};
+
+/// The calling thread's flight recorder, or nullptr (none installed).
+/// Same thread-local discipline as obs::recorder(): a disabled hook site
+/// is one pointer load and a branch.
+FlightRecorder* flight();
+
+/// Install `rec` (nullptr uninstalls) for the CALLING THREAD; returns the
+/// previous recorder.
+FlightRecorder* set_flight(FlightRecorder* rec);
+
+/// RAII installation for a scope (tests, bench ObsSession).
+class ScopedFlightRecorder {
+ public:
+  explicit ScopedFlightRecorder(FlightRecorder* rec) : previous_(set_flight(rec)) {}
+  ~ScopedFlightRecorder() { set_flight(previous_); }
+  ScopedFlightRecorder(const ScopedFlightRecorder&) = delete;
+  ScopedFlightRecorder& operator=(const ScopedFlightRecorder&) = delete;
+
+ private:
+  FlightRecorder* previous_;
+};
+
+/// The stderr notice ObsSession prints when tracing and --jobs are both
+/// in play: tracing composes with parallel fan-out via per-task recorder
+/// shards and does NOT force --jobs=1 (obs/shard.hpp). Centralized here
+/// so the wording is testable (tests/obs/flight_test.cpp).
+std::string trace_jobs_notice();
+
+}  // namespace dmra::obs

@@ -75,6 +75,16 @@ double LatencyHistogram::percentile_ns(double q) const {
   return static_cast<double>(max_ns_);
 }
 
+std::uint64_t LatencyHistogram::count_above_ns(std::uint64_t ns) const {
+  if (count_ == 0) return 0;
+  // First bucket whose whole range exceeds ns: everything at or past it
+  // definitely measured above the threshold.
+  const std::size_t threshold = bucket_of(ns) + 1;
+  std::uint64_t above = 0;
+  for (std::size_t b = threshold; b < buckets_.size(); ++b) above += buckets_[b];
+  return above;
+}
+
 void LatencyHistogram::merge_from(const LatencyHistogram& other) {
   for (std::size_t b = 0; b < buckets_.size(); ++b) buckets_[b] += other.buckets_[b];
   count_ += other.count_;

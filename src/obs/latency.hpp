@@ -38,6 +38,11 @@ class LatencyHistogram {
   /// Approximate q-quantile in ns, q in [0, 1]. 0 when empty.
   double percentile_ns(double q) const;
 
+  /// Recorded values whose bucket lies entirely above `ns` — the SLO
+  /// burn-rate numerator (sim/churn). Approximate with the same ~6%
+  /// bucket-resolution bound as percentile_ns; 0 when empty.
+  std::uint64_t count_above_ns(std::uint64_t ns) const;
+
   /// Fold another histogram into this one (per-seed fan-out merge).
   void merge_from(const LatencyHistogram& other);
 

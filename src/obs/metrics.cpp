@@ -30,6 +30,66 @@ void MetricsRegistry::set_gauge(std::string_view name, double value) {
   } else {
     it->second = value;
   }
+  if (window_open_) {
+    window_gauge_last_[std::string(name)] = value;
+    const auto [mit, fresh] = window_gauge_max_.emplace(std::string(name), value);
+    if (!fresh && value > mit->second) mit->second = value;
+  }
+}
+
+void MetricsRegistry::begin_windows(std::uint64_t window_len) {
+  window_len_ = window_len;
+}
+
+void MetricsRegistry::open_window(std::uint64_t logical_index) {
+  window_open_ = true;
+  window_ordinal_ = logical_index / window_len_;
+  window_first_tick_ = logical_index;
+  window_last_tick_ = logical_index;
+  window_snapshot_ = counters_;
+  window_gauge_last_.clear();
+  window_gauge_max_.clear();
+}
+
+MetricsWindow MetricsRegistry::current_window() const {
+  MetricsWindow w;
+  w.first_tick = window_first_tick_;
+  w.last_tick = window_last_tick_;
+  for (const auto& [name, value] : counters_) {
+    const auto it = window_snapshot_.find(name);
+    const std::uint64_t before = it == window_snapshot_.end() ? 0 : it->second;
+    if (value != before) w.counter_deltas.emplace(name, value - before);
+  }
+  w.gauge_last.insert(window_gauge_last_.begin(), window_gauge_last_.end());
+  w.gauge_max.insert(window_gauge_max_.begin(), window_gauge_max_.end());
+  return w;
+}
+
+void MetricsRegistry::window_tick(std::uint64_t logical_index) {
+  if (window_len_ == 0) return;
+  if (!window_open_) {
+    open_window(logical_index);
+    return;
+  }
+  const std::uint64_t ordinal = logical_index / window_len_;
+  if (ordinal == window_ordinal_) {
+    window_last_tick_ = logical_index;
+    return;
+  }
+  windows_.push_back(current_window());
+  open_window(logical_index);
+}
+
+void MetricsRegistry::flush_windows() {
+  if (!window_open_) return;
+  windows_.push_back(current_window());
+  window_open_ = false;
+}
+
+std::vector<MetricsWindow> MetricsRegistry::collect_windows() const {
+  std::vector<MetricsWindow> out = windows_;
+  if (window_open_) out.push_back(current_window());
+  return out;
 }
 
 void MetricsRegistry::record_timer(std::string_view name, std::uint64_t elapsed_ns) {
@@ -51,6 +111,10 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
     it->second.total_ns += stat.total_ns;
     if (stat.max_ns > it->second.max_ns) it->second.max_ns = stat.max_ns;
   }
+  // Shard windows append after this registry's own (task order: the
+  // caller folds shards in ascending task index).
+  const auto theirs = other.collect_windows();
+  windows_.insert(windows_.end(), theirs.begin(), theirs.end());
 }
 
 std::uint64_t MetricsRegistry::counter(std::string_view name) const {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -22,6 +23,19 @@ struct TimerStat {
   std::uint64_t count = 0;     ///< completed scopes
   std::uint64_t total_ns = 0;
   std::uint64_t max_ns = 0;
+};
+
+/// One closed fixed-window rollup (begin_windows/window_tick): what the
+/// registry's counters and gauges did over a span of logical ticks
+/// (rounds or event indices — never wall clock, so a seeded run yields
+/// byte-identical series). Counter deltas keep only the counters that
+/// moved; gauges record the last value set and the in-window maximum.
+struct MetricsWindow {
+  std::uint64_t first_tick = 0;  ///< first logical index observed
+  std::uint64_t last_tick = 0;   ///< last logical index observed
+  std::map<std::string, std::uint64_t> counter_deltas;
+  std::map<std::string, double> gauge_last;
+  std::map<std::string, double> gauge_max;
 };
 
 class MetricsRegistry;
@@ -64,6 +78,24 @@ class MetricsRegistry {
 
   bool empty() const { return counters_.empty() && gauges_.empty() && timers_.empty(); }
 
+  /// Arm fixed-window rollups: every window_tick() with a logical index
+  /// in a new length-`window_len` span closes the open window (counter
+  /// deltas vs the span's start, gauge last/max) and opens the next.
+  /// Off by default — unarmed, window_tick() is a single branch and the
+  /// registry stays on the zero-allocation path. `window_len` = 0 is a
+  /// no-op. Ticks that regress (a new run restarting its round count)
+  /// also close the window: window ordinals change, they never merge.
+  void begin_windows(std::uint64_t window_len);
+  bool windows_armed() const { return window_len_ != 0; }
+  std::uint64_t window_len() const { return window_len_; }
+  void window_tick(std::uint64_t logical_index);
+  /// Close the trailing partial window, if one is open.
+  void flush_windows();
+  const std::vector<MetricsWindow>& windows() const { return windows_; }
+  /// Closed windows plus a virtual close of the open one — what a reader
+  /// at this instant should see. Does not mutate (absorb-safe).
+  std::vector<MetricsWindow> collect_windows() const;
+
   /// Deterministic (counters + gauges only; timers excluded on purpose).
   JsonObject deterministic_json() const;
 
@@ -71,9 +103,24 @@ class MetricsRegistry {
   Table to_table() const;
 
  private:
+  MetricsWindow current_window() const;
+  void open_window(std::uint64_t logical_index);
+
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, TimerStat, std::less<>> timers_;
+
+  // Windowing state: armed by begin_windows; the snapshot holds counter
+  // values at the open of the current window.
+  std::uint64_t window_len_ = 0;
+  bool window_open_ = false;
+  std::uint64_t window_ordinal_ = 0;
+  std::uint64_t window_first_tick_ = 0;
+  std::uint64_t window_last_tick_ = 0;
+  std::map<std::string, std::uint64_t, std::less<>> window_snapshot_;
+  std::map<std::string, double> window_gauge_last_;
+  std::map<std::string, double> window_gauge_max_;
+  std::vector<MetricsWindow> windows_;
 };
 
 }  // namespace dmra::obs

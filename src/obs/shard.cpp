@@ -7,6 +7,16 @@ TraceShards::TraceShards(std::size_t num_tasks) {
   for (std::size_t i = 0; i < num_tasks; ++i)
     shards_.push_back(std::make_unique<TraceRecorder>());
   previous_.assign(num_tasks, nullptr);
+  install_trace_ = recorder() != nullptr;
+  if (const FlightRecorder* parent = flight(); parent != nullptr) {
+    flight_shards_.reserve(num_tasks);
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      auto shard = std::make_unique<FlightRecorder>(parent->config());
+      if (parent->dump_on_armed()) shard->arm_dump_on_round(parent->dump_on_round());
+      flight_shards_.push_back(std::move(shard));
+    }
+    previous_flight_.assign(num_tasks, nullptr);
+  }
 }
 
 TaskHooks TraceShards::hooks() {
@@ -15,14 +25,23 @@ TaskHooks TraceShards::hooks() {
   // on the same thread (the one executing task i), so distinct tasks
   // never touch the same slot.
   hooks.before = [this](std::size_t task) {
-    previous_[task] = set_recorder(shards_[task].get());
+    if (install_trace_) previous_[task] = set_recorder(shards_[task].get());
+    if (!flight_shards_.empty())
+      previous_flight_[task] = set_flight(flight_shards_[task].get());
   };
-  hooks.after = [this](std::size_t task) { set_recorder(previous_[task]); };
+  hooks.after = [this](std::size_t task) {
+    if (install_trace_) set_recorder(previous_[task]);
+    if (!flight_shards_.empty()) set_flight(previous_flight_[task]);
+  };
   return hooks;
 }
 
 void TraceShards::merge_into(TraceRecorder& target) {
   for (const auto& shard : shards_) target.absorb(*shard);
+}
+
+void TraceShards::merge_flight_into(FlightRecorder& target) {
+  for (const auto& shard : flight_shards_) target.absorb(*shard);
 }
 
 }  // namespace dmra::obs

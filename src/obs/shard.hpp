@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/recorder.hpp"
 #include "util/thread_pool.hpp"
 
@@ -31,27 +32,44 @@ namespace dmra::obs {
 class TraceShards {
  public:
   /// One shard recorder per task, created up front on the coordinating
-  /// thread so workers never allocate shards concurrently.
+  /// thread so workers never allocate shards concurrently. When the
+  /// coordinating thread also has a FlightRecorder installed
+  /// (obs/flight.hpp), a flight shard is created per task from the
+  /// parent's Config (the --dump-on arming carried over) and installed
+  /// alongside the trace shard.
   explicit TraceShards(std::size_t num_tasks);
 
   /// Hooks for parallel_map: before(i) installs shard i on the executing
   /// thread (saving that thread's previous recorder — on the inline
   /// jobs<=1 path this is the coordinating recorder itself), after(i)
-  /// restores it. The returned hooks reference *this; keep the shard set
-  /// alive across the parallel_map call.
+  /// restores it. Trace shards are installed only when the coordinating
+  /// thread had a trace recorder at construction — a flight-only run
+  /// must keep recorder() == nullptr inside tasks so rec-gated
+  /// instrumentation stays off. The returned hooks reference *this; keep
+  /// the shard set alive across the parallel_map call.
   TaskHooks hooks();
 
   /// Merge every shard into `target` in ascending task order. Call once,
   /// after the fan-in; the shards are left drained of meaning (absorbed).
   void merge_into(TraceRecorder& target);
 
+  /// Same, for the flight shards. No-op when no flight recorder was
+  /// installed at construction.
+  void merge_flight_into(FlightRecorder& target);
+
   std::size_t size() const { return shards_.size(); }
   const TraceRecorder& shard(std::size_t task) const { return *shards_[task]; }
+  const FlightRecorder* flight_shard(std::size_t task) const {
+    return task < flight_shards_.size() ? flight_shards_[task].get() : nullptr;
+  }
 
  private:
   // unique_ptr keeps recorder addresses stable across the vector.
   std::vector<std::unique_ptr<TraceRecorder>> shards_;
   std::vector<TraceRecorder*> previous_;
+  bool install_trace_ = false;
+  std::vector<std::unique_ptr<FlightRecorder>> flight_shards_;  // empty = flight off
+  std::vector<FlightRecorder*> previous_flight_;
 };
 
 /// parallel_map that keeps the calling thread's trace coherent: with no
@@ -63,10 +81,12 @@ template <typename Fn>
 auto traced_parallel_map(std::size_t jobs, std::size_t n, Fn&& fn)
     -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
   TraceRecorder* const rec = recorder();
-  if (rec == nullptr) return parallel_map(jobs, n, std::forward<Fn>(fn));
+  FlightRecorder* const fr = flight();
+  if (rec == nullptr && fr == nullptr) return parallel_map(jobs, n, std::forward<Fn>(fn));
   TraceShards shards(n);
   auto results = parallel_map(jobs, n, std::forward<Fn>(fn), shards.hooks());
-  shards.merge_into(*rec);
+  if (rec != nullptr) shards.merge_into(*rec);
+  if (fr != nullptr) shards.merge_flight_into(*fr);
   return results;
 }
 

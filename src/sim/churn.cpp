@@ -10,6 +10,7 @@
 
 #include "core/solver.hpp"
 #include "mec/audit.hpp"
+#include "obs/flight.hpp"
 #include "obs/recorder.hpp"
 #include "util/require.hpp"
 #include "workload/generator.hpp"
@@ -232,6 +233,35 @@ ChurnResult run_churn(const ChurnTimeline& timeline, const ChurnConfig& config) 
 
   IncrementalAllocator alloc(universe, config.incremental);
 
+  // Flight recorder: sized for the whole slot universe up front so replay
+  // never grows a per-agent counter. The lifecycle ops (crash_bs,
+  // recover_bs, degrade_bs) record their own flight events and the crash
+  // trigger fires inside core/incremental — replay only adds the
+  // per-event timeline narrative, counters, and round aggregates.
+  obs::FlightRecorder* const fr = obs::flight();
+  if (fr != nullptr) fr->reserve_agents(universe.num_ues(), universe.num_bss());
+
+  // SLO tracking (ChurnConfig::slo_p99_ns): wall-clock-driven, so the
+  // report and any breach-triggered dump stay OUTSIDE the deterministic
+  // surfaces (the dump is marked deterministic=false).
+  result.slo.objective_p99_ns = config.slo_p99_ns;
+  obs::LatencyHistogram slo_window;
+  std::size_t slo_window_count = 0;
+  const auto close_slo_window = [&](std::size_t idx) {
+    if (slo_window_count == 0) return;
+    ++result.slo.windows;
+    const double p99 = slo_window.percentile_ns(0.99);
+    if (p99 > result.slo.worst_window_p99_ns) result.slo.worst_window_p99_ns = p99;
+    if (p99 > static_cast<double>(config.slo_p99_ns)) {
+      ++result.slo.breached_windows;
+      if (fr != nullptr)
+        fr->trigger("slo-breach", idx, obs::kNoId, obs::kNoId,
+                    /*deterministic=*/false);
+    }
+    slo_window = obs::LatencyHistogram();
+    slo_window_count = 0;
+  };
+
   // Fault plan on the event timeline: FaultPlan rounds are event indices.
   // Actions scheduled past the applied horizon never fire.
   std::vector<std::pair<std::size_t, BsId>> crash_at, recover_at;
@@ -266,14 +296,15 @@ ChurnResult run_churn(const ChurnTimeline& timeline, const ChurnConfig& config) 
   const auto record_timeline = [&](obs::TraceRecorder* rec, std::string_view label,
                                    std::uint32_t ue, std::optional<BsId> bs,
                                    std::size_t idx) {
-    if (rec == nullptr) return;
+    if (rec == nullptr && fr == nullptr) return;
     obs::TraceEvent e;
     e.kind = obs::EventKind::kTimeline;
     e.label = label;
     e.ue = ue;
     if (bs) e.bs = bs->value;
     e.value = idx;
-    rec->record(e);
+    if (rec != nullptr) rec->record(e);
+    if (fr != nullptr) fr->record(e);
   };
   const auto append_bs = [&](std::optional<BsId> bs) {
     if (bs) {
@@ -288,6 +319,7 @@ ChurnResult run_churn(const ChurnTimeline& timeline, const ChurnConfig& config) 
     const ChurnEvent& ev = timeline.events[idx];
     obs::TraceRecorder* const rec = obs::recorder();
     if (rec != nullptr) rec->set_round(idx);
+    if (fr != nullptr) fr->set_round(idx);
 
     // 1. Faults scheduled at this event index (crashes, then
     //    degradations, then recoveries — a fixed documented order).
@@ -304,6 +336,11 @@ ChurnResult run_churn(const ChurnTimeline& timeline, const ChurnConfig& config) 
       stats.orphaned_ues += evicted;
       stats.reassociations += evicted;  // served → cloud is an assignment move
       cloud_active += evicted;
+      if (fr != nullptr) {
+        // Incremental (not end-of-run) so windowed rollups see the step.
+        fr->metrics().add_counter("churn.crashes");
+        fr->metrics().add_counter("churn.orphaned", evicted);
+      }
       log += "e=";
       append_num(log, idx);
       log += " fault crash bs=";
@@ -325,6 +362,7 @@ ChurnResult run_churn(const ChurnTimeline& timeline, const ChurnConfig& config) 
       const CapacityDegradation& d = degrade_at[degrade_cursor].second;
       alloc.degrade_bs(d.bs, d.cru_factor, d.rrb_factor);
       ++stats.degradations;
+      if (fr != nullptr) fr->metrics().add_counter("churn.degradations");
       log += "e=";
       append_num(log, idx);
       log += " fault degrade bs=";
@@ -344,6 +382,7 @@ ChurnResult run_churn(const ChurnTimeline& timeline, const ChurnConfig& config) 
       const BsId bs = recover_at[recover_cursor].second;
       alloc.recover_bs(bs);
       ++stats.recoveries;
+      if (fr != nullptr) fr->metrics().add_counter("churn.recoveries");
       log += "e=";
       append_num(log, idx);
       log += " fault recover bs=";
@@ -383,7 +422,12 @@ ChurnResult run_churn(const ChurnTimeline& timeline, const ChurnConfig& config) 
         decided = alloc.admit(slot);
         break;
     }
-    result.latency.record(obs::monotonic_now_ns() - t0);
+    const std::uint64_t elapsed_ns = obs::monotonic_now_ns() - t0;
+    result.latency.record(elapsed_ns);
+    if (config.slo_p99_ns > 0) {
+      slo_window.record(elapsed_ns);
+      if (++slo_window_count >= config.slo_window_events) close_slo_window(idx);
+    }
 
     log += "e=";
     append_num(log, idx);
@@ -431,6 +475,16 @@ ChurnResult run_churn(const ChurnTimeline& timeline, const ChurnConfig& config) 
     log += '\n';
     record_timeline(rec, to_string(ev.kind), ev.ue, decided, idx);
     stats.peak_active = std::max(stats.peak_active, alloc.num_active());
+    if (fr != nullptr) {
+      obs::MetricsRegistry& m = fr->metrics();
+      switch (ev.kind) {
+        case ChurnEventKind::kArrival: m.add_counter("churn.arrivals"); break;
+        case ChurnEventKind::kDeparture: m.add_counter("churn.departures"); break;
+        case ChurnEventKind::kMove: m.add_counter("churn.moves"); break;
+      }
+      m.set_gauge("churn.active", static_cast<double>(alloc.num_active()));
+      m.set_gauge("churn.cloud_active", static_cast<double>(cloud_active));
+    }
 
     // 3. Drain the crash backlog: recovery_batch re-placement attempts.
     //    Entries that departed, moved, or were swept onto a BS in the
@@ -444,6 +498,7 @@ ChurnResult run_churn(const ChurnTimeline& timeline, const ChurnConfig& config) 
       if (placed) {
         ++stats.readmitted;
         --cloud_active;
+        if (fr != nullptr) fr->metrics().add_counter("churn.readmitted");
         log += "e=";
         append_num(log, idx);
         log += " recover slot=";
@@ -471,6 +526,7 @@ ChurnResult run_churn(const ChurnTimeline& timeline, const ChurnConfig& config) 
         if (placed) {
           ++stats.readmitted;
           --cloud_active;
+          if (fr != nullptr) fr->metrics().add_counter("churn.readmitted");
           log += "e=";
           append_num(log, idx);
           log += " readmit slot=";
@@ -488,6 +544,7 @@ ChurnResult run_churn(const ChurnTimeline& timeline, const ChurnConfig& config) 
     //    remaining plus its own commitments — so clamps carry over.
     if (config.resolve_every > 0 && (idx + 1) % config.resolve_every == 0) {
       ++stats.resolves;
+      if (fr != nullptr) fr->metrics().add_counter("churn.resolves");
       const std::size_t nb = universe.num_bss();
       const std::size_t ns = universe.num_services();
       std::vector<std::uint32_t> world_crus(nb * ns);
@@ -572,6 +629,27 @@ ChurnResult run_churn(const ChurnTimeline& timeline, const ChurnConfig& config) 
       row.cru_headroom = cru_headroom;
       row.rrb_headroom = rrb_headroom;
       rec->finish_round(row);
+    }
+    if (fr != nullptr) {
+      // Cheap aggregate only (no headroom recount): the flight ring is on
+      // the always-on path.
+      obs::RoundRow row;
+      row.source = "sim/churn";
+      row.round = idx;
+      row.unmatched_ues = cloud_active;
+      row.cumulative_profit = alloc.live_profit();
+      fr->finish_round(row);
+    }
+  }
+
+  // Trailing partial SLO window + whole-run error-budget burn rate.
+  if (config.slo_p99_ns > 0) {
+    close_slo_window(timeline.events.empty() ? 0 : timeline.events.size() - 1);
+    if (result.latency.count() > 0) {
+      const double above = static_cast<double>(
+          result.latency.count_above_ns(config.slo_p99_ns));
+      result.slo.burn_rate =
+          above / static_cast<double>(result.latency.count()) / 0.01;
     }
   }
 

@@ -101,6 +101,14 @@ struct ChurnConfig {
   std::uint64_t seed = 1;
   IncrementalConfig incremental;
 
+  /// Per-decision latency objective in ns (p99 over each SLO window);
+  /// 0 disables SLO tracking. Wall-clock-driven: the report it feeds
+  /// (ChurnSloReport) lives OUTSIDE every deterministic surface, and an
+  /// SLO-breach flight-recorder dump is marked deterministic=false.
+  std::uint64_t slo_p99_ns = 0;
+  /// Applied events per SLO evaluation window.
+  std::size_t slo_window_events = 256;
+
   /// Fault plan injected on the event timeline: FaultPlan rounds are
   /// interpreted as event indices (docs/RESILIENCE.md). Link faults
   /// (loss/dup/delay) are bus-level and do not apply to the direct
@@ -172,8 +180,24 @@ struct ChurnStats {
   }
 };
 
+/// SLO accounting over the serving run (ChurnConfig::slo_p99_ns).
+/// Entirely wall-clock-derived: NEVER folded into ChurnStats, the event
+/// log, or any CSV that is golden-tested — same rule as the latency
+/// histogram it is computed from.
+struct ChurnSloReport {
+  std::uint64_t objective_p99_ns = 0;  ///< 0 = SLO tracking disabled
+  std::size_t windows = 0;             ///< evaluation windows completed
+  std::size_t breached_windows = 0;    ///< windows whose p99 exceeded the objective
+  double worst_window_p99_ns = 0.0;
+  /// Error-budget burn rate over the whole run: fraction of decisions
+  /// above the objective divided by the 1% budget a p99 objective
+  /// implies (> 1 = burning faster than the budget allows).
+  double burn_rate = 0.0;
+};
+
 struct ChurnResult {
   ChurnStats stats;
+  ChurnSloReport slo;
   /// Per-event decision latency (wall clock — excluded from every
   /// deterministic surface, warn-only in tools/bench_diff.py).
   obs::LatencyHistogram latency;

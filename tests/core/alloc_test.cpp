@@ -18,6 +18,7 @@
 
 #include "core/decentralized.hpp"
 #include "net/fault_plan.hpp"
+#include "obs/flight.hpp"
 #include "util/alloc_count.hpp"
 #include "util/alloc_hook.hpp"
 #include "workload/generator.hpp"
@@ -102,6 +103,57 @@ TEST(AllocBudget, FaultedSteadyStateIsAllocationFreeToo) {
       << "the plan must actually exercise the parking queues";
   EXPECT_EQ(r.alloc.steady_state_allocations, 0u)
       << "faulted rounds past the settle window must not touch the heap";
+}
+
+TEST(AllocBudget, AlwaysOnFlightRecorderKeepsSteadyStateAllocationFree) {
+  // The flight recorder is installed for every bench session
+  // (docs/OBSERVABILITY.md): its record()/finish_round() ring writes and
+  // even a mid-run trigger freeze (pre-allocated snapshot buffers) must
+  // not move the steady-state allocation count off zero.
+  if (std::getenv("DMRA_AUDIT") != nullptr)
+    GTEST_SKIP() << "auditor snapshots allocate by design";
+  allocprobe::install();
+  obs::FlightRecorder flight;
+  flight.arm_dump_on_round(5);  // exercise the trigger path inside the run
+  obs::ScopedFlightRecorder scope(&flight);
+  const DecentralizedResult r = run_at(2000, 7);
+  ASSERT_TRUE(r.alloc.measured);
+  ASSERT_GT(r.dmra.rounds, r.alloc.settle_rounds);
+  ASSERT_GT(static_cast<std::size_t>(r.dmra.rounds), 5u)
+      << "the dump-on trigger must actually fire mid-run";
+  EXPECT_TRUE(flight.triggered());
+  EXPECT_GT(flight.events_seen(), 0u);
+  EXPECT_EQ(flight.rounds_seen(), static_cast<std::uint64_t>(r.dmra.rounds));
+  EXPECT_EQ(r.alloc.steady_state_allocations, 0u)
+      << "the always-on flight recorder broke the zero-allocation budget";
+}
+
+TEST(AllocBudget, FaultedRunWithFlightRecorderIsAllocationFreeToo) {
+  // The faulted variant of the budget with the recorder live: the crash/
+  // degrade fault events route through FlightRecorder::record inside hot
+  // regions, so a ring write that allocates shows up here.
+  if (std::getenv("DMRA_AUDIT") != nullptr)
+    GTEST_SKIP() << "auditor snapshots allocate by design";
+  allocprobe::install();
+  obs::FlightRecorder flight;
+  obs::ScopedFlightRecorder scope(&flight);
+  FaultPlan plan;
+  plan.link.drop_probability = 0.05;
+  plan.link.duplicate_probability = 0.5;
+  plan.link.delay_probability = 0.5;
+  plan.link.max_delay_rounds = 4;
+  ScenarioConfig cfg;
+  cfg.num_ues = 2000;
+  const Scenario s = generate_scenario(cfg, 7);
+  NetworkConditions net;
+  net.seed = 21;
+  net.faults = &plan;
+  const DecentralizedResult r = run_decentralized_dmra(s, {}, net);
+  ASSERT_TRUE(r.alloc.measured);
+  ASSERT_GT(r.dmra.rounds, r.alloc.settle_rounds);
+  EXPECT_GT(flight.rounds_seen(), 0u);
+  EXPECT_EQ(r.alloc.steady_state_allocations, 0u)
+      << "faulted rounds with the flight recorder live must not touch the heap";
 }
 
 TEST(AllocBudget, CountersZeroWhenNotMeasuring) {

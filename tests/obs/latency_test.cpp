@@ -16,6 +16,53 @@ TEST(LatencyHistogram, EmptyIsZero) {
   EXPECT_EQ(h.percentile_ns(0.5), 0.0);
 }
 
+TEST(LatencyHistogram, EmptyTailPercentilesAreZeroToo) {
+  // The serving SLO path reads p50/p99/p999 off possibly-empty windows
+  // (a breach check before the first decision lands); every quantile of
+  // an empty histogram is 0, not NaN or a sentinel.
+  const LatencyHistogram h;
+  EXPECT_EQ(h.percentile_ns(0.99), 0.0);
+  EXPECT_EQ(h.percentile_ns(0.999), 0.0);
+  EXPECT_EQ(h.count_above_ns(0), 0u);
+  EXPECT_EQ(h.count_above_ns(1'000'000), 0u);
+}
+
+TEST(LatencyHistogram, MergeOfDisjointOctavesIsDeterministic) {
+  // Two histograms whose samples occupy disjoint octave ranges merge into
+  // the same distribution regardless of merge direction — bucket counts
+  // add cell-wise, so the merge is commutative.
+  LatencyHistogram low, high;
+  for (int i = 0; i < 100; ++i) low.record(20 + static_cast<std::uint64_t>(i % 8));
+  for (int i = 0; i < 100; ++i)
+    high.record(1'000'000 + static_cast<std::uint64_t>(i) * 512);
+
+  LatencyHistogram ab = low;
+  ab.merge_from(high);
+  LatencyHistogram ba = high;
+  ba.merge_from(low);
+
+  EXPECT_EQ(ab.count(), 200u);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.max_ns(), ba.max_ns());
+  EXPECT_EQ(ab.to_csv(), ba.to_csv()) << "merge must be order-independent";
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999})
+    EXPECT_EQ(ab.percentile_ns(q), ba.percentile_ns(q)) << "q=" << q;
+  // The halves stay separable: the median sits in the low octaves, the
+  // p99 in the high ones.
+  EXPECT_LT(ab.percentile_ns(0.49), 1000.0);
+  EXPECT_GT(ab.percentile_ns(0.51), 100'000.0);
+}
+
+TEST(LatencyHistogram, CountAboveMatchesSloSemantics) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(10);
+  for (int i = 0; i < 10; ++i) h.record(1'000'000);
+  // Threshold inside the low cluster's bucket: only whole buckets above
+  // it count, so exactly the 10 slow samples qualify.
+  EXPECT_EQ(h.count_above_ns(10), 10u);
+  EXPECT_EQ(h.count_above_ns(2'000'000), 0u);
+}
+
 TEST(LatencyHistogram, SmallValuesAreExact) {
   LatencyHistogram h;
   for (std::uint64_t v = 0; v < 16; ++v) h.record(v);

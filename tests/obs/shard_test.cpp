@@ -233,6 +233,59 @@ TEST(Manifest, CarriesSchemaProvenanceAndOutputs) {
   EXPECT_EQ(root.at("metrics").at("counters").at("bus.rounds").as_u32(), 5u);
 }
 
+TEST(ShardedTracing, EmptyShardsMergeAsNoOps) {
+  // A fan-out where some (or all) tasks record nothing must merge
+  // cleanly: empty shards contribute no events, no rounds, no counters.
+  obs::TraceRecorder parent;
+  obs::ScopedTraceRecorder install(&parent);
+  const std::vector<int> results =
+      obs::traced_parallel_map(2, 4, [&](std::size_t task) {
+        if (task == 2) {  // only one task says anything
+          obs::TraceEvent ev;
+          ev.kind = obs::EventKind::kPhase;
+          ev.label = "lonely";
+          obs::recorder()->record(ev);
+        }
+        return static_cast<int>(task);
+      });
+  EXPECT_EQ(results.size(), 4u);
+  EXPECT_EQ(parent.events().size(), 1u);
+  EXPECT_TRUE(parent.metrics().empty());
+}
+
+TEST(ShardedTracing, MoreShardsThanRecordingTasksIsSafe) {
+  // TraceShards sizes one shard per task up front; tasks that never run
+  // hooks (a drained work queue, an early exit) leave their shards
+  // untouched and merge_into must tolerate them.
+  obs::TraceRecorder parent;
+  obs::ScopedTraceRecorder install(&parent);
+  obs::TraceShards shards(4);
+  auto hooks = shards.hooks();
+  for (const std::size_t task : {0u, 3u}) {  // tasks 1 and 2 never execute
+    hooks.before(task);
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kPhase;
+    ev.label = task == 0 ? "first" : "last";
+    obs::recorder()->record(ev);
+    hooks.after(task);
+  }
+  shards.merge_into(parent);
+  ASSERT_EQ(parent.events().size(), 2u);
+  EXPECT_EQ(parent.events()[0].label, "first");
+  EXPECT_EQ(parent.events()[1].label, "last");
+  EXPECT_EQ(parent.events()[1].slot, parent.events()[0].slot)
+      << "empty shards must not advance timeline slots";
+}
+
+TEST(ShardedTracing, ZeroTaskFanOutIsANoOp) {
+  obs::TraceRecorder parent;
+  obs::ScopedTraceRecorder install(&parent);
+  const auto results =
+      obs::traced_parallel_map(4, 0, [](std::size_t task) { return task; });
+  EXPECT_TRUE(results.empty());
+  EXPECT_TRUE(parent.events().empty());
+}
+
 TEST(Manifest, IsDeterministicForIdenticalInputs) {
   obs::ManifestInput input;
   input.program = "p";

@@ -20,10 +20,14 @@ arm and steady-state/horizon shape) and classifies each wall-time row:
 
 Semantic counters (rounds, messages_sent, matching_rounds, since
 schema 1.2 the allocation counters when both reports measured them,
-since 1.3 the sharded partition/reconcile accounting, and since 1.4 the
-serving churn-rate and recovery counters)
+since 1.3 the sharded partition/reconcile accounting, since 1.4 the
+serving churn-rate and recovery counters, and since 1.5 the flight-
+recorder telemetry: flight_events_retained, postmortem_dumps,
+metric_windows)
 are protocol outputs, not timings: any change is reported as WARN so a
 "perf-only" change that silently altered protocol behaviour shows up.
+wall_ms_flight_off (schema 1.5) is a timing like wall_ms and is never
+compared directly — the overhead budget lives in the report itself.
 The serving latency percentiles (latency_p50_ns/p99/p999) are wall-clock
 measurements like wall_ms and stay warn-only under every gate.
 With --fail-on-semantic those changes are FAIL instead (the CI hard
@@ -66,9 +70,15 @@ SHARDED_KEYS = ("interior_ues", "boundary_ues", "boundary_ues_reconciled",
 SERVING_KEYS = ("events", "arrivals", "departures", "moves", "reassociations",
                 "churn_rate", "cross_region_moves", "readmitted", "orphaned",
                 "recovery_events_max", "resolves")
+# Schema 1.5 flight-recorder telemetry: retained-event counts, post-mortem
+# dump counts, and metric-window counts are deterministic per run (the
+# recorder shards and merges like the tracer), so drift means the
+# always-on instrumentation changed behaviour — semantic, not noise.
+TELEMETRY_KEYS = ("flight_events_retained", "postmortem_dumps", "metric_windows")
 LATENCY_KEYS = ("latency_p50_ns", "latency_p99_ns", "latency_p999_ns")
 KNOWN_SCHEMAS = ("dmra-perf-report/1", "dmra-perf-report/1.1", "dmra-perf-report/1.2",
-                 "dmra-perf-report/1.3", "dmra-perf-report/1.4")
+                 "dmra-perf-report/1.3", "dmra-perf-report/1.4",
+                 "dmra-perf-report/1.5")
 
 
 def load_json(path: str) -> dict:
@@ -141,6 +151,9 @@ def compare_semantics(report: Report, probe: str, base: dict, cand: dict,
         keys = keys + SHARDED_KEYS
     if "faults" in base and "faults" in cand:
         keys = SERVING_KEYS  # serving rows carry no bus/matching counters
+    # Schema 1.5: flight telemetry rides on both decentralized and serving
+    # rows; compared only when both reports emitted it.
+    keys = keys + TELEMETRY_KEYS
     for key in keys:
         if key not in base or key not in cand:
             continue  # pre-1.2 report on one side: nothing to compare

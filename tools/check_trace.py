@@ -20,6 +20,12 @@ dmra-manifest/1 schema (docs/PROVENANCE.md) and cross-checks that every
 --trace/--round-csv file passed on this command line is declared in the
 manifest's outputs list.
 
+With --postmortem, validates a flight-recorder dump against the
+dmra-postmortem/1 schema (docs/OBSERVABILITY.md): required top-level
+fields, per-event fields with strictly increasing seq stamps, round
+aggregates, windowed metric rollups, and trigger consistency
+(events_after_trigger only meaningful when a trigger fired).
+
 Exit status 0 on success; 1 with a diagnostic on the first violation.
 """
 
@@ -200,6 +206,113 @@ def check_manifest(path: str) -> dict:
     return outputs
 
 
+EXPECTED_POSTMORTEM_SCHEMA = "dmra-postmortem/1"
+POSTMORTEM_FIELDS = {
+    "schema": str,
+    "git": str,
+    "build": dict,
+    "trigger": (dict, type(None)),
+    "events_after_trigger": (int, float),
+    "fault_context": str,
+    "flight": dict,
+    "events": list,
+    "rounds": list,
+    "metrics": dict,
+    "windows": list,
+}
+POSTMORTEM_EVENT_KINDS = {
+    "propose", "decision", "trim-eviction", "broadcast", "phase",
+    "termination", "fault", "repair", "timeline",
+}
+POSTMORTEM_FLIGHT_FIELDS = (
+    "events_seen", "events_retained", "events_dropped", "event_capacity",
+    "rounds_seen", "rounds_retained", "round_capacity", "triggers",
+)
+
+
+def check_postmortem(path: str) -> None:
+    """Validate a flight-recorder dump against dmra-postmortem/1."""
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            root = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path} is not valid JSON: {e}")
+    if not isinstance(root, dict):
+        fail(f"{path}: root must be an object")
+    for field, ftype in POSTMORTEM_FIELDS.items():
+        if field not in root:
+            fail(f"{path}: missing required field '{field}'")
+        if not isinstance(root[field], ftype):
+            fail(f"{path}: field '{field}' has type {type(root[field]).__name__}")
+    if root["schema"] != EXPECTED_POSTMORTEM_SCHEMA:
+        fail(
+            f"{path}: schema is {root['schema']!r}, "
+            f"expected {EXPECTED_POSTMORTEM_SCHEMA!r}"
+        )
+    flight = root["flight"]
+    for field in POSTMORTEM_FLIGHT_FIELDS:
+        if not isinstance(flight.get(field), int):
+            fail(f"{path}: flight.{field} ({flight.get(field)!r}) is not an integer")
+    if flight["events_retained"] > flight["event_capacity"]:
+        fail(f"{path}: flight retained more events than its capacity")
+    if flight["events_seen"] != flight["events_retained"] + flight["events_dropped"]:
+        fail(f"{path}: flight events_seen != retained + dropped")
+
+    trigger = root["trigger"]
+    if trigger is not None:
+        for field in ("reason", "round", "deterministic", "count"):
+            if field not in trigger:
+                fail(f"{path}: trigger is missing '{field}'")
+        if not trigger["reason"]:
+            fail(f"{path}: trigger has an empty reason")
+        if flight["triggers"] < 1:
+            fail(f"{path}: trigger present but flight.triggers is 0")
+    elif root["events_after_trigger"] != 0:
+        fail(f"{path}: events_after_trigger nonzero without a trigger")
+
+    last_seq = None
+    for i, ev in enumerate(root["events"]):
+        if not isinstance(ev, dict):
+            fail(f"{path}: events[{i}] is not an object")
+        for field in ("kind", "round", "seq", "agent_seq", "value"):
+            if field not in ev:
+                fail(f"{path}: events[{i}] is missing '{field}'")
+        if ev["kind"] not in POSTMORTEM_EVENT_KINDS:
+            fail(f"{path}: events[{i}] has unknown kind {ev['kind']!r}")
+        if last_seq is not None and ev["seq"] <= last_seq:
+            fail(
+                f"{path}: events[{i}].seq {ev['seq']} is not strictly "
+                f"increasing (previous {last_seq}) — the ring must dump "
+                f"oldest-first in global stream order"
+            )
+        last_seq = ev["seq"]
+
+    csv_columns = EXPECTED_CSV_HEADER.split(",")
+    for i, row in enumerate(root["rounds"]):
+        if not isinstance(row, dict):
+            fail(f"{path}: rounds[{i}] is not an object")
+        for field in csv_columns:
+            if field not in row:
+                fail(f"{path}: rounds[{i}] is missing '{field}'")
+
+    for i, w in enumerate(root["windows"]):
+        if not isinstance(w, dict):
+            fail(f"{path}: windows[{i}] is not an object")
+        for field in ("first_tick", "last_tick", "counter_deltas",
+                      "gauge_last", "gauge_max"):
+            if field not in w:
+                fail(f"{path}: windows[{i}] is missing '{field}'")
+        if w["last_tick"] < w["first_tick"]:
+            fail(f"{path}: windows[{i}] last_tick precedes first_tick")
+
+    trig = "none" if trigger is None else trigger["reason"]
+    print(
+        f"check_trace: {path}: postmortem OK (trigger={trig}, "
+        f"{len(root['events'])} events, {len(root['rounds'])} rounds, "
+        f"{len(root['windows'])} windows)"
+    )
+
+
 def check_manifest_links(manifest_path: str, outputs: dict, kind: str, path: str) -> None:
     """The export at `path` must be declared in the manifest's outputs."""
     declared = outputs.get(kind, [])
@@ -216,9 +329,13 @@ def main() -> None:
     ap.add_argument("--trace", help="Chrome trace-event JSON export")
     ap.add_argument("--round-csv", help="per-round metric CSV export")
     ap.add_argument("--manifest", help="dmra-manifest/1 run-provenance JSON")
+    ap.add_argument("--postmortem", help="dmra-postmortem/1 flight-recorder dump")
     args = ap.parse_args()
-    if not args.trace and not args.round_csv and not args.manifest:
-        ap.error("nothing to check: pass --trace, --round-csv, and/or --manifest")
+    if not args.trace and not args.round_csv and not args.manifest and not args.postmortem:
+        ap.error(
+            "nothing to check: pass --trace, --round-csv, --manifest, "
+            "and/or --postmortem"
+        )
 
     slices = check_trace(args.trace) if args.trace else None
     rows = check_csv(args.round_csv) if args.round_csv else None
@@ -227,12 +344,16 @@ def main() -> None:
             f"export mismatch: trace has {slices} round slices "
             f"but CSV has {rows} rows — the files describe different runs"
         )
+    if args.postmortem:
+        check_postmortem(args.postmortem)
     if args.manifest:
         outputs = check_manifest(args.manifest)
         if args.trace:
             check_manifest_links(args.manifest, outputs, "trace", args.trace)
         if args.round_csv:
             check_manifest_links(args.manifest, outputs, "round-csv", args.round_csv)
+        if args.postmortem:
+            check_manifest_links(args.manifest, outputs, "postmortem", args.postmortem)
     print("check_trace: OK")
 
 
